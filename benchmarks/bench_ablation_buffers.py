@@ -1,0 +1,14 @@
+"""Benchmark: on-chip stream-buffer sizing ablation."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import ablations
+
+
+def test_ablation_buffers(benchmark):
+    result = run_and_report(benchmark, ablations.run_buffer_sizing)
+    bits = result.series["memory_bits"]
+    m20k = result.series["m20k"]
+    # Bits grow with depth; the block count is granularity-dominated
+    # (constant across depth multipliers at this design size).
+    assert all(a < b for a, b in zip(bits, bits[1:]))
+    assert m20k.max() == m20k.min()

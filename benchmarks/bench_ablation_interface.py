@@ -1,0 +1,18 @@
+"""Benchmark: MM bridge vs DMA ablation (the Table I transfer argument)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import ablations
+
+
+def test_ablation_interface(benchmark):
+    result = run_and_report(benchmark, ablations.run_interface_comparison)
+    mm = result.series["mm_s"]
+    dma = result.series["dma_s"]
+    words = result.series["words"]
+    # At the de-blending input size the MM bridge wins; at bulk sizes DMA
+    # wins (its regime) — the crossover exists.
+    assert mm[0] < dma[0]           # 260 words
+    assert mm[-1] > dma[-1]         # 65,536 words
+    # The frame-level row (last table row) must favour MM.
+    frame_row = result.table.rows[-1]
+    assert frame_row[-1] == "MM"

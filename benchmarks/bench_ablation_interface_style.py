@@ -1,0 +1,16 @@
+"""Benchmark: interface-style ablation (streaming vs MM host)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import ablations
+
+
+def test_ablation_interface_style(benchmark):
+    result = run_and_report(benchmark, ablations.run_interface_style)
+    mm = result.series["mm_s"]
+    stream = result.series["stream_s"]
+    # The customized MM host interface beats the stock streaming wrapper
+    # for every model, and the penalty is proportionally worst for the
+    # fast MLP (the wrapper overhead cannot amortize).
+    assert (stream > mm).all()
+    penalties = stream / mm
+    assert penalties[-1] > penalties[0]  # mlp penalty > unet penalty

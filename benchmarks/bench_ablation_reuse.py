@@ -1,0 +1,16 @@
+"""Benchmark: reuse-factor ablation (latency ↔ resources trade-off)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import ablations
+
+
+def test_ablation_reuse(benchmark):
+    result = run_and_report(benchmark, ablations.run_reuse_sweep)
+    lat = result.series["latency_s"]
+    alut = result.series["alut_fraction"]
+    # Monotone trade-off: latency up, resources down.
+    assert all(a <= b for a, b in zip(lat, lat[1:]))
+    assert all(a >= b for a, b in zip(alut, alut[1:]))
+    # The ends differ substantially (it is a real knob).
+    assert lat[-1] > 1.3 * lat[0]
+    assert alut[0] > 3 * alut[-1]

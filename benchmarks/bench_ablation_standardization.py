@@ -1,0 +1,18 @@
+"""Benchmark: standardization-placement ablation (Section IV-D)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import ablations
+
+
+def test_ablation_standardization(benchmark):
+    result = run_and_report(
+        benchmark, ablations.run_standardization_comparison
+    )
+    acc_std = result.series["acc_std"]
+    acc_bn = result.series["acc_bn"]
+    # The deployed (pre-standardized) configuration must quantize well;
+    # the in-model batch-norm attempt must be clearly degraded — the
+    # paper's reason for abandoning it.
+    assert acc_std.min() > 0.95
+    assert acc_bn.max() < 0.85
+    assert acc_bn.min() < 0.6

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig 3 (platform comparison, batch size 1)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig3
+
+
+def test_fig3(benchmark):
+    result = run_and_report(benchmark, fig3.run)
+    lat = {(r[0], r[1]): float(r[2]) for r in result.table.rows}
+    fpga = "FPGA SoC (hls4ml)"
+    # Shape: FPGA fastest for both models; only FPGA meets 3 ms for the
+    # U-Net; GPU within ~2x of CPU at batch 1 ("similar to the CPU").
+    for model in ("mlp", "unet"):
+        assert lat[(model, fpga)] < lat[(model, "CPU (Keras)")]
+        assert lat[(model, fpga)] < lat[(model, "GPU (Keras)")]
+    assert lat[("unet", fpga)] <= 3.0
+    assert lat[("unet", "CPU (Keras)")] > 3.0
+    assert lat[("unet", "GPU (Keras)")] > 3.0
+    ratio = lat[("unet", "GPU (Keras)")] / lat[("unet", "CPU (Keras)")]
+    assert 0.3 < ratio < 3.0
+    # Large-batch GPU amortization reaches the µs range.
+    per_frame = result.series["unet/GPU per-frame vs batch"]
+    assert per_frame[-1] < 100e-6

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig 5(a) (accuracy vs total bits)."""
+
+import numpy as np
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig5
+
+
+def test_fig5a(benchmark):
+    result = run_and_report(benchmark, fig5.run_fig5a)
+    mi = result.series["MI"]
+    rr = result.series["RR"]
+    bits = result.series["bits"]
+    # Shape: error decreases (weakly) as width grows; the widest setting
+    # is far better than the narrowest for both machines.
+    assert mi[-1] <= mi[0] and rr[-1] <= rr[0]
+    assert rr[0] > 5 * rr[-1]
+    # At 16 bits both machines are at least as accurate as the paper's
+    # measured 0.025/0.005 (our quantized model is cleaner; EXPERIMENTS.md).
+    at16 = int(np.where(bits == 16)[0][0]) if 16 in bits else -1
+    assert mi[at16] <= 0.03 and rr[at16] <= 0.03

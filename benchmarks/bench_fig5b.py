@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Fig 5(b) (outliers vs total bits + margin fix)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import fig5
+
+
+def test_fig5b(benchmark):
+    # The fast sweep includes the narrow widths where outliers live.
+    result = run_and_report(benchmark, fig5.run_fig5b)
+    outliers = result.series["outliers"]
+    fixed = result.series["outliers_margin1"]
+    # Shape: outliers decrease with width and the widest settings are
+    # outlier-free; the narrowest width shows real outliers.
+    assert outliers[0] > 0
+    assert outliers[-1] == 0
+    assert all(a >= b for a, b in zip(outliers, outliers[1:]))
+    # Paper: "+1 integer bit mitigates ≈ half"; in our cleaner setup it
+    # removes at least half wherever outliers exist.
+    for base, margin in zip(outliers, fixed):
+        if base:
+            assert margin <= base / 2

@@ -1,0 +1,55 @@
+"""Library micro-benchmarks: inference throughput of the three engines.
+
+Unlike the table/figure regenerations (measured once), these run multiple
+rounds — they track the performance of the reproduction's own kernels:
+
+* float U-Net forward (the numpy framework),
+* fixed-point U-Net forward (the bit-accurate HLS twin),
+* the vectorised SoC latency sampler.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.common import bundle, converted
+from repro.soc.board import AchillesBoard
+
+
+@pytest.fixture(scope="module")
+def frames():
+    b = bundle()
+    return b.dataset.unet_inputs(b.dataset.x_eval[:32])
+
+
+def test_float_unet_forward(benchmark, frames):
+    b = bundle()
+    out = benchmark.pedantic(lambda: b.unet.forward(frames),
+                             rounds=3, iterations=1)
+    assert out.shape == (32, 520)
+
+
+def test_fixed_unet_forward(benchmark, frames):
+    hls_model = converted("Layer-based Precision ac_fixed<16, x>")
+    out = benchmark.pedantic(lambda: hls_model.predict(frames),
+                             rounds=3, iterations=1)
+    assert out.shape == (32, 520)
+
+
+def test_latency_sampler(benchmark):
+    hls_model = converted("Layer-based Precision ac_fixed<16, x>")
+    board = AchillesBoard(hls_model)
+    lat = benchmark.pedantic(
+        lambda: board.sample_latency_distribution(100_000, seed=0),
+        rounds=3, iterations=1,
+    )
+    assert lat.shape == (100_000,)
+
+
+def test_event_driven_frame(benchmark):
+    hls_model = converted("Layer-based Precision ac_fixed<16, x>")
+    board = AchillesBoard(hls_model)
+    b = bundle()
+    frame = b.dataset.x_eval[0]
+    timing = benchmark.pedantic(lambda: board.process_frame(frame),
+                                rounds=3, iterations=1)
+    assert timing.total > 0

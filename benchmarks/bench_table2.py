@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Table II (precision strategy trade-off)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import table2
+
+
+def _pct(cell: str) -> float:
+    return float(cell.rstrip("%"))
+
+
+def test_table2(benchmark):
+    result = run_and_report(benchmark, table2.run)
+    rows = {r[0]: r for r in result.table.rows}
+    u18 = rows["Uniform Precision ac_fixed<18, 10>"]
+    u16 = rows["Uniform Precision ac_fixed<16, 7>"]
+    lb = rows["Layer-based Precision ac_fixed<16, x>"]
+    # Shape: 18-bit accurate but does not fit; 16-bit fits but collapses;
+    # layer-based both accurate and small.
+    assert _pct(u18[1]) > 95 and _pct(u18[2]) > 95
+    assert _pct(u18[3]) > 100          # paper: 115 %
+    assert _pct(u16[1]) < 70 and _pct(u16[2]) < 70   # paper: 16.7/36.5 %
+    assert _pct(u16[3]) < 40           # paper: 22 %
+    assert _pct(lb[1]) > 95 and _pct(lb[2]) > 95     # paper: 99.1/99.9 %
+    assert _pct(lb[3]) < 50            # paper: 31 %

@@ -1,0 +1,21 @@
+"""Benchmark: regenerate Table III (deployed model/system summary)."""
+
+from benchmarks.conftest import run_and_report
+from repro.experiments import table3
+
+
+def test_table3(benchmark):
+    result = run_and_report(benchmark, table3.run)
+    rows = {r[0]: r[1] for r in result.table.rows}
+    assert rows["Trainable Parameters"] == "134,434"
+    assert rows["Default Reuse Factor"] == "32"
+    assert rows["Dense/Sigmoid Reuse Factor"] == "260"
+    system_ms = float(rows["Average System Latency"].rstrip("ms"))
+    ip_ms = float(rows["FPGA U-Net Latency"].rstrip("ms"))
+    # paper: 1.74 / 1.57 ms; shape bands:
+    assert 1.5 < system_ms < 2.1
+    assert 1.3 < ip_ms < system_ms
+    dsp = int(rows["Total DSP Blocks"].split()[0].replace(",", ""))
+    assert dsp == 273
+    regs = int(rows["Total Registers"].replace(",", ""))
+    assert abs(regs - 406_123) / 406_123 < 0.05

@@ -1,0 +1,34 @@
+"""Benchmark-session fixtures.
+
+The benchmarks regenerate paper tables/figures through pytest-benchmark.
+Each harness is measured with ``rounds=1`` (they are deterministic
+end-to-end regenerations, not microbenchmarks) and its paper-style table
+is printed so a benchmark run doubles as a results report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_reference_artifacts():
+    """Load the pre-trained bundle and the reference conversions once, so
+    individual benchmarks measure experiment regeneration, not one-time
+    model loading."""
+    from repro.experiments.common import bundle, converted, unet_profiles
+
+    bundle()
+    unet_profiles()
+    converted("Layer-based Precision ac_fixed<16, x>")
+    converted("Uniform Precision ac_fixed<16, 7>")
+    converted("Uniform Precision ac_fixed<18, 10>")
+
+
+def run_and_report(benchmark, harness, fast: bool = True):
+    """Benchmark one harness and print its rendered table."""
+    result = benchmark.pedantic(harness, args=(fast,), rounds=1,
+                                iterations=1)
+    print()
+    print(result.render())
+    return result

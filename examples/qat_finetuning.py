@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quantization-aware fine-tuning at aggressive widths.
+
+The paper quantizes post-training; this example shows the natural
+extension (QKeras-style QAT, implemented in ``repro.nn.qat``): take the
+deployed U-Net, squeeze it to 11 total bits where plain PTQ degrades,
+fine-tune for two epochs with quantized-weight forwards, and compare.
+
+Run:  python examples/qat_finetuning.py
+"""
+
+from repro.experiments.common import bundle, unet_profiles
+from repro.hls.converter import convert
+from repro.hls.precision import layer_based_config
+from repro.hls.resources import estimate_resources
+from repro.nn import Adam, BinaryCrossentropy
+from repro.nn.qat import fine_tune_quantized
+from repro.nn.zoo import build_unet
+from repro.verify import close_enough_accuracy
+
+WIDTH = 10
+EPOCHS = 2
+
+
+def main() -> None:
+    b = bundle()
+    ds = b.dataset
+    xe = ds.unet_inputs(ds.x_eval[:200])
+    xt = ds.unet_inputs(ds.x_train[:600])
+
+    config = layer_based_config(b.unet, None, width=WIDTH,
+                                profiles=unet_profiles())
+    print(f"target: layer-based ac_fixed<{WIDTH}, x> "
+          f"(paper deploys 16 bits; this is the stress regime)")
+
+    # Post-training quantization of the shipped model.
+    y_float = b.unet.forward(xe)
+    acc_ptq = close_enough_accuracy(y_float,
+                                    convert(b.unet, config).predict(xe))
+    print(f"PTQ accuracy: MI {acc_ptq['MI']:.1%}, RR {acc_ptq['RR']:.1%}")
+
+    # QAT: clone, fine-tune under quantized weights, re-evaluate.
+    print(f"fine-tuning {EPOCHS} epochs with quantized-weight forwards ...")
+    clone = build_unet(seed=0)
+    clone.set_weights(b.unet.get_weights())
+    optimizer = Adam(2e-4)
+    fine_tune_quantized(
+        clone, xt, ds.y_train[:600], BinaryCrossentropy(), optimizer,
+        spec=config, epochs=EPOCHS, batch_size=32, seed=3,
+    )
+    y_float_qat = clone.forward(xe)
+    acc_qat = close_enough_accuracy(
+        y_float_qat, convert(clone, config).predict(xe))
+    print(f"QAT accuracy: MI {acc_qat['MI']:.1%}, RR {acc_qat['RR']:.1%}")
+
+    res = estimate_resources(convert(clone, config))
+    print(f"\nresource reward for the narrow datapath: "
+          f"{res.alut_fraction:.0%} ALUTs "
+          f"(vs ~32% for the deployed 16-bit design)")
+    gain = min(acc_qat.values()) - min(acc_ptq.values())
+    print(f"QAT worst-machine gain: {gain:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Quickstart: co-design and deploy the paper's U-Net in one call.
+
+Loads the pre-trained de-blending U-Net, runs the ML/HLS co-design
+pipeline (profile → layer-based precision → constraint checks), deploys
+the winning design on the simulated Achilles Arria 10 board, verifies it
+with the staged flow, and pushes a few live frames through the system.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import codesign_and_deploy
+from repro.pretrained import load_reference_bundle
+
+
+def main() -> None:
+    print("loading pre-trained bundle (dataset + U-Net) ...")
+    bundle = load_reference_bundle(train_if_missing=True)
+    dataset = bundle.dataset
+
+    print("running ML/HLS co-design ...")
+    design, deployment = codesign_and_deploy(
+        bundle.unet,
+        dataset.unet_inputs(dataset.x_train[:300]),
+        eval_frames=100,
+        verify_frames=6,
+    )
+    print(f"  chosen design: {design.describe()}")
+    print(f"  verification: "
+          f"{'ALL PASS' if deployment.verified else 'FAILURES'}")
+    for stage in deployment.verification:
+        print(f"    {stage}")
+
+    print("\ndeployment summary:")
+    lat_ms = deployment.system_latency_s * 1e3
+    print(f"  system latency : {lat_ms:.2f} ms (paper: 1.74 ms)")
+    print(f"  throughput     : {deployment.throughput_fps:.0f} fps "
+          f"(requirement: 320 fps, paper: 575 fps)")
+    print(f"  meets contract : {deployment.meets_requirement()}")
+
+    print("\npushing 5 live frames through the board ...")
+    frames = dataset.x_eval[:5]
+    result = deployment.board.run(frames, seed=1)
+    for i, timing in enumerate(result.timings):
+        probs = result.outputs[i].reshape(-1, 2)
+        print(f"  frame {i}: latency {timing.total * 1e3:.3f} ms, "
+              f"mean P(MI)={probs[:, 0].mean():.2f} "
+              f"P(RR)={probs[:, 1].mean():.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The offline sandbox lacks the ``wheel`` package, so PEP 660 editable
+installs fail; this file lets ``pip install -e .`` take the classic
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro.pretrained": ["data/*.npz", "data/*.json"]},
+    python_requires=">=3.9",
+    install_requires=["numpy", "scipy", "networkx"],
+    entry_points={
+        "console_scripts": ["repro-experiments=repro.experiments.cli:main"],
+    },
+)

@@ -1,0 +1,34 @@
+"""repro — reproduction of "ML-Based Real-Time Control at the Edge: An
+Approach Using hls4ml" (IPPS 2024).
+
+The package rebuilds the paper's full system in pure Python/numpy:
+
+* :mod:`repro.nn` — a Keras-like NN framework with the paper's exact
+  U-Net (134,434 params) and MLP (100,102 params) architectures,
+* :mod:`repro.fixed` — bit-accurate ``ac_fixed`` arithmetic,
+* :mod:`repro.hls` — the hls4ml-analogue converter: per-layer precision,
+  reuse factors, cycle-accurate latency, Arria 10 resources, C++ codegen,
+* :mod:`repro.soc` — a discrete-event Arria 10 SoC (Achilles) simulator,
+* :mod:`repro.beamloss` — the synthetic Fermilab beam-loss substrate,
+* :mod:`repro.platforms` — CPU/GPU/FPGA latency comparison models,
+* :mod:`repro.verify` — the staged verification flow,
+* :mod:`repro.core` — the ML/HLS co-design methodology (the paper's
+  contribution) as a public API,
+* :mod:`repro.experiments` — one harness per paper table/figure,
+* :mod:`repro.paper` — every published constant, with section refs.
+
+Quickstart::
+
+    from repro.pretrained import load_reference_bundle
+    from repro.core import codesign_and_deploy
+
+    bundle = load_reference_bundle()
+    design, deployment = codesign_and_deploy(
+        bundle.unet, bundle.dataset.unet_inputs(bundle.dataset.x_train))
+    print(design.describe())
+    print(f"{deployment.throughput_fps:.0f} fps")
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

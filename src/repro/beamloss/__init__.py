@@ -1,0 +1,58 @@
+"""Synthetic beam-loss substrate: the accelerator the paper monitors.
+
+The paper's data source is proprietary (260 Beam Loss Monitors around the
+Fermilab Main Injector / Recycler Ring tunnel, read out every 3 ms).  This
+package provides a physically-motivated synthetic equivalent:
+
+* :mod:`~repro.beamloss.geometry` — the tunnel and BLM placement,
+* :mod:`~repro.beamloss.machines` — per-machine loss-source models (MI and
+  RR): localised loss sites with bursty stochastic intensities,
+* :mod:`~repro.beamloss.blending` — superposition of machine losses into
+  the observed per-monitor signal plus ground-truth attribution,
+* :mod:`~repro.beamloss.blm` — detector response and 3 ms digitizer
+  (raw magnitudes in the paper's reported 105,000–120,000 range),
+* :mod:`~repro.beamloss.hubs` — the seven BLM hub aggregators,
+* :mod:`~repro.beamloss.dataset` — training/evaluation dataset synthesis,
+  standardisation (the paper's "standardize before training"), and the
+  reference-model training entry point,
+* :mod:`~repro.beamloss.controller` — the de-blending trip controller,
+* :mod:`~repro.beamloss.acnet` — the facility control-system sink.
+
+Key reproduced facts: raw readings in [105k, 120k]; sharp MI loss sites
+vs broad RR sites so that the trained model's mean outputs land near the
+paper's 0.17 (MI) / 0.42 (RR); heavy-tailed bursts so early network
+layers see large activations — the reason uniform ``ac_fixed<16,7>``
+overflows (Table II).
+"""
+
+from repro.beamloss.geometry import TunnelGeometry
+from repro.beamloss.machines import BurstDynamics, LossSite, Machine, default_mi, default_rr
+from repro.beamloss.blending import BlendedFrame, blend
+from repro.beamloss.blm import BLMArray
+from repro.beamloss.hubs import HubNetwork
+from repro.beamloss.dataset import DeblendingDataset, Standardizer, make_dataset
+from repro.beamloss.controller import TripController, TripDecision
+from repro.beamloss.acnet import ACNETLog
+from repro.beamloss.metrics import DecisionScore, ground_truth_machines, score_decisions
+
+__all__ = [
+    "TunnelGeometry",
+    "LossSite",
+    "BurstDynamics",
+    "Machine",
+    "default_mi",
+    "default_rr",
+    "BlendedFrame",
+    "blend",
+    "BLMArray",
+    "HubNetwork",
+    "DeblendingDataset",
+    "Standardizer",
+    "make_dataset",
+    "TripController",
+    "TripDecision",
+    "ACNETLog",
+    "DecisionScore",
+    "ground_truth_machines",
+    "score_decisions",
+]

@@ -1,0 +1,64 @@
+"""ACNET sink — the facility control system receiving trip commands.
+
+Step 9 in the paper's Fig 2 is "Ethernet communication off of the central
+node": decisions leave the SoC toward ACNET.  For the reproduction this
+is an in-memory log with transport timing, letting integration tests
+assert end-to-end ordering and timestamping without a network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.beamloss.controller import TripDecision
+
+__all__ = ["ACNETLog"]
+
+
+@dataclass(frozen=True)
+class ACNETRecord:
+    """One delivered control message."""
+
+    decision: TripDecision
+    sent_at_s: float
+    delivered_at_s: float
+
+
+@dataclass
+class ACNETLog:
+    """Ordered, timestamped record of control messages.
+
+    Parameters
+    ----------
+    transport_latency_s:
+        One-way Ethernet latency from the central node to ACNET.
+    """
+
+    transport_latency_s: float = 150e-6
+    records: List[ACNETRecord] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.transport_latency_s < 0:
+            raise ValueError("transport_latency_s must be >= 0")
+
+    def publish(self, decision: TripDecision, sent_at_s: float) -> ACNETRecord:
+        """Deliver *decision*; returns the record with delivery time."""
+        if self.records and sent_at_s < self.records[-1].sent_at_s:
+            raise ValueError(
+                "messages must be published in non-decreasing time order"
+            )
+        record = ACNETRecord(
+            decision=decision,
+            sent_at_s=float(sent_at_s),
+            delivered_at_s=float(sent_at_s) + self.transport_latency_s,
+        )
+        self.records.append(record)
+        return record
+
+    def trips(self) -> List[ACNETRecord]:
+        """Records that actually tripped a machine."""
+        return [r for r in self.records if r.decision.machine is not None]
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,267 @@
+"""Dataset synthesis, standardisation and reference-model training.
+
+This module glues the substrate together into the exact artefacts the
+paper's experiments need:
+
+* :func:`make_dataset` — raw digitizer frames + flat 520-value targets,
+  split into train/validation/evaluation,
+* :class:`Standardizer` — the "standardize the data before training"
+  preprocessing the paper adopts after the in-model batch-norm attempt
+  failed to quantize well (Section IV-D),
+* :func:`train_reference_unet` / :func:`train_reference_mlp` — train the
+  zoo models on the substrate (deterministic given the seed), used by
+  every table/figure harness.
+
+Evaluation frames default to 1,000 — the population size behind the
+paper's Fig 5(a) ("across 1,000 datasets, each dataset corresponds to one
+260-input array").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.beamloss.blending import BlendedFrame, blend
+from repro.beamloss.blm import BLMArray
+from repro.beamloss.geometry import TunnelGeometry
+from repro.beamloss.machines import Machine, default_mi, default_rr
+from repro.nn.losses import BinaryCrossentropy
+from repro.nn.model import Model
+from repro.nn.optimizers import Adam
+from repro.nn.training import History, fit
+from repro.nn.zoo import build_mlp, build_unet
+from repro.utils.rng import SeedLike, default_rng
+
+__all__ = [
+    "Standardizer",
+    "DeblendingDataset",
+    "make_dataset",
+    "train_reference_unet",
+    "train_reference_mlp",
+]
+
+
+@dataclass(frozen=True)
+class Standardizer:
+    """Per-monitor standardisation against the electronics noise floor.
+
+    ``transform(x) = (x - mean) / std`` channelwise, where ``mean`` is the
+    channel median (the pedestal) and ``std`` is the *noise floor*: the
+    robust scale of consecutive-frame differences, which isolates the
+    fast electronics noise from the slow beam-loss dynamics.  This is the
+    operationally meaningful unit for a loss monitor — "how many sigma of
+    read noise above pedestal" — and it is what makes the fixed-point
+    story of the paper's Table II emerge: genuine loss signals sit at
+    many tens of noise sigmas, so a uniform ``ac_fixed<16,7>`` datapath
+    (range ±64) wraps around on most active monitors, while the ADC
+    ceiling keeps the standardized range inside the ±512 of
+    ``ac_fixed<18,10>`` and inside the profiled per-layer formats.
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+
+    @classmethod
+    def fit(cls, x: np.ndarray) -> "Standardizer":
+        """Fit the *global* pedestal + noise floor on raw frames
+        ``(n, monitors)`` (needs at least two frames for differences).
+
+        Global (not per-channel) statistics are deliberate: the facility
+        standardizes whole frames with one scaler, so each monitor's
+        pedestal offset survives into the model inputs at ±60–110 noise
+        sigmas and the network learns to cancel it with its own biases.
+        That is what produces the "much wider" trained parameter ranges
+        the paper reports, and with them the uniform-16-bit failure.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2:
+            raise ValueError(f"x must be 2-D (frames, monitors), got {x.shape}")
+        if x.shape[0] < 2:
+            raise ValueError("need at least two frames to estimate the noise floor")
+        med = float(np.median(x))
+        diff = np.diff(x, axis=0)
+        # MAD of first differences ≈ σ_noise·√2 for white read noise;
+        # robust against the sparse burst jumps.
+        noise_per_channel = 1.4826 * np.median(
+            np.abs(diff - np.median(diff, axis=0)), axis=0
+        ) / np.sqrt(2.0)
+        # The quietest monitors see pure electronics noise; busier ones
+        # fold in beam-loss dynamics.  The low quantile isolates the
+        # instrument floor.
+        noise = float(np.quantile(noise_per_channel, 0.05))
+        if noise <= 0:
+            raise ValueError("degenerate data with zero noise floor")
+        n_ch = x.shape[1]
+        return cls(mean=np.full(n_ch, med), std=np.full(n_ch, noise))
+
+    def transform(self, x: np.ndarray) -> np.ndarray:
+        """Standardize raw frames."""
+        return (np.asarray(x, dtype=np.float64) - self.mean) / self.std
+
+    def inverse_transform(self, z: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        return np.asarray(z, dtype=np.float64) * self.std + self.mean
+
+
+@dataclass
+class DeblendingDataset:
+    """Frames and targets for the de-blending task.
+
+    ``raw_*`` are digitizer counts (105k–120k magnitudes); ``x_*`` are
+    standardized model inputs; ``y_*`` are flat 520-value targets
+    (monitor-major, machine-minor).  ``blended_eval`` keeps the full
+    ground truth of the evaluation split for the controller experiments.
+    """
+
+    raw_train: np.ndarray
+    raw_val: np.ndarray
+    raw_eval: np.ndarray
+    y_train: np.ndarray
+    y_val: np.ndarray
+    y_eval: np.ndarray
+    standardizer: Standardizer
+    blended_eval: BlendedFrame
+    machine_names: Tuple[str, ...]
+
+    @property
+    def x_train(self) -> np.ndarray:
+        return self.standardizer.transform(self.raw_train)
+
+    @property
+    def x_val(self) -> np.ndarray:
+        return self.standardizer.transform(self.raw_val)
+
+    @property
+    def x_eval(self) -> np.ndarray:
+        return self.standardizer.transform(self.raw_eval)
+
+    @property
+    def n_monitors(self) -> int:
+        return self.raw_train.shape[1]
+
+    @property
+    def output_size(self) -> int:
+        return self.y_train.shape[1]
+
+    def unet_inputs(self, x: np.ndarray) -> np.ndarray:
+        """Reshape flat frames to the U-Net's ``(n, monitors, 1)`` layout."""
+        return np.asarray(x)[:, :, None]
+
+
+def make_dataset(
+    n_train: int = 1500,
+    n_val: int = 300,
+    n_eval: int = 1000,
+    geometry: Optional[TunnelGeometry] = None,
+    mi: Optional[Machine] = None,
+    rr: Optional[Machine] = None,
+    blm: Optional[BLMArray] = None,
+    seed: SeedLike = 0,
+) -> DeblendingDataset:
+    """Synthesize a complete de-blending dataset.
+
+    The three splits come from independently-seeded stretches of the same
+    machines so that evaluation frames are statistically fresh.  The
+    standardizer is fitted on the training split only.
+    """
+    geometry = geometry or TunnelGeometry()
+    mi = mi or default_mi()
+    rr = rr or default_rr()
+    blm = blm or BLMArray(n_monitors=geometry.n_monitors)
+    rng = default_rng(seed)
+    seeds = rng.integers(0, 2**62, size=6)
+
+    def make_split(n: int, blend_seed: int, noise_seed: int):
+        frames = blend([mi, rr], geometry, n, seed=int(blend_seed))
+        raw = blm.digitize(frames.total, rng=default_rng(int(noise_seed)))
+        return raw, frames
+
+    raw_train, blended_train = make_split(n_train, seeds[0], seeds[1])
+    raw_val, blended_val = make_split(n_val, seeds[2], seeds[3])
+    raw_eval, blended_eval = make_split(n_eval, seeds[4], seeds[5])
+
+    return DeblendingDataset(
+        raw_train=raw_train,
+        raw_val=raw_val,
+        raw_eval=raw_eval,
+        y_train=blended_train.flat_targets(),
+        y_val=blended_val.flat_targets(),
+        y_eval=blended_eval.flat_targets(),
+        standardizer=Standardizer.fit(raw_train),
+        blended_eval=blended_eval,
+        machine_names=blended_eval.machine_names,
+    )
+
+
+def train_reference_unet(
+    dataset: DeblendingDataset,
+    epochs: int = 30,
+    batch_size: int = 32,
+    learning_rate: float = 2e-3,
+    seed: SeedLike = 0,
+    batchnorm_standardizer: bool = False,
+    verbose: bool = False,
+) -> Tuple[Model, History]:
+    """Train the reference U-Net on the substrate.
+
+    With ``batchnorm_standardizer=True`` the model is instead trained on
+    *raw* counts with an in-model BatchNormalization — the paper's first,
+    poorly-quantizing configuration.
+    """
+    from repro.nn.zoo.unet import REFERENCE_UNET_CONFIG, UNetConfig
+
+    if batchnorm_standardizer:
+        config = UNetConfig(batchnorm_standardizer=True)
+        x_train = dataset.unet_inputs(dataset.raw_train)
+        x_val = dataset.unet_inputs(dataset.raw_val)
+    else:
+        config = REFERENCE_UNET_CONFIG
+        x_train = dataset.unet_inputs(dataset.x_train)
+        x_val = dataset.unet_inputs(dataset.x_val)
+    model = build_unet(config, seed=seed)
+    history = fit(
+        model,
+        x_train,
+        dataset.y_train,
+        BinaryCrossentropy(),
+        Adam(learning_rate),
+        epochs=epochs,
+        batch_size=batch_size,
+        validation_data=(x_val, dataset.y_val),
+        seed=seed,
+        verbose=verbose,
+    )
+    return model, history
+
+
+def train_reference_mlp(
+    dataset: DeblendingDataset,
+    epochs: int = 30,
+    batch_size: int = 32,
+    learning_rate: float = 2e-3,
+    seed: SeedLike = 0,
+    verbose: bool = False,
+) -> Tuple[Model, History]:
+    """Train the verification MLP (flat standardized inputs).
+
+    The MLP predicts 518 of the 520 outputs (the paper's printed layer
+    sizes; see DESIGN.md) so its targets drop the last two values.
+    """
+    model = build_mlp(seed=seed)
+    out = model.outputs[0].shape[0]
+    history = fit(
+        model,
+        dataset.x_train,
+        dataset.y_train[:, :out],
+        BinaryCrossentropy(),
+        Adam(learning_rate),
+        epochs=epochs,
+        batch_size=batch_size,
+        validation_data=(dataset.x_val, dataset.y_val[:, :out]),
+        seed=seed,
+        verbose=verbose,
+    )
+    return model, history

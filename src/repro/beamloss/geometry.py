@@ -1,0 +1,60 @@
+"""Tunnel geometry and monitor placement.
+
+The Main Injector and Recycler Ring share one 3.3 km tunnel (the RR is
+mounted above the MI), which is why a monitor cannot tell which machine
+caused the ionising radiation it measures — the de-blending problem.
+We model the tunnel as a ring parameterised by ``s ∈ [0, circumference)``
+with 260 equally-spaced BLMs (Fig 1 of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TunnelGeometry"]
+
+
+@dataclass(frozen=True)
+class TunnelGeometry:
+    """Ring tunnel with equally spaced beam-loss monitors.
+
+    Parameters
+    ----------
+    n_monitors:
+        Number of BLMs (paper: 260).
+    circumference_m:
+        Tunnel length; the real MI ring is ≈ 3,319 m.
+    """
+
+    n_monitors: int = 260
+    circumference_m: float = 3319.0
+
+    def __post_init__(self):
+        if self.n_monitors <= 0:
+            raise ValueError(f"n_monitors must be positive, got {self.n_monitors}")
+        if self.circumference_m <= 0:
+            raise ValueError(
+                f"circumference_m must be positive, got {self.circumference_m}"
+            )
+
+    @property
+    def monitor_positions(self) -> np.ndarray:
+        """``s`` coordinate (metres) of each monitor, shape ``(n_monitors,)``."""
+        return np.arange(self.n_monitors) * self.monitor_spacing
+
+    @property
+    def monitor_spacing(self) -> float:
+        """Distance between adjacent monitors in metres."""
+        return self.circumference_m / self.n_monitors
+
+    def ring_distance(self, s_a: np.ndarray, s_b: np.ndarray) -> np.ndarray:
+        """Shortest distance along the ring between coordinates (broadcasts)."""
+        d = np.abs(np.asarray(s_a, dtype=np.float64) - np.asarray(s_b, dtype=np.float64))
+        return np.minimum(d, self.circumference_m - d)
+
+    def monitor_index_distance(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """Shortest distance in *monitor index* units around the ring."""
+        d = np.abs(np.asarray(i, dtype=np.float64) - np.asarray(j, dtype=np.float64))
+        return np.minimum(d, self.n_monitors - d)

@@ -1,0 +1,112 @@
+"""De-blending decision quality metrics.
+
+The paper evaluates quantization fidelity (Table II, Fig 5); an operator
+additionally cares about *control* quality: does the system trip the
+right machine?  This module scores decision sequences against the
+substrate's ground truth: confusion matrix over {MI, RR, no-trip},
+per-machine precision/recall, and false-trip rate (tripping a healthy
+machine is the expensive failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.beamloss.controller import TripDecision
+
+__all__ = ["DecisionScore", "ground_truth_machines", "score_decisions"]
+
+
+def ground_truth_machines(
+    targets: np.ndarray,
+    machine_names: Sequence[str] = ("MI", "RR"),
+    threshold: float = 0.5,
+    min_monitors: int = 3,
+) -> List[Optional[str]]:
+    """Derive the true primary source per frame from substrate targets.
+
+    *targets* is ``(n_frames, n_monitors, n_machines)``.  A machine is
+    the true source when it holds the larger attributed mass and at least
+    ``min_monitors`` monitors attribute more than *threshold* to it;
+    otherwise the frame is healthy (``None``).
+    """
+    targets = np.asarray(targets, dtype=np.float64)
+    if targets.ndim != 3 or targets.shape[2] != len(machine_names):
+        raise ValueError(
+            f"targets must be (frames, monitors, {len(machine_names)}), "
+            f"got {targets.shape}"
+        )
+    truth: List[Optional[str]] = []
+    for frame in targets:
+        strong = (frame > threshold).sum(axis=0)
+        mass = frame.sum(axis=0)
+        winner = int(np.argmax(mass))
+        if strong[winner] >= min_monitors:
+            truth.append(machine_names[winner])
+        else:
+            truth.append(None)
+    return truth
+
+
+@dataclass(frozen=True)
+class DecisionScore:
+    """Aggregate decision quality.
+
+    ``confusion[(truth, decided)]`` counts frames (``None`` = no trip).
+    """
+
+    confusion: Dict[Tuple[Optional[str], Optional[str]], int]
+    accuracy: float
+    precision: Dict[str, float]
+    recall: Dict[str, float]
+    false_trip_rate: float
+
+    def summary(self) -> str:
+        """One-paragraph human-readable summary."""
+        per = ", ".join(
+            f"{m}: P={self.precision[m]:.2f}/R={self.recall[m]:.2f}"
+            for m in sorted(self.precision)
+        )
+        return (
+            f"accuracy {self.accuracy:.1%}; {per}; "
+            f"false-trip rate {self.false_trip_rate:.1%}"
+        )
+
+
+def score_decisions(decisions: Sequence[TripDecision],
+                    truth: Sequence[Optional[str]]) -> DecisionScore:
+    """Score *decisions* against ground-truth primary sources."""
+    if len(decisions) != len(truth):
+        raise ValueError(
+            f"{len(decisions)} decisions vs {len(truth)} truth labels"
+        )
+    confusion: Dict[Tuple[Optional[str], Optional[str]], int] = {}
+    machines = sorted({m for m in truth if m is not None}
+                      | {d.machine for d in decisions if d.machine})
+    for d, t in zip(decisions, truth):
+        key = (t, d.machine)
+        confusion[key] = confusion.get(key, 0) + 1
+    n = len(decisions)
+    hits = sum(c for (t, d), c in confusion.items() if t == d)
+    precision = {}
+    recall = {}
+    for m in machines:
+        decided_m = sum(c for (t, d), c in confusion.items() if d == m)
+        true_m = sum(c for (t, d), c in confusion.items() if t == m)
+        correct_m = confusion.get((m, m), 0)
+        precision[m] = correct_m / decided_m if decided_m else 1.0
+        recall[m] = correct_m / true_m if true_m else 1.0
+    healthy = sum(c for (t, _d), c in confusion.items() if t is None)
+    false_trips = sum(
+        c for (t, d), c in confusion.items() if t is None and d is not None
+    )
+    return DecisionScore(
+        confusion=confusion,
+        accuracy=hits / n if n else 1.0,
+        precision=precision,
+        recall=recall,
+        false_trip_rate=false_trips / healthy if healthy else 0.0,
+    )

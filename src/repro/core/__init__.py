@@ -1,0 +1,33 @@
+"""The paper's primary contribution as a library: ML/HLS co-design.
+
+The methodology of Section IV-D, programmatically:
+
+1. profile the trained float model on representative data,
+2. derive layer-based ``ac_fixed<16, x>`` precision from the profiles,
+3. tune reuse factors to trade latency for resources,
+4. check the three constraints — accuracy (within-0.20 ≥ floor),
+   resources (fits the Arria 10), latency (≤ 3 ms with system overhead) —
+5. deploy the winning design onto the simulated SoC and run the staged
+   verification flow.
+
+Entry points:
+
+* :class:`CodesignOptimizer` — evaluate/optimize design points,
+* :func:`deploy` — place a converted model on an Achilles board and
+  verify it,
+* :func:`codesign_and_deploy` — the one-call happy path used by the
+  quickstart example.
+"""
+
+from repro.core.codesign import CodesignOptimizer, CodesignResult, DesignConstraints
+from repro.core.deployment import Deployment, deploy
+from repro.core.api import codesign_and_deploy
+
+__all__ = [
+    "CodesignOptimizer",
+    "CodesignResult",
+    "DesignConstraints",
+    "Deployment",
+    "deploy",
+    "codesign_and_deploy",
+]

@@ -1,0 +1,35 @@
+"""One-call co-design + deployment (the quickstart path)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.codesign import CodesignOptimizer, CodesignResult, DesignConstraints
+from repro.core.deployment import Deployment, deploy
+from repro.nn.model import Model
+
+__all__ = ["codesign_and_deploy"]
+
+
+def codesign_and_deploy(
+    model: Model,
+    x_profile: np.ndarray,
+    constraints: Optional[DesignConstraints] = None,
+    eval_frames: int = 100,
+    verify_frames: int = 8,
+) -> Tuple[CodesignResult, Deployment]:
+    """Run the full paper pipeline for one trained model.
+
+    Profiles → layer-based precision → reuse tuning → constraint checks →
+    deployment on the simulated Achilles board → staged verification.
+    Returns the chosen design point and the verified deployment.
+    """
+    x_profile = np.asarray(x_profile, dtype=np.float64)
+    optimizer = CodesignOptimizer(model, x_profile, constraints,
+                                  eval_frames=eval_frames)
+    design = optimizer.optimize()
+    flat = x_profile[:verify_frames].reshape(verify_frames, -1)
+    deployment = deploy(model, design.hls_model, flat)
+    return design, deployment

@@ -1,0 +1,191 @@
+"""The ML/HLS co-design optimizer (paper Section IV-D).
+
+A *design point* is an :class:`~repro.hls.config.HLSConfig` (precision
+strategy + reuse factors).  :class:`CodesignOptimizer` evaluates design
+points against the three deployment constraints and implements the
+paper's search order:
+
+1. uniform 16-bit (cheap) — rejected for accuracy,
+2. uniform 18-bit (accurate) — rejected for resources,
+3. layer-based 16-bit from profiling — accepted,
+4. reuse-factor fallback: if the accepted design misses latency or
+   resources, walk the reuse ladder (paper: "As we manage resource usage
+   while trading off latency, we need to increase the reuse factor of
+   dense layers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.hls.config import HLSConfig
+from repro.hls.converter import convert
+from repro.hls.device import ARRIA10_660, Device
+from repro.hls.latency import LatencyReport, estimate_latency
+from repro.hls.model import HLSModel
+from repro.hls.precision import layer_based_config, uniform_config
+from repro.hls.profiling import profile_model
+from repro.hls.resources import ResourceReport, estimate_resources
+from repro.nn.model import Model
+from repro.verify.comparators import close_enough_accuracy
+
+__all__ = ["DesignConstraints", "CodesignResult", "CodesignOptimizer"]
+
+
+@dataclass(frozen=True)
+class DesignConstraints:
+    """The deployment envelope.
+
+    Defaults are the paper's: 3 ms end-to-end (we budget the measured
+    ≈0.15 ms system overhead on top of the IP), the within-0.20 accuracy
+    floor, and a full Arria 10 fit.
+    """
+
+    latency_budget_s: float = 3e-3
+    system_overhead_s: float = 0.15e-3
+    accuracy_floor: float = 0.98
+    device: Device = ARRIA10_660
+
+    def __post_init__(self):
+        if self.latency_budget_s <= 0 or self.system_overhead_s < 0:
+            raise ValueError("invalid latency budget/overhead")
+        if not 0.0 < self.accuracy_floor <= 1.0:
+            raise ValueError("accuracy_floor must be in (0, 1]")
+
+
+@dataclass
+class CodesignResult:
+    """One evaluated design point."""
+
+    config: HLSConfig
+    hls_model: HLSModel
+    accuracy: Dict[str, float]
+    latency: LatencyReport
+    resources: ResourceReport
+    constraints: DesignConstraints
+
+    @property
+    def accuracy_ok(self) -> bool:
+        return all(v >= self.constraints.accuracy_floor
+                   for v in self.accuracy.values())
+
+    @property
+    def latency_ok(self) -> bool:
+        total = self.latency.latency_s + self.constraints.system_overhead_s
+        return total <= self.constraints.latency_budget_s
+
+    @property
+    def resources_ok(self) -> bool:
+        return self.resources.fits
+
+    @property
+    def feasible(self) -> bool:
+        """All three constraints hold."""
+        return self.accuracy_ok and self.latency_ok and self.resources_ok
+
+    def describe(self) -> str:
+        """One-line verdict for logs and reports."""
+        acc = ", ".join(f"{k}={v:.1%}" for k, v in self.accuracy.items())
+        return (
+            f"{self.config.strategy}: acc[{acc}] "
+            f"ip={self.latency.latency_s * 1e3:.2f}ms "
+            f"alut={self.resources.alut_fraction:.0%} "
+            f"=> {'FEASIBLE' if self.feasible else 'infeasible'}"
+            f"{'' if self.accuracy_ok else ' (accuracy)'}"
+            f"{'' if self.latency_ok else ' (latency)'}"
+            f"{'' if self.resources_ok else ' (resources)'}"
+        )
+
+
+class CodesignOptimizer:
+    """Search precision/reuse design points for one trained model.
+
+    Parameters
+    ----------
+    model:
+        The trained float network.
+    x_profile:
+        Profiling/evaluation inputs, already shaped for the model.
+    constraints:
+        The deployment envelope.
+    eval_frames:
+        How many profile frames to use for accuracy evaluation (the
+        fixed-point forward pass is the expensive part of a design-point
+        evaluation).
+    """
+
+    def __init__(self, model: Model, x_profile: np.ndarray,
+                 constraints: Optional[DesignConstraints] = None,
+                 eval_frames: int = 200):
+        if eval_frames <= 0:
+            raise ValueError("eval_frames must be positive")
+        self.model = model
+        self.x_profile = np.asarray(x_profile, dtype=np.float64)
+        self.constraints = constraints or DesignConstraints()
+        self.eval_frames = min(eval_frames, self.x_profile.shape[0])
+        self._x_eval = self.x_profile[: self.eval_frames]
+        self._y_float = model.forward(self._x_eval)
+        #: profiles are reused across design points
+        self.profiles = profile_model(model, self.x_profile)
+        self.history: List[CodesignResult] = []
+
+    # ------------------------------------------------------------------
+    def evaluate(self, config: HLSConfig) -> CodesignResult:
+        """Convert + measure one design point (recorded in history)."""
+        hls_model = convert(self.model, config)
+        y_fixed = hls_model.predict(self._x_eval)
+        result = CodesignResult(
+            config=config,
+            hls_model=hls_model,
+            accuracy=close_enough_accuracy(self._y_float, y_fixed),
+            latency=estimate_latency(hls_model),
+            resources=estimate_resources(hls_model, self.constraints.device),
+            constraints=self.constraints,
+        )
+        self.history.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def candidate_configs(self) -> List[HLSConfig]:
+        """The paper's strategy ladder (uniform16, uniform18, layer-based)."""
+        return [
+            uniform_config(16, 7, model=self.model),
+            uniform_config(18, 10, model=self.model),
+            layer_based_config(self.model, self.x_profile,
+                               profiles=self.profiles),
+        ]
+
+    def optimize(self,
+                 reuse_ladder: Sequence[int] = (32, 64, 128, 256)) -> CodesignResult:
+        """Run the co-design search; returns the first feasible design.
+
+        Tries the strategy ladder; if the layer-based design misses
+        resources/latency, sweeps the default reuse factor up the ladder
+        (more serial, smaller) or down (more parallel, faster).
+
+        Raises ``RuntimeError`` when nothing feasible is found — the
+        caller should revisit the constraints, as a hardware team would.
+        """
+        best: Optional[CodesignResult] = None
+        for config in self.candidate_configs():
+            result = self.evaluate(config)
+            if result.feasible:
+                return result
+            if result.accuracy_ok:
+                best = result
+        if best is not None:
+            # Accuracy is solved; walk the reuse ladder for fit/latency.
+            for reuse in reuse_ladder:
+                config = layer_based_config(
+                    self.model, self.x_profile, profiles=self.profiles
+                ).with_reuse_factor(reuse)
+                result = self.evaluate(config)
+                if result.feasible:
+                    return result
+        raise RuntimeError(
+            "no feasible design point found; tried:\n"
+            + "\n".join(r.describe() for r in self.history)
+        )

@@ -1,0 +1,69 @@
+"""Deployment: place a design on the board and verify it."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hls.model import HLSModel
+from repro.nn.model import Model
+from repro.soc.board import AchillesBoard
+from repro.soc.trace import SignalTrace
+from repro.verify.flow import VerificationFlow
+from repro.verify.stages import StageResult
+
+__all__ = ["Deployment", "deploy"]
+
+
+@dataclass
+class Deployment:
+    """A verified design running on the simulated central node."""
+
+    model: Model
+    hls_model: HLSModel
+    board: AchillesBoard
+    verification: List[StageResult]
+
+    @property
+    def verified(self) -> bool:
+        """All verification stages passed."""
+        return bool(self.verification) and all(r.passed for r in self.verification)
+
+    @property
+    def system_latency_s(self) -> float:
+        """Deterministic step 1–8 latency (jitter excluded)."""
+        return self.board.deterministic_latency_s()
+
+    @property
+    def throughput_fps(self) -> float:
+        """Sustained free-running throughput (the paper's 575 fps metric)."""
+        return 1.0 / self.system_latency_s
+
+    def meets_requirement(self, deadline_s: float = 3e-3,
+                          required_fps: float = 320.0) -> bool:
+        """The deployment contract: 3 ms latency at 320 fps."""
+        return (self.system_latency_s <= deadline_s
+                and self.throughput_fps >= required_fps)
+
+
+def deploy(model: Model, hls_model: HLSModel,
+           x_verify: np.ndarray,
+           board: Optional[AchillesBoard] = None,
+           min_accuracy: float = 0.95) -> Deployment:
+    """Program the board with *hls_model* and run the verification flow.
+
+    Parameters
+    ----------
+    x_verify:
+        Frames ``(n, n_inputs)`` for the verification stages (a handful
+        of representative frames suffices; the paper's incremental flow
+        uses the same vectors at every stage).
+    """
+    board = board or AchillesBoard(hls_model, trace=SignalTrace())
+    flow = VerificationFlow(model, hls_model, board)
+    results = flow.run_all(np.asarray(x_verify, dtype=np.float64),
+                           min_accuracy=min_accuracy)
+    return Deployment(model=model, hls_model=hls_model, board=board,
+                      verification=results)

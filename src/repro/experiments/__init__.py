@@ -1,0 +1,23 @@
+"""Experiment harnesses — one module per paper table/figure.
+
+Every harness exposes ``run(fast=False) -> ExperimentResult`` and prints
+the same rows/series the paper reports.  ``fast=True`` shrinks the frame
+populations for CI-speed runs; the benchmark suite uses it, the CLI
+defaults to the full populations.
+
+==================  ===============================================
+module              reproduces
+==================  ===============================================
+``table1``          Table I  — cross-platform latency comparison
+``table2``          Table II — precision strategy trade-off
+``table3``          Table III — deployed model/system summary
+``fig3``            Fig 3    — CPU/GPU/FPGA latency, batch 1
+``fig5``            Fig 5a/b/c — accuracy vs bits, outliers, latency
+``ablations``       §IV-D    — reuse sweep, DMA vs MM, buffer sizing
+==================  ===============================================
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.registry import REGISTRY, get_experiment
+
+__all__ = ["ExperimentResult", "REGISTRY", "get_experiment"]

@@ -1,0 +1,365 @@
+"""Design-choice ablations called out in Section IV-D.
+
+* **Reuse-factor sweep** — the primary resource/latency trade-off knob:
+  higher reuse → fewer multipliers, longer latency.
+* **DMA vs memory-mapped bridge** — why the paper's small-frame workload
+  favours the MM host interface, including the crossover transfer size
+  where DMA starts winning.
+* **Buffer sizing** — on-chip stream buffer depth vs block-RAM cost (the
+  paper "empirically optimized … the data buffer size to pursue resource
+  trade-offs and perform deadlock mitigation").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, bundle, unet_profiles
+from repro.hls.converter import convert
+from repro.hls.latency import estimate_latency
+from repro.hls.precision import layer_based_config
+from repro.hls.resources import estimate_resources
+from repro.soc.avalon import HPS2FPGA_BRIDGE
+from repro.soc.dma import DMAEngine
+from repro.utils.tables import Table
+
+__all__ = ["run_reuse_sweep", "run_interface_comparison",
+           "run_buffer_sizing", "run_standardization_comparison",
+           "run_interface_style", "run_qat_comparison",
+           "run_pipelining_comparison"]
+
+REUSE_SWEEP = (8, 16, 32, 64, 128, 260)
+
+
+def run_reuse_sweep(fast: bool = False) -> ExperimentResult:
+    """IP latency and resources across the reuse-factor ladder."""
+    b = bundle()
+    t = Table(["Reuse factor", "IP latency (ms)", "ALUT %", "Mult units"],
+              title="Ablation: reuse factor — the resource/latency trade-off")
+    series_lat, series_alut = [], []
+    factors = REUSE_SWEEP[1:-1] if fast else REUSE_SWEEP
+    for reuse in factors:
+        config = layer_based_config(b.unet, None, profiles=unet_profiles())
+        config = config.with_reuse_factor(reuse)
+        hls_model = convert(b.unet, config)
+        lat = estimate_latency(hls_model)
+        res = estimate_resources(hls_model)
+        units = sum(res.per_layer_units.values())
+        t.add_row([reuse, f"{lat.latency_s * 1e3:.2f}",
+                   f"{res.alut_fraction * 100:.0f}", f"{units:,}"])
+        series_lat.append(lat.latency_s)
+        series_alut.append(res.alut_fraction)
+    notes = [
+        "shape: latency grows ~linearly with reuse while multiplier "
+        "count (and ALUT usage) shrinks ~1/reuse — the paper's stated "
+        "trade-off ('the higher the reuse factor, the less parallel the "
+        "implementation')",
+    ]
+    return ExperimentResult(
+        "ablation_reuse", t,
+        series={"reuse": np.array(factors, float),
+                "latency_s": np.array(series_lat),
+                "alut_fraction": np.array(series_alut)},
+        notes=notes,
+    )
+
+
+def run_interface_comparison(fast: bool = False) -> ExperimentResult:
+    """MM bridge vs DMA for the de-blending frame and larger transfers."""
+    dma = DMAEngine()
+    mm = HPS2FPGA_BRIDGE
+    t = Table(["Transfer (16-bit words)", "MM bridge (µs)", "DMA (µs)",
+               "Winner"],
+              title="Ablation: data transfer — memory-mapped bridge vs DMA")
+    sizes = (260, 520, 780, 2048, 8192, 65536)
+    crossover = None
+    series_mm, series_dma = [], []
+    for n in sizes:
+        # MM: HPS moves two 16-bit samples per 32-bit beat.
+        t_mm = mm.write_time((n + 1) // 2)
+        t_dma = dma.transfer_time(n * 2)
+        series_mm.append(t_mm)
+        series_dma.append(t_dma)
+        winner = "MM" if t_mm < t_dma else "DMA"
+        if winner == "DMA" and crossover is None:
+            crossover = n
+        t.add_row([n, f"{t_mm * 1e6:.1f}", f"{t_dma * 1e6:.1f}", winner])
+    # The deployed workload: 260 words in + 520 words out per frame.
+    frame_mm = mm.write_time(130) + mm.read_time(260)
+    frame_dma = dma.frame_round_trip(260, 520)
+    t.add_row(["frame (260 in + 520 out)",
+               f"{frame_mm * 1e6:.1f}", f"{frame_dma * 1e6:.1f}",
+               "MM" if frame_mm < frame_dma else "DMA"])
+    notes = [
+        f"de-blending frame: MM {frame_mm * 1e6:.0f} µs vs DMA "
+        f"{frame_dma * 1e6:.0f} µs — DMA's per-transfer setup dominates "
+        "at this size, which is the paper's Table I argument for the "
+        "Avalon MM host interface",
+        (f"DMA pays off beyond ≈{crossover:,} words one-way"
+         if crossover else "MM bridge wins at every measured size"),
+    ]
+    return ExperimentResult(
+        "ablation_interface", t,
+        series={"words": np.array(sizes, float),
+                "mm_s": np.array(series_mm), "dma_s": np.array(series_dma)},
+        notes=notes,
+    )
+
+
+def run_buffer_sizing(fast: bool = False) -> ExperimentResult:
+    """Stream-buffer depth multiplier vs block-RAM cost and deadlock
+    margin (deeper buffers tolerate more consumer stall before the
+    producer blocks)."""
+    from repro.hls.resources import CalibrationConstants
+
+    b = bundle()
+    config = layer_based_config(b.unet, None, profiles=unet_profiles())
+    hls_model = convert(b.unet, config)
+    t = Table(["Depth multiplier", "Block memory bits", "M20K blocks",
+               "Stall margin (cycles)"],
+              title="Ablation: on-chip stream buffer sizing")
+    mults = (1.0, 1.7, 2.5, 4.0)
+    bits, blocks = [], []
+    for m in mults:
+        cal = CalibrationConstants(stream_buffer_bits_multiplier=m)
+        res = estimate_resources(hls_model, calibration=cal)
+        # Stall margin: extra buffered positions × II of the slowest layer.
+        margin = int((m - 1.0) * 260 * 32)
+        t.add_row([m, f"{res.block_memory_bits:,}", f"{res.m20k_blocks:,}",
+                   f"{margin:,}"])
+        bits.append(res.block_memory_bits)
+        blocks.append(res.m20k_blocks)
+    notes = [
+        "shape: block-memory bits grow linearly with buffer depth while "
+        "the M20K *block* count is dominated by per-channel FIFO "
+        "granularity — matching the deployed design's 85% block usage at "
+        "only 58% bit utilization",
+    ]
+    return ExperimentResult(
+        "ablation_buffers", t,
+        series={"multiplier": np.array(mults),
+                "memory_bits": np.array(bits, float),
+                "m20k": np.array(blocks, float)},
+        notes=notes,
+    )
+
+
+def run_standardization_comparison(fast: bool = False) -> ExperimentResult:
+    """Section IV-D's algorithm-level choice: in-model batch-norm vs
+    standardize-before-training.
+
+    "the model was trained with the original data … using a Batch
+    Normalization Layer to perform the standardization.  This resulted in
+    poor accuracy given the tightly constrained range of the 16-bit
+    resource-aware quantization.  We then explored standardizing the data
+    before training, which improved accuracy to the desired levels."
+
+    Both variants are trained on the same substrate and quantized with
+    the same layer-based 16-bit strategy; only the standardization
+    placement differs.
+    """
+    from repro.experiments.common import bundle as _bundle
+    from repro.hls.profiling import profile_model
+    from repro.pretrained import load_reference_bundle
+    from repro.verify.comparators import close_enough_accuracy
+
+    b = load_reference_bundle(include_bn=True, train_if_missing=True)
+    ds = b.dataset
+    n = 150 if fast else 400
+    t = Table(["Training configuration", "Accuracy MI", "Accuracy RR",
+               "Input precision", "Quantization-critical format"],
+              title="Ablation: standardization placement (Section IV-D)")
+
+    # (a) deployed: standardized before training
+    xs = ds.unet_inputs(ds.x_eval[:n])
+    y_float = b.unet.forward(xs)
+    profiles = profile_model(b.unet, ds.unet_inputs(ds.x_train))
+    cfg = layer_based_config(b.unet, None, profiles=profiles)
+    acc_std = close_enough_accuracy(
+        y_float, convert(b.unet, cfg).predict(xs))
+    t.add_row(["standardize before training (deployed)",
+               f"{acc_std['MI']:.1%}", f"{acc_std['RR']:.1%}",
+               cfg.for_layer("blm_input").result.spec(),
+               "inputs span ±hundreds of noise sigma"])
+
+    # (b) first attempt: raw counts + in-model batch-norm
+    xr = ds.unet_inputs(ds.raw_eval[:n])
+    y_float_bn = b.unet_bn.forward(xr)
+    profiles_bn = profile_model(b.unet_bn, ds.unet_inputs(ds.raw_train[:400]))
+    cfg_bn = layer_based_config(b.unet_bn, None, profiles=profiles_bn)
+    acc_bn = close_enough_accuracy(
+        y_float_bn, convert(b.unet_bn, cfg_bn).predict(xr))
+    t.add_row(["batch-norm inside the model (first attempt)",
+               f"{acc_bn['MI']:.1%}", f"{acc_bn['RR']:.1%}",
+               cfg_bn.for_layer("blm_input").result.spec(),
+               f"BN scale ≈ 1/3000 under "
+               f"{cfg_bn.for_layer('input_bn').weight.spec()}"])
+
+    notes = [
+        "shape: the in-model batch-norm variant quantizes poorly "
+        f"({acc_bn['MI']:.0%}/{acc_bn['RR']:.0%}) because 16-bit formats "
+        "must simultaneously hold 10^5-scale raw counts and 10^-4-scale "
+        "normalisation weights; pre-standardisation restores "
+        f"{acc_std['MI']:.0%}/{acc_std['RR']:.0%} — the paper's stated "
+        "reason for switching",
+    ]
+    return ExperimentResult(
+        "ablation_standardization", t,
+        series={
+            "acc_std": np.array([acc_std["MI"], acc_std["RR"]]),
+            "acc_bn": np.array([acc_bn["MI"], acc_bn["RR"]]),
+        },
+        notes=notes,
+    )
+
+
+def run_interface_style(fast: bool = False) -> ExperimentResult:
+    """Section IV-B's wrapper decision: stock hls4ml streaming interface
+    vs the customized Avalon MM host interface, at the system level."""
+    from repro.experiments.common import converted
+    from repro.nn.zoo import build_mlp
+    from repro.hls.precision import uniform_config
+    from repro.soc.board import AchillesBoard
+    from repro.soc.streaming import StreamingInterfaceModel
+
+    b = bundle()
+    streaming = StreamingInterfaceModel()
+    t = Table(["Model", "MM host interface (ms)", "Streaming (ms)",
+               "Streaming penalty"],
+              title="Ablation: IP interface style — customized MM host "
+                    "vs stock hls4ml streaming")
+    rows = []
+    for label, hls_model in [
+        ("unet", converted("Layer-based Precision ac_fixed<16, x>")),
+        ("mlp", convert(b.mlp, uniform_config(16, 7, model=b.mlp))),
+    ]:
+        board = AchillesBoard(hls_model)
+        mm_s = board.deterministic_latency_s()
+        stream_s = streaming.system_latency_s(
+            board.ip.latency, board.ip.n_inputs, board.ip.n_outputs
+        )
+        penalty = stream_s / mm_s - 1.0
+        t.add_row([label, f"{mm_s * 1e3:.3f}", f"{stream_s * 1e3:.3f}",
+                   f"+{penalty:.0%}"])
+        rows.append((label, mm_s, stream_s))
+    notes = [
+        "shape: the MM host interface wins for both models — the "
+        "streaming wrapper makes the HPS feed/drain every word and poll "
+        "for completion, which is why the paper extended hls4ml with the "
+        "active memory-mapped interface (Section IV-B)",
+    ]
+    return ExperimentResult(
+        "ablation_interface_style", t,
+        series={
+            "mm_s": np.array([r[1] for r in rows]),
+            "stream_s": np.array([r[2] for r in rows]),
+        },
+        notes=notes,
+    )
+
+
+def run_qat_comparison(fast: bool = False) -> ExperimentResult:
+    """Extension beyond the paper: post-training quantization (PTQ, the
+    paper's method) vs quantization-aware fine-tuning (QAT, the QKeras-
+    style follow-on) at narrow widths, where PTQ degrades.
+
+    The U-Net is fine-tuned for a few epochs with quantized-weight
+    forward passes (straight-through estimator), then converted with the
+    same layer-based formats.  Accuracy is the paper's within-0.20
+    metric against each variant's own float reference.
+    """
+    import copy
+
+    from repro.nn.losses import BinaryCrossentropy
+    from repro.nn.optimizers import Adam
+    from repro.nn.qat import disable_qat, fine_tune_quantized
+    from repro.nn.serialization import save_weights, load_weights
+    from repro.nn.zoo import build_unet
+    from repro.verify.comparators import close_enough_accuracy
+
+    b = bundle()
+    ds = b.dataset
+    n_eval = 120 if fast else 300
+    n_train = 300 if fast else 600
+    widths = (10, 11) if fast else (10, 11, 12)
+    xe = ds.unet_inputs(ds.x_eval[:n_eval])
+    xt = ds.unet_inputs(ds.x_train[:n_train])
+
+    t = Table(["Total bits", "PTQ acc MI", "PTQ acc RR",
+               "QAT acc MI", "QAT acc RR"],
+              title="Extension: post-training vs quantization-aware "
+                    "training at narrow widths")
+    series_ptq, series_qat = [], []
+    y_float_ptq = b.unet.forward(xe)
+    for width in widths:
+        cfg = layer_based_config(b.unet, None, width=width,
+                                 profiles=unet_profiles())
+        # PTQ: straight conversion of the shipped model.
+        acc_ptq = close_enough_accuracy(
+            y_float_ptq, convert(b.unet, cfg).predict(xe))
+
+        # QAT: clone the trained model, fine-tune under the same formats.
+        clone = build_unet(seed=0)
+        clone.set_weights(b.unet.get_weights())
+        fine_tune_quantized(clone, xt, ds.y_train[:n_train],
+                            BinaryCrossentropy(), Adam(2e-4), spec=cfg,
+                            epochs=2, batch_size=32, seed=3)
+        y_float_qat = clone.forward(xe)
+        acc_qat = close_enough_accuracy(
+            y_float_qat, convert(clone, cfg).predict(xe))
+        t.add_row([width,
+                   f"{acc_ptq['MI']:.1%}", f"{acc_ptq['RR']:.1%}",
+                   f"{acc_qat['MI']:.1%}", f"{acc_qat['RR']:.1%}"])
+        series_ptq.append(min(acc_ptq.values()))
+        series_qat.append(min(acc_qat.values()))
+    notes = [
+        "shape: QAT recovers accuracy at widths where PTQ degrades — "
+        "the QKeras-style extension the paper's flow composes with",
+    ]
+    return ExperimentResult(
+        "ablation_qat", t,
+        series={"widths": np.array(widths, float),
+                "ptq_min_acc": np.array(series_ptq),
+                "qat_min_acc": np.array(series_qat)},
+        notes=notes,
+    )
+
+
+def run_pipelining_comparison(fast: bool = False) -> ExperimentResult:
+    """Extension beyond the paper: sequential processing (deployed) vs
+    ping-pong double buffering, which overlaps HPS transfers with IP
+    compute.  Latency per frame is identical; throughput improves toward
+    the bottleneck stage's rate."""
+    from repro.experiments.common import converted
+    from repro.hls.precision import uniform_config
+    from repro.soc.board import AchillesBoard
+
+    b = bundle()
+    t = Table(["Model", "Sequential (fps)", "Double-buffered (fps)",
+               "Gain", "Meets 320 fps"],
+              title="Extension: sequential vs double-buffered frame "
+                    "processing")
+    rows = []
+    for label, hls_model in [
+        ("unet", converted("Layer-based Precision ac_fixed<16, x>")),
+        ("mlp", convert(b.mlp, uniform_config(16, 7))),
+    ]:
+        board = AchillesBoard(hls_model)
+        seq = 1.0 / board.deterministic_latency_s()
+        piped = board.pipelined_throughput_fps()
+        t.add_row([label, f"{seq:.0f}", f"{piped:.0f}",
+                   f"+{piped / seq - 1:.0%}",
+                   "yes" if seq >= 320 else "only pipelined"])
+        rows.append((label, seq, piped))
+    notes = [
+        "shape: double buffering always helps and helps the MLP most "
+        "(its transfers rival its compute); the deployed sequential "
+        "U-Net already exceeds the 320 fps requirement, which is why "
+        "the paper did not need this extension",
+    ]
+    return ExperimentResult(
+        "ablation_pipelining", t,
+        series={"sequential_fps": np.array([r[1] for r in rows]),
+                "pipelined_fps": np.array([r[2] for r in rows])},
+        notes=notes,
+    )

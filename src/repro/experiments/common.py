@@ -1,0 +1,98 @@
+"""Shared infrastructure for the experiment harnesses.
+
+The expensive artefacts (the pre-trained bundle, layer profiles, the
+converted reference designs) are process-cached so a benchmark session
+that regenerates every table reuses one set of models — the same way
+every experiment in the paper ran against the one deployed bitstream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hls.config import HLSConfig
+from repro.hls.converter import convert
+from repro.hls.model import HLSModel
+from repro.hls.precision import layer_based_config, uniform_config
+from repro.hls.profiling import LayerProfile, profile_model
+from repro.pretrained import ReferenceBundle, load_reference_bundle
+from repro.utils.tables import Table
+
+__all__ = [
+    "ExperimentResult",
+    "bundle",
+    "unet_profiles",
+    "reference_configs",
+    "converted",
+    "eval_inputs",
+]
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one harness: a paper-style table plus figure series.
+
+    ``series`` maps a label to an array (a figure line/histogram);
+    ``notes`` carries the comparisons against the paper's published
+    values (mirrored into EXPERIMENTS.md).
+    """
+
+    name: str
+    table: Table
+    series: Dict[str, np.ndarray] = field(default_factory=dict)
+    notes: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Printable report: table + notes."""
+        parts = [self.table.render()]
+        if self.notes:
+            parts.append("")
+            parts.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(parts)
+
+
+@lru_cache(maxsize=1)
+def bundle(include_bn: bool = False) -> ReferenceBundle:
+    """The pre-trained reference bundle (cached)."""
+    return load_reference_bundle(include_bn=include_bn,
+                                 train_if_missing=True)
+
+
+@lru_cache(maxsize=1)
+def unet_profiles() -> Dict[str, LayerProfile]:
+    """Layer profiles of the reference U-Net on the training split."""
+    b = bundle()
+    return profile_model(b.unet, b.dataset.unet_inputs(b.dataset.x_train))
+
+
+def reference_configs() -> Dict[str, HLSConfig]:
+    """The paper's three precision strategies for the reference U-Net."""
+    b = bundle()
+    return {
+        "Uniform Precision ac_fixed<18, 10>": uniform_config(18, 10, model=b.unet),
+        "Uniform Precision ac_fixed<16, 7>": uniform_config(16, 7, model=b.unet),
+        "Layer-based Precision ac_fixed<16, x>": layer_based_config(
+            b.unet, None, profiles=unet_profiles()
+        ),
+    }
+
+
+@lru_cache(maxsize=16)
+def converted(strategy: str) -> HLSModel:
+    """Cached conversion of the reference U-Net under one strategy."""
+    configs = reference_configs()
+    if strategy not in configs:
+        raise KeyError(f"unknown strategy {strategy!r}; have {sorted(configs)}")
+    return convert(bundle().unet, configs[strategy])
+
+
+def eval_inputs(fast: bool = False) -> np.ndarray:
+    """Evaluation frames shaped for the U-Net (1,000 as in Fig 5a, or a
+    150-frame subset in fast mode)."""
+    ds = bundle().dataset
+    x = ds.unet_inputs(ds.x_eval)
+    return x[:150] if fast else x

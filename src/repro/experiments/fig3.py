@@ -1,0 +1,61 @@
+"""Fig 3 — system latency across models and platforms at batch size 1.
+
+Reproduces the preliminary platform study: both Keras models on CPU and
+GPU at batch 1 (plus the GPU's large-batch amortization, which motivates
+"GPUs are only efficient with large batches"), against the FPGA SoC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import ExperimentResult, bundle
+from repro.platforms import (
+    CPUPlatform,
+    FPGAPlatform,
+    GPUPlatform,
+    compare_platforms,
+    gpu_batch_sweep,
+)
+from repro.utils.tables import Table
+
+__all__ = ["run"]
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Fig 3's data (batch-1 bars + GPU batch sweep)."""
+    b = bundle()
+    platforms = [
+        CPUPlatform(),
+        GPUPlatform(),
+        FPGAPlatform(config=None),  # per-model uniform<16,7> default
+    ]
+    results = compare_platforms([b.mlp, b.unet], platforms, batch_size=1)
+
+    t = Table(["Model", "Platform", "Latency (ms)", "Meets 3 ms"],
+              title="Fig 3: System latency across models and platforms, "
+                    "batch size = 1")
+    series = {}
+    for r in results:
+        t.add_row([r.model_name, r.platform, f"{r.latency_s * 1e3:.3f}",
+                   "yes" if r.latency_s <= 3e-3 else "NO"])
+        series[f"{r.model_name}/{r.platform}"] = np.array([r.latency_s])
+
+    sweep = gpu_batch_sweep(b.unet)
+    series["unet/GPU per-frame vs batch"] = np.array(
+        [r.per_frame_s for r in sweep]
+    )
+    series["batch sizes"] = np.array([r.batch_size for r in sweep])
+
+    by_key = {(r.model_name, r.platform): r.latency_s for r in results}
+    fpga_name = FPGAPlatform.name
+    notes = [
+        "shape: FPGA SoC is the only platform meeting 3 ms for the U-Net "
+        f"(FPGA {by_key[('unet', fpga_name)] * 1e3:.2f} ms vs CPU "
+        f"{by_key[('unet', 'CPU (Keras)')] * 1e3:.2f} ms, GPU "
+        f"{by_key[('unet', 'GPU (Keras)')] * 1e3:.2f} ms at batch 1)",
+        "GPU ≈ CPU at batch 1; per-frame GPU cost falls to "
+        f"{sweep[-1].per_frame_s * 1e6:.1f} µs at batch "
+        f"{sweep[-1].batch_size} (µs-range, as the paper observes)",
+    ]
+    return ExperimentResult(name="fig3", table=t, series=series, notes=notes)

@@ -1,0 +1,58 @@
+"""Plain-text figure rendering for the CLI and examples.
+
+The environment has no plotting stack, so the figure harnesses render
+their series as unicode-free ASCII: line series become scaled bar rows,
+histograms become vertical bars.  Good enough to *see* Fig 3's ordering,
+Fig 5(a)'s monotone descent and Fig 5(c)'s tail in a terminal or a CI
+log.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ascii_series", "ascii_histogram"]
+
+
+def ascii_series(x: Sequence[float], y: Sequence[float],
+                 title: str = "", width: int = 50,
+                 x_label: str = "x", y_label: str = "y") -> str:
+    """Render ``y`` against ``x`` as one scaled bar per sample."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError(f"x and y must be equal-length 1-D, got "
+                         f"{x.shape} and {y.shape}")
+    if x.size == 0:
+        raise ValueError("empty series")
+    top = float(y.max())
+    lines = [title] if title else []
+    lines.append(f"{x_label:>10} | {y_label}")
+    for xi, yi in zip(x, y):
+        bar = "#" * (int(width * yi / top) if top > 0 else 0)
+        lines.append(f"{xi:>10.4g} | {bar} {yi:.4g}")
+    return "\n".join(lines)
+
+
+def ascii_histogram(values: Sequence[float], bins: int = 16,
+                    title: str = "", width: int = 50,
+                    unit_scale: float = 1.0,
+                    unit_label: str = "") -> str:
+    """Render a histogram of *values* (optionally scaled to a unit)."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("empty values")
+    if bins < 1:
+        raise ValueError(f"bins must be >= 1, got {bins}")
+    hist, edges = np.histogram(values, bins=bins)
+    top = hist.max()
+    lines = [title] if title else []
+    for lo, hi, count in zip(edges, edges[1:], hist):
+        bar = "#" * (int(width * count / top) if top > 0 else 0)
+        lines.append(
+            f"{lo * unit_scale:8.3f}-{hi * unit_scale:8.3f}{unit_label} "
+            f"| {bar} {count}"
+        )
+    return "\n".join(lines)

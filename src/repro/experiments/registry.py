@@ -1,0 +1,39 @@
+"""Experiment registry: name → harness callable."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import ablations, fig3, fig5, table1, table2, table3
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["REGISTRY", "get_experiment"]
+
+Harness = Callable[[bool], ExperimentResult]
+
+REGISTRY: Dict[str, Harness] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "fig3": fig3.run,
+    "fig5a": fig5.run_fig5a,
+    "fig5b": fig5.run_fig5b,
+    "fig5c": fig5.run_fig5c,
+    "ablation-reuse": ablations.run_reuse_sweep,
+    "ablation-interface": ablations.run_interface_comparison,
+    "ablation-buffers": ablations.run_buffer_sizing,
+    "ablation-standardization": ablations.run_standardization_comparison,
+    "ablation-interface-style": ablations.run_interface_style,
+    "ablation-qat": ablations.run_qat_comparison,
+    "ablation-pipelining": ablations.run_pipelining_comparison,
+}
+
+
+def get_experiment(name: str) -> Harness:
+    """Look up a harness; raises ``KeyError`` with the available names."""
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; available: {sorted(REGISTRY)}"
+        ) from None

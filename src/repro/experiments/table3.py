@@ -1,0 +1,83 @@
+"""Table III — deployed model / system summary.
+
+One table aggregating the deployed U-Net design: parameter count,
+precision strategy, reuse factors, system and IP latency, and the full
+resource row (ALMs, registers, block memory, RAM blocks, DSPs).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult, bundle, converted
+from repro.hls.latency import estimate_latency
+from repro.hls.resources import estimate_resources
+from repro.soc.board import AchillesBoard
+from repro.utils.tables import Table
+
+__all__ = ["run", "PAPER_VALUES"]
+
+#: Paper Table III rows for comparison notes.
+PAPER_VALUES = {
+    "params": 134_434,
+    "avg_system_latency_ms": 1.74,
+    "fpga_ip_latency_ms": 1.57,
+    "logic_alms": 223_674,
+    "logic_pct": 89,
+    "registers": 406_123,
+    "memory_bits": 25_275_808,
+    "memory_pct": 58,
+    "ram_blocks": 1_818,
+    "ram_pct": 85,
+    "dsp": 273,
+    "dsp_pct": 16,
+}
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Regenerate Table III for the deployed layer-based design."""
+    b = bundle()
+    hls_model = converted("Layer-based Precision ac_fixed<16, x>")
+    board = AchillesBoard(hls_model)
+    latency = estimate_latency(hls_model)
+    res = estimate_resources(hls_model)
+    jitter_mean = board.jitter.scale_s  # mean of the exponential part
+    system_ms = (board.deterministic_latency_s() + jitter_mean) * 1e3
+
+    t = Table(["System Properties", "U-Net Model"],
+              title="TABLE III: Model Summary")
+    t.add_row(["Trainable Parameters", f"{b.unet.count_params():,}"])
+    t.add_row(["Default Precision", "ac_fixed<16, 7>"])
+    t.add_row(["Precision Strategy", "Layer-based"])
+    t.add_row(["Default Reuse Factor",
+               hls_model.config.default.reuse_factor])
+    t.add_row(["Dense/Sigmoid Reuse Factor",
+               hls_model.config.for_layer("head_dense").reuse_factor])
+    t.add_row(["Average System Latency", f"{system_ms:.2f}ms"])
+    t.add_row(["FPGA U-Net Latency", f"{latency.latency_s * 1e3:.2f}ms"])
+    t.add_row(["Logic Utilization",
+               f"{res.alms:,} ({res.alm_fraction:.0%})"])
+    t.add_row(["Total Registers", f"{res.registers:,}"])
+    t.add_row(["Total Block Memory Bits",
+               f"{res.block_memory_bits:,} ({res.memory_bits_fraction:.0%})"])
+    t.add_row(["Total RAM Blocks",
+               f"{res.m20k_blocks:,} ({res.m20k_fraction:.0%})"])
+    t.add_row(["Total DSP Blocks",
+               f"{res.dsp_blocks:,} ({res.dsp_fraction:.0%})"])
+
+    p = PAPER_VALUES
+    notes = [
+        f"params: paper {p['params']:,} vs measured {b.unet.count_params():,} (exact)",
+        f"system latency: paper {p['avg_system_latency_ms']} ms vs "
+        f"measured {system_ms:.2f} ms",
+        f"IP latency: paper {p['fpga_ip_latency_ms']} ms vs measured "
+        f"{latency.latency_s * 1e3:.2f} ms",
+        f"ALMs: paper {p['logic_alms']:,} ({p['logic_pct']}%) vs measured "
+        f"{res.alms:,} ({res.alm_fraction:.0%})",
+        f"registers: paper {p['registers']:,} vs measured {res.registers:,}",
+        f"RAM blocks: paper {p['ram_blocks']:,} ({p['ram_pct']}%) vs "
+        f"measured {res.m20k_blocks:,} ({res.m20k_fraction:.0%})",
+        f"DSP: paper {p['dsp']} ({p['dsp_pct']}%) vs measured "
+        f"{res.dsp_blocks} ({res.dsp_fraction:.0%})",
+        f"throughput: paper 575 fps vs measured "
+        f"{1e3 / system_ms:.0f} fps (requirement: 320 fps)",
+    ]
+    return ExperimentResult(name="table3", table=t, notes=notes)

@@ -1,0 +1,35 @@
+"""Bit-accurate emulation of Intel ``ac_fixed`` arithmetic on numpy arrays.
+
+The paper quantizes the U-Net with Intel AC fixed-point datatypes
+(``ac_fixed<W, I>``: *W* total bits of which *I* are integer bits including
+the sign).  hls4ml emits those types into the generated C++ and the Intel
+HLS compiler simulates them bit-accurately; this package plays the same
+role in pure numpy:
+
+* :class:`FixedPointFormat` — the ``ac_fixed<W, I, signed>`` type with a
+  rounding mode (:class:`Rounding`) and overflow mode (:class:`Overflow`).
+* :func:`quantize` / :func:`to_raw` / :func:`from_raw` — vectorised
+  conversion between float arrays and fixed-point values (represented
+  either as floats exactly on the fixed-point grid, or as raw int64
+  bit patterns).
+* :class:`FixedArray` — an array wrapper carrying its format, with
+  full-precision ``+``/``*`` result-type widening rules matching AC types.
+
+Everything operates on whole arrays (scaled int64) — no Python-level
+per-element loops — per the repository's HPC ground rules.
+"""
+
+from repro.fixed.format import FixedPointFormat, Overflow, Rounding
+from repro.fixed.quantize import from_raw, quantization_error, quantize, to_raw
+from repro.fixed.array import FixedArray
+
+__all__ = [
+    "FixedPointFormat",
+    "Rounding",
+    "Overflow",
+    "quantize",
+    "to_raw",
+    "from_raw",
+    "quantization_error",
+    "FixedArray",
+]

@@ -1,0 +1,152 @@
+"""A fixed-point array type with AC-style result widening.
+
+:class:`FixedArray` bundles raw int64 data with its
+:class:`~repro.fixed.format.FixedPointFormat` and implements ``+``/``-``/
+``*`` with the AC datatype result-type rules, i.e. the result format is
+wide enough that the operation itself is exact:
+
+* addition:        ``I' = max(I1, I2) + 1``, ``F' = max(F1, F2)``
+* multiplication:  ``I' = I1 + I2``,        ``F' = F1 + F2``
+
+This mirrors what the HLS compiler instantiates in hardware before the
+final assignment narrows the result to the layer's declared output type.
+The narrowing step is :meth:`FixedArray.cast`.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.fixed.format import FixedPointFormat
+from repro.fixed.quantize import from_raw, to_raw
+
+__all__ = ["FixedArray"]
+
+
+def _add_format(a: FixedPointFormat, b: FixedPointFormat) -> FixedPointFormat:
+    signed = a.signed or b.signed
+    integer = max(a.integer, b.integer) + 1
+    frac = max(a.fractional, b.fractional)
+    return FixedPointFormat(
+        width=integer + frac, integer=integer, signed=signed,
+        rounding=a.rounding, overflow=a.overflow,
+    )
+
+
+def _mul_format(a: FixedPointFormat, b: FixedPointFormat) -> FixedPointFormat:
+    signed = a.signed or b.signed
+    integer = a.integer + b.integer
+    frac = a.fractional + b.fractional
+    return FixedPointFormat(
+        width=integer + frac, integer=integer, signed=signed,
+        rounding=a.rounding, overflow=a.overflow,
+    )
+
+
+class FixedArray:
+    """An ndarray of fixed-point numbers sharing one format.
+
+    Construct from floats with :meth:`from_float` (quantizing) or wrap raw
+    int64 data directly.  Arithmetic between two ``FixedArray`` operands is
+    exact (the result format widens); use :meth:`cast` to narrow back to a
+    storage format, which is where rounding/overflow happen — exactly the
+    dataflow of the generated HLS kernels.
+    """
+
+    __slots__ = ("raw", "format")
+
+    def __init__(self, raw: np.ndarray, fmt: FixedPointFormat):
+        raw = np.asarray(raw)
+        if raw.dtype != np.int64:
+            raise TypeError(f"raw must be int64, got {raw.dtype}")
+        self.raw = raw
+        self.format = fmt
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_float(cls, values: np.ndarray, fmt: FixedPointFormat) -> "FixedArray":
+        """Quantize float *values* into *fmt* and wrap the raw result."""
+        return cls(to_raw(values, fmt), fmt)
+
+    def to_float(self) -> np.ndarray:
+        """The represented real values, as float64."""
+        return from_raw(self.raw, self.format)
+
+    def cast(self, fmt: FixedPointFormat) -> "FixedArray":
+        """Narrow (or widen) to *fmt*, applying its rounding/overflow."""
+        if fmt == self.format:
+            return self
+        shift = fmt.fractional - self.format.fractional
+        if shift >= 0 and fmt.width >= self.format.width + shift:
+            # Pure widening: exact, no rounding needed.
+            return FixedArray(self.raw << shift if shift else self.raw.copy(), fmt)
+        return FixedArray.from_float(self.to_float(), fmt)
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self):
+        """Shape of the underlying array."""
+        return self.raw.shape
+
+    def __len__(self) -> int:
+        return len(self.raw)
+
+    def __getitem__(self, idx) -> "FixedArray":
+        return FixedArray(np.atleast_1d(self.raw[idx]), self.format)
+
+    # ------------------------------------------------------------------
+    def _coerce(self, other: Union["FixedArray", float, int]) -> "FixedArray":
+        if isinstance(other, FixedArray):
+            return other
+        return FixedArray.from_float(np.asarray(other, dtype=np.float64), self.format)
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        fmt = _add_format(self.format, other.format)
+        a = self.raw.astype(np.int64) << (fmt.fractional - self.format.fractional)
+        b = other.raw.astype(np.int64) << (fmt.fractional - other.format.fractional)
+        return FixedArray(a + b, fmt)
+
+    def __radd__(self, other):
+        return self.__add__(other)
+
+    def __neg__(self):
+        fmt = _add_format(self.format, self.format)
+        shift = fmt.fractional - self.format.fractional
+        return FixedArray(-(self.raw << shift), fmt)
+
+    def __sub__(self, other):
+        other = self._coerce(other)
+        fmt = _add_format(self.format, other.format)
+        a = self.raw.astype(np.int64) << (fmt.fractional - self.format.fractional)
+        b = other.raw.astype(np.int64) << (fmt.fractional - other.format.fractional)
+        return FixedArray(a - b, fmt)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        fmt = _mul_format(self.format, other.format)
+        if fmt.width > 62:
+            # Exact product would overflow int64; fall back to float math
+            # and quantize into the widest format we can represent.
+            fmt = fmt.with_(width=62, integer=min(fmt.integer, 40))
+            return FixedArray.from_float(self.to_float() * other.to_float(), fmt)
+        return FixedArray(self.raw * other.raw, fmt)
+
+    def __rmul__(self, other):
+        return self.__mul__(other)
+
+    # ------------------------------------------------------------------
+    def sum(self, axis=None) -> "FixedArray":
+        """Exact sum: widens the integer part by ``ceil(log2(n))`` bits."""
+        n = self.raw.size if axis is None else self.raw.shape[axis]
+        extra = max(1, int(np.ceil(np.log2(max(n, 2)))))
+        fmt = self.format.with_(
+            width=min(62, self.format.width + extra),
+            integer=self.format.integer + extra,
+        )
+        return FixedArray(np.sum(self.raw, axis=axis), fmt)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FixedArray({self.to_float()!r}, {self.format.spec()})"

@@ -1,0 +1,93 @@
+"""Vectorised float ↔ fixed-point conversion.
+
+The central operation is :func:`quantize`, which maps a float array onto
+the fixed-point grid of a :class:`~repro.fixed.format.FixedPointFormat`
+using its rounding and overflow modes and returns floats that are exactly
+representable in that format.  :func:`to_raw`/:func:`from_raw` expose the
+underlying scaled-integer (bit-pattern) view used by the SoC simulator's
+memory buffers.
+
+All operations are whole-array numpy; raw values are ``int64``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fixed.format import FixedPointFormat, Overflow, Rounding
+
+__all__ = ["quantize", "to_raw", "from_raw", "quantization_error"]
+
+
+def _round_raw(scaled: np.ndarray, mode: Rounding) -> np.ndarray:
+    """Round real-valued *scaled* (value / lsb) to integers per *mode*."""
+    if mode is Rounding.TRN:
+        return np.floor(scaled)
+    if mode is Rounding.RND:
+        # Round half toward +inf: floor(x + 0.5).
+        return np.floor(scaled + 0.5)
+    if mode is Rounding.RND_CONV:
+        # numpy's rint is round-half-to-even (convergent).
+        return np.rint(scaled)
+    if mode is Rounding.RND_ZERO:
+        # Round half toward zero.
+        return np.where(scaled >= 0, np.ceil(scaled - 0.5), np.floor(scaled + 0.5))
+    raise ValueError(f"unknown rounding mode: {mode!r}")
+
+
+def _overflow_raw(raw: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Apply the format's overflow behaviour to integer raw values."""
+    lo, hi = fmt.raw_min, fmt.raw_max
+    if fmt.overflow in (Overflow.SAT, Overflow.SAT_SYM):
+        return np.clip(raw, lo, hi)
+    if fmt.overflow is Overflow.WRAP:
+        span = 2**fmt.width
+        wrapped = np.mod(raw - lo, span) + lo
+        return wrapped
+    raise ValueError(f"unknown overflow mode: {fmt.overflow!r}")
+
+
+def to_raw(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Quantize float *values* to the raw scaled-integer representation.
+
+    The result is an ``int64`` array holding ``round(value / lsb)`` after
+    rounding and overflow handling; multiplying by ``fmt.lsb`` recovers the
+    representable float (see :func:`from_raw`).
+
+    Non-finite inputs are rejected: silicon has no NaN, and letting one
+    through would corrupt the wraparound arithmetic silently.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if not np.isfinite(arr).all():
+        raise ValueError("cannot quantize non-finite values")
+    scaled = arr / fmt.lsb
+    # Guard against float → int64 overflow before the cast: values this far
+    # outside the grid saturate (SAT) or are wrapped via fmod (WRAP).
+    limit = float(2**62)
+    if fmt.overflow is Overflow.WRAP:
+        span = float(2**fmt.width)
+        scaled = np.where(np.abs(scaled) >= limit, np.fmod(scaled, span), scaled)
+    else:
+        scaled = np.clip(scaled, -limit, limit)
+    raw = _round_raw(scaled, fmt.rounding).astype(np.int64)
+    return _overflow_raw(raw, fmt)
+
+
+def from_raw(raw: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Convert raw scaled-integer values back to floats (``raw * lsb``)."""
+    return np.asarray(raw, dtype=np.float64) * fmt.lsb
+
+
+def quantize(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Project float *values* onto *fmt*'s grid, returning floats.
+
+    Equivalent to assigning a ``double`` to an ``ac_fixed<W, I>`` variable
+    in the generated HLS C++ and reading it back.
+    """
+    return from_raw(to_raw(values, fmt), fmt)
+
+
+def quantization_error(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+    """Per-element error introduced by quantizing *values* into *fmt*."""
+    arr = np.asarray(values, dtype=np.float64)
+    return quantize(arr, fmt) - arr

@@ -1,0 +1,59 @@
+"""hls4ml analogue: NN → bit-accurate fixed-point HLS model.
+
+This package mirrors the role hls4ml + the Intel HLS compiler play in the
+paper's flow:
+
+* :class:`HLSConfig` — per-layer precision (``ac_fixed<W, I>``) and reuse
+  factors, with the paper's three strategies as constructors
+  (uniform, layer-based-from-profile).
+* :func:`convert` — translate a trained :class:`repro.nn.Model` into an
+  :class:`HLSModel` whose forward pass is bit-accurate fixed-point
+  (quantized weights, wrap-around or saturating overflow, LUT-based
+  sigmoid) — the exact thing the Intel HLS C-simulation computes.
+* :mod:`~repro.hls.profiling` — per-layer max-|value| profiling that
+  drives the layer-based precision optimizer (paper Section IV-D).
+* :mod:`~repro.hls.latency` — a cycle-level latency model of the
+  generated IP (reuse-factor semantics: II = reuse factor), calibrated
+  against the paper's measured 1.57 ms U-Net IP latency.
+* :mod:`~repro.hls.resources` — ALUT/ALM/DSP/BRAM estimation against an
+  Arria 10 device database.
+* :mod:`~repro.hls.codegen` — emits the C++-with-HLS-annotations project
+  hls4ml would write (never compiled here; structural artefact only).
+"""
+
+from repro.hls.config import HLSConfig, LayerConfig
+from repro.hls.converter import convert
+from repro.hls.model import HLSModel
+from repro.hls.profiling import LayerProfile, profile_model
+from repro.hls.precision import layer_based_config, uniform_config
+from repro.hls.latency import LatencyReport, estimate_latency
+from repro.hls.resources import ResourceReport, estimate_resources
+from repro.hls.device import ARRIA10_660, CYCLONE_V, Device
+from repro.hls.report import build_report
+from repro.hls.accum import apply_accum_inference, infer_accum_format
+from repro.hls.passes.fuse import convert_optimized
+from repro.hls.serialization import load_hls_model, save_hls_model
+
+__all__ = [
+    "HLSConfig",
+    "LayerConfig",
+    "convert",
+    "HLSModel",
+    "LayerProfile",
+    "profile_model",
+    "uniform_config",
+    "layer_based_config",
+    "LatencyReport",
+    "estimate_latency",
+    "ResourceReport",
+    "estimate_resources",
+    "Device",
+    "ARRIA10_660",
+    "CYCLONE_V",
+    "build_report",
+    "infer_accum_format",
+    "apply_accum_inference",
+    "convert_optimized",
+    "save_hls_model",
+    "load_hls_model",
+]

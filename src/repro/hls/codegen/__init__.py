@@ -1,0 +1,15 @@
+"""C++ project emission — the textual artefact of the hls4ml flow.
+
+The paper's flow has hls4ml "convert the U-Net Keras model to a C++
+project with HLS annotations", then hand-customizes the memory-mapped
+host interface before the Intel HLS compiler synthesizes it.  This
+package emits that project as text: parameter headers, quantized weight
+tables, the component function with Avalon MM host annotations and a
+reference testbench.  Nothing here is compiled (no Intel toolchain in
+this environment); the artefact exists so that the generated-code layer
+of the flow is inspectable and regression-testable.
+"""
+
+from repro.hls.codegen.cpp import emit_project, write_project
+
+__all__ = ["emit_project", "write_project"]

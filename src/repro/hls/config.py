@@ -1,0 +1,137 @@
+"""HLS conversion configuration: precision and reuse per layer.
+
+Follows hls4ml's config model: a global default plus per-layer overrides.
+Each layer gets
+
+* ``weight`` — format for weights/biases (quantized once at convert time),
+* ``result`` — format of the layer's output stream,
+* ``accum`` — accumulator format (defaults to a wide, safe format),
+* ``reuse_factor`` — how many times one multiplier is time-shared
+  (paper Section IV-D: "the higher the reuse factor, the less parallel
+  the implementation").
+
+The deployed design's values (Table III): default reuse 32, dense &
+sigmoid layers 260, default precision ``ac_fixed<16,7>`` with layer-based
+integer-bit overrides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.fixed import FixedPointFormat, Overflow, Rounding
+
+__all__ = ["LayerConfig", "HLSConfig", "DEFAULT_PRECISION", "DEFAULT_REUSE_FACTOR"]
+
+#: The paper's default precision (Table III).
+DEFAULT_PRECISION = FixedPointFormat(16, 7, rounding=Rounding.RND,
+                                     overflow=Overflow.WRAP)
+#: The paper's default reuse factor (Table III).
+DEFAULT_REUSE_FACTOR = 32
+
+#: Accumulators default to a wide format that cannot realistically
+#: overflow (hls4ml's behaviour when accum_t is left unset).
+WIDE_ACCUM = FixedPointFormat(54, 28, rounding=Rounding.TRN,
+                              overflow=Overflow.SAT)
+
+
+@dataclass(frozen=True)
+class LayerConfig:
+    """Per-layer HLS knobs (missing fields fall back to the model default)."""
+
+    weight: Optional[FixedPointFormat] = None
+    result: Optional[FixedPointFormat] = None
+    accum: Optional[FixedPointFormat] = None
+    reuse_factor: Optional[int] = None
+
+    def merged_over(self, default: "LayerConfig") -> "LayerConfig":
+        """This config with ``None`` fields taken from *default*."""
+        return LayerConfig(
+            weight=self.weight or default.weight,
+            result=self.result or default.result,
+            accum=self.accum or default.accum,
+            reuse_factor=self.reuse_factor
+            if self.reuse_factor is not None
+            else default.reuse_factor,
+        )
+
+
+@dataclass
+class HLSConfig:
+    """Model-wide conversion configuration.
+
+    Parameters
+    ----------
+    default:
+        Fallback :class:`LayerConfig`; its fields must all be set.
+    layers:
+        Per-layer-name overrides.
+    clock_hz:
+        Target clock (paper: 100 MHz).
+    strategy:
+        Free-form label used in reports ("uniform", "layer-based", ...).
+    """
+
+    default: LayerConfig = field(
+        default_factory=lambda: LayerConfig(
+            weight=DEFAULT_PRECISION,
+            result=DEFAULT_PRECISION,
+            accum=WIDE_ACCUM,
+            reuse_factor=DEFAULT_REUSE_FACTOR,
+        )
+    )
+    layers: Dict[str, LayerConfig] = field(default_factory=dict)
+    clock_hz: float = 100e6
+    strategy: str = "uniform"
+
+    def __post_init__(self):
+        for name in ("weight", "result", "accum"):
+            if getattr(self.default, name) is None:
+                raise ValueError(f"default.{name} must be set")
+        if self.default.reuse_factor is None or self.default.reuse_factor < 1:
+            raise ValueError("default.reuse_factor must be >= 1")
+        if self.clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {self.clock_hz}")
+
+    def for_layer(self, name: str) -> LayerConfig:
+        """The fully-resolved config for layer *name*."""
+        override = self.layers.get(name, LayerConfig())
+        return override.merged_over(self.default)
+
+    def set_layer(self, name: str, **kwargs) -> None:
+        """Set override fields for layer *name* (merging with existing)."""
+        current = self.layers.get(name, LayerConfig())
+        self.layers[name] = replace(current, **kwargs)
+
+    def with_reuse_factor(self, reuse: int, layer_names=None) -> "HLSConfig":
+        """Copy of this config with *reuse* applied globally or per layer."""
+        if reuse < 1:
+            raise ValueError(f"reuse factor must be >= 1, got {reuse}")
+        cfg = HLSConfig(
+            default=replace(self.default, reuse_factor=reuse)
+            if layer_names is None
+            else self.default,
+            layers=dict(self.layers),
+            clock_hz=self.clock_hz,
+            strategy=self.strategy,
+        )
+        if layer_names is not None:
+            for name in layer_names:
+                cfg.set_layer(name, reuse_factor=reuse)
+        return cfg
+
+    def describe(self) -> str:
+        """Human-readable dump used by the reports."""
+        lines = [
+            f"strategy={self.strategy} clock={self.clock_hz / 1e6:.0f}MHz",
+            f"default: weight={self.default.weight.spec()} "
+            f"result={self.default.result.spec()} reuse={self.default.reuse_factor}",
+        ]
+        for name in sorted(self.layers):
+            cfg = self.for_layer(name)
+            lines.append(
+                f"  {name}: weight={cfg.weight.spec()} result={cfg.result.spec()} "
+                f"reuse={cfg.reuse_factor}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,128 @@
+"""Keras-analogue → HLS conversion (the hls4ml ``convert_from_keras``
+equivalent).
+
+Walks the trained :class:`repro.nn.Model` graph in topological order and
+instantiates one :class:`~repro.hls.kernels.base.HLSKernel` per layer,
+quantizing weights with each layer's configured format.  Batch-norm
+layers are *fused* into a scale/shift kernel using their inference-time
+statistics, exactly as hls4ml does.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hls.config import HLSConfig
+from repro.hls.kernels import (
+    AvgPoolKernel,
+    BatchNormKernel,
+    ConcatKernel,
+    Conv1DKernel,
+    DenseKernel,
+    FlattenKernel,
+    InputKernel,
+    LinearKernel,
+    MaxPoolKernel,
+    ReLUKernel,
+    ReshapeKernel,
+    SigmoidKernel,
+    SoftmaxKernel,
+    TanhKernel,
+    UpSampleKernel,
+)
+from repro.hls.model import HLSModel
+from repro.nn.layer import Layer
+from repro.nn.layers.activations import Linear, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.layers.conv import Conv1D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.input import InputLayer
+from repro.nn.layers.merge import Concatenate
+from repro.nn.layers.normalization import BatchNormalization
+from repro.nn.layers.pooling import AveragePooling1D, MaxPooling1D
+from repro.nn.layers.reshape import Flatten, Reshape
+from repro.nn.layers.upsampling import UpSampling1D
+from repro.nn.model import Model
+
+__all__ = ["convert"]
+
+
+def _kernel_for(layer: Layer, config: HLSConfig, input_names, input_shapes):
+    """Instantiate the kernel matching *layer*'s type."""
+    cfg = config.for_layer(layer.name)
+    if isinstance(layer, Dense):
+        return DenseKernel(
+            layer.name, cfg, input_names, input_shapes,
+            kernel=layer.params["kernel"],
+            bias=layer.params.get("bias"),
+        )
+    if isinstance(layer, Conv1D):
+        return Conv1DKernel(
+            layer.name, cfg, input_names, input_shapes,
+            kernel=layer.params["kernel"],
+            bias=layer.params.get("bias"),
+            padding=layer.padding,
+        )
+    if isinstance(layer, BatchNormalization):
+        scale, shift = layer.inference_scale_shift()
+        return BatchNormKernel(layer.name, cfg, input_names, input_shapes,
+                               scale=scale, shift=shift)
+    if isinstance(layer, ReLU):
+        return ReLUKernel(layer.name, cfg, input_names, input_shapes)
+    if isinstance(layer, Sigmoid):
+        return SigmoidKernel(layer.name, cfg, input_names, input_shapes)
+    if isinstance(layer, Tanh):
+        return TanhKernel(layer.name, cfg, input_names, input_shapes)
+    if isinstance(layer, Softmax):
+        return SoftmaxKernel(layer.name, cfg, input_names, input_shapes)
+    if isinstance(layer, (Linear, Dropout)):
+        # Dropout is identity at inference; hls4ml drops it the same way.
+        return LinearKernel(layer.name, cfg, input_names, input_shapes)
+    if isinstance(layer, MaxPooling1D):
+        return MaxPoolKernel(layer.name, cfg, input_names, input_shapes,
+                             pool_size=layer.pool_size)
+    if isinstance(layer, AveragePooling1D):
+        return AvgPoolKernel(layer.name, cfg, input_names, input_shapes,
+                             pool_size=layer.pool_size)
+    if isinstance(layer, UpSampling1D):
+        return UpSampleKernel(layer.name, cfg, input_names, input_shapes,
+                              size=layer.size)
+    if isinstance(layer, Concatenate):
+        return ConcatKernel(layer.name, cfg, input_names, input_shapes)
+    if isinstance(layer, Flatten):
+        return FlattenKernel(layer.name, cfg, input_names, input_shapes)
+    if isinstance(layer, Reshape):
+        return ReshapeKernel(layer.name, cfg, input_names, input_shapes,
+                             target_shape=layer.target_shape)
+    raise TypeError(
+        f"no HLS kernel for layer type {type(layer).__name__} ({layer.name!r})"
+    )
+
+
+def convert(model: Model, config: Optional[HLSConfig] = None) -> HLSModel:
+    """Convert a trained network into its fixed-point HLS twin.
+
+    Parameters
+    ----------
+    model:
+        A built (and usually trained) :class:`repro.nn.Model` with a
+        single input and single output.
+    config:
+        Precision/reuse configuration; defaults to the paper's uniform
+        ``ac_fixed<16,7>`` with reuse factor 32.
+    """
+    config = config if config is not None else HLSConfig()
+    if len(model.inputs) != 1 or len(model.outputs) != 1:
+        raise ValueError("convert supports single-input single-output models")
+    kernels = []
+    for layer in model.layers:
+        if isinstance(layer, InputLayer):
+            kernels.append(
+                InputKernel(layer.name, config.for_layer(layer.name),
+                            shape=layer.shape)
+            )
+            continue
+        input_names = [ref.layer.name for ref in layer.inbound]
+        input_shapes = [ref.shape for ref in layer.inbound]
+        kernels.append(_kernel_for(layer, config, input_names, input_shapes))
+    return HLSModel(kernels, config, name=f"{model.name}_hls")

@@ -1,0 +1,100 @@
+"""FPGA device database.
+
+Capacities for the devices the paper's ecosystem touches.  The Arria 10
+entry is the Achilles instant-development-kit class part (Arria 10 SX/GX
+660); its capacities are chosen so that the paper's Table III utilization
+percentages (223,674 ALMs = 89 %, 1,818 M20K = 85 %, 273 DSP = 16 %,
+221 pins = 37 %, 3 PLL = 5 %) are consistent with this database — i.e.
+the utilization *ratios* printed by our reports use the same denominators
+the paper's Quartus fit did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Device", "ARRIA10_660", "CYCLONE_V", "PYNQ_Z2", "ZCU104"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """Capacity description of one FPGA (SoC fabric side).
+
+    ``aluts`` is combinational ALUTs (2 per ALM on Intel parts).
+    """
+
+    name: str
+    alms: int
+    aluts: int
+    registers: int
+    m20k_blocks: int
+    block_memory_bits: int
+    dsp_blocks: int
+    pins: int
+    plls: int
+
+    def __post_init__(self):
+        for field_name in ("alms", "aluts", "registers", "m20k_blocks",
+                           "block_memory_bits", "dsp_blocks", "pins", "plls"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+
+    def utilization(self, used: int, capacity: int) -> float:
+        """Utilization ratio (may exceed 1.0 for infeasible designs)."""
+        if used < 0:
+            raise ValueError(f"used must be >= 0, got {used}")
+        return used / capacity
+
+
+#: Achilles Arria 10 SoC module class device (SX 660 KBU2F40).
+#: Denominators back-solved from the paper's Table III percentages.
+ARRIA10_660 = Device(
+    name="Arria 10 SX 660 (Achilles)",
+    alms=251_320,             # 223,674 ALMs reported as 89 %
+    aluts=502_640,            # 2 ALUTs per ALM
+    registers=1_005_280,      # 4 registers per ALM
+    m20k_blocks=2_139,        # 1,818 blocks reported as 85 %
+    block_memory_bits=43_579_000,  # 25,275,808 bits reported as 58 %
+    dsp_blocks=1_706,         # 273 DSP reported as 16 %
+    pins=597,                 # 221 pins reported as 37 %
+    plls=60,                  # 3 PLLs reported as 5 %
+)
+
+#: The smaller Cyclone V the paper used for early sub-system bring-up.
+CYCLONE_V = Device(
+    name="Cyclone V SoC 5CSXFC6",
+    alms=41_910,
+    aluts=83_820,
+    registers=167_640,
+    m20k_blocks=557,
+    block_memory_bits=5_662_720,
+    dsp_blocks=112,
+    pins=288,
+    plls=15,
+)
+
+#: Comparison boards from Table I (Xilinx parts; ALM column approximated
+#: by LUT pairs for cross-vendor comparisons only).
+PYNQ_Z2 = Device(
+    name="PYNQ-Z2 (Zynq 7020)",
+    alms=26_600,
+    aluts=53_200,
+    registers=106_400,
+    m20k_blocks=140,
+    block_memory_bits=4_900_000,
+    dsp_blocks=220,
+    pins=125,
+    plls=4,
+)
+
+ZCU104 = Device(
+    name="ZCU104 (Zynq UltraScale+ XCZU7EV)",
+    alms=115_200,
+    aluts=230_400,
+    registers=460_800,
+    m20k_blocks=312,
+    block_memory_bits=11_000_000,
+    dsp_blocks=1_728,
+    pins=347,
+    plls=8,
+)

@@ -1,0 +1,53 @@
+"""Fixed-point layer kernels — the generated HLS firmware's C-sim twin.
+
+Each kernel owns its resolved :class:`~repro.hls.config.LayerConfig`
+(weight/accumulator/result formats plus reuse factor), pre-quantized
+weights, and a ``forward`` implementing exactly what the emitted C++
+computes: exact arithmetic on the fixed-point grid followed by casts into
+the accumulator and result formats (where rounding and wrap/saturation
+happen).  The latency and resource models read the same kernel objects,
+so accuracy, latency and resources always describe one consistent design
+point.
+"""
+
+from repro.hls.kernels.base import HLSKernel
+from repro.hls.kernels.linalg import BatchNormKernel, Conv1DKernel, DenseKernel
+from repro.hls.kernels.activation import (
+    LUT_RANGE,
+    LUT_SIZE,
+    ReLUKernel,
+    SigmoidKernel,
+    SoftmaxKernel,
+    TanhKernel,
+)
+from repro.hls.kernels.shape import (
+    AvgPoolKernel,
+    ConcatKernel,
+    FlattenKernel,
+    InputKernel,
+    LinearKernel,
+    MaxPoolKernel,
+    ReshapeKernel,
+    UpSampleKernel,
+)
+
+__all__ = [
+    "HLSKernel",
+    "DenseKernel",
+    "Conv1DKernel",
+    "BatchNormKernel",
+    "ReLUKernel",
+    "SigmoidKernel",
+    "TanhKernel",
+    "SoftmaxKernel",
+    "LUT_SIZE",
+    "LUT_RANGE",
+    "MaxPoolKernel",
+    "AvgPoolKernel",
+    "UpSampleKernel",
+    "ConcatKernel",
+    "FlattenKernel",
+    "ReshapeKernel",
+    "InputKernel",
+    "LinearKernel",
+]

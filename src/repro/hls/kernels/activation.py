@@ -1,0 +1,120 @@
+"""Activation kernels.
+
+ReLU is exact; the saturating activations follow hls4ml's lookup-table
+implementation: a ``LUT_SIZE``-entry table spanning ``±LUT_RANGE`` of the
+input axis, values pre-quantized into the layer's result format.  Inputs
+outside the range clamp to the table ends — exactly the saturation the
+real firmware exhibits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.hls.config import LayerConfig
+from repro.hls.kernels.base import HLSKernel, Shape
+
+__all__ = ["ReLUKernel", "SigmoidKernel", "TanhKernel", "SoftmaxKernel",
+           "LUT_SIZE", "LUT_RANGE"]
+
+#: hls4ml defaults: 1024-entry tables over [-8, 8).
+LUT_SIZE = 1024
+LUT_RANGE = 8.0
+
+
+class ReLUKernel(HLSKernel):
+    """``max(x, 0)`` then cast to the result format (exact comparator)."""
+
+    kind = "relu"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape]):
+        (in_shape,) = input_shapes
+        super().__init__(name, config, input_names, input_shapes, tuple(in_shape))
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return self._to_result(np.maximum(x, 0.0))
+
+
+class _TableActivation(HLSKernel):
+    """Shared LUT machinery for sigmoid/tanh."""
+
+    #: the float reference function; set by subclasses
+    _func = staticmethod(lambda x: x)
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape],
+                 table_size: int = LUT_SIZE, table_range: float = LUT_RANGE):
+        (in_shape,) = input_shapes
+        super().__init__(name, config, input_names, input_shapes, tuple(in_shape))
+        if table_size < 2:
+            raise ValueError(f"table_size must be >= 2, got {table_size}")
+        if table_range <= 0:
+            raise ValueError(f"table_range must be positive, got {table_range}")
+        self.table_size = int(table_size)
+        self.table_range = float(table_range)
+        # Table sampled at bin centres, pre-quantized to the result grid.
+        centers = (np.arange(self.table_size) + 0.5) * (
+            2 * self.table_range / self.table_size
+        ) - self.table_range
+        self.table = self._to_result(self._func(centers))
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        scale = self.table_size / (2 * self.table_range)
+        idx = np.floor((x + self.table_range) * scale).astype(np.int64)
+        np.clip(idx, 0, self.table_size - 1, out=idx)
+        return self.table[idx]
+
+    @property
+    def table_bits(self) -> int:
+        return self.table_size * self.config.result.width
+
+
+class SigmoidKernel(_TableActivation):
+    """LUT sigmoid — the IP's 520 output probabilities pass through this."""
+
+    kind = "sigmoid"
+    _func = staticmethod(lambda x: 1.0 / (1.0 + np.exp(-x)))
+
+
+class TanhKernel(_TableActivation):
+    """LUT tanh."""
+
+    kind = "tanh"
+    _func = staticmethod(np.tanh)
+
+
+class SoftmaxKernel(HLSKernel):
+    """LUT-exp softmax over the last axis (hls4ml's two-table scheme,
+    simplified to one exp table plus an exact normalising division)."""
+
+    kind = "softmax"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape],
+                 table_size: int = LUT_SIZE, table_range: float = LUT_RANGE):
+        (in_shape,) = input_shapes
+        super().__init__(name, config, input_names, input_shapes, tuple(in_shape))
+        self.table_size = int(table_size)
+        self.table_range = float(table_range)
+        centers = (np.arange(self.table_size) + 0.5) * (
+            2 * self.table_range / self.table_size
+        ) - self.table_range
+        self.exp_table = np.exp(centers)
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        z = x - np.max(x, axis=-1, keepdims=True)
+        scale = self.table_size / (2 * self.table_range)
+        idx = np.floor((z + self.table_range) * scale).astype(np.int64)
+        np.clip(idx, 0, self.table_size - 1, out=idx)
+        e = self.exp_table[idx]
+        return self._to_result(e / e.sum(axis=-1, keepdims=True))
+
+    @property
+    def table_bits(self) -> int:
+        return self.table_size * self.config.result.width

@@ -1,0 +1,132 @@
+"""Kernel base class and shared cast helpers."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fixed import quantize
+from repro.hls.config import LayerConfig
+
+__all__ = ["HLSKernel"]
+
+Shape = Tuple[int, ...]
+
+
+class HLSKernel:
+    """One layer of the generated firmware.
+
+    Parameters
+    ----------
+    name:
+        Layer name (matches the source :class:`repro.nn.Layer`).
+    config:
+        Fully-resolved :class:`LayerConfig` (no ``None`` fields).
+    input_names:
+        Names of producer kernels (``["__input__"]`` for the entry point).
+    input_shapes / output_shape:
+        Static shapes excluding batch.
+
+    Subclass contract
+    -----------------
+    ``forward(inputs)`` consumes float arrays already on the producers'
+    fixed-point grids and returns floats on this kernel's *result* grid.
+    The cost-model hooks (:attr:`n_mult_per_position`,
+    :attr:`sequence_positions`, :attr:`weight_words`, :attr:`table_bits`)
+    describe the hardware the kernel would instantiate.
+    """
+
+    #: short type tag used in reports and codegen ("dense", "conv1d", ...)
+    kind = "kernel"
+
+    def __init__(self, name: str, config: LayerConfig,
+                 input_names: Sequence[str],
+                 input_shapes: Sequence[Shape], output_shape: Shape):
+        for field_name in ("weight", "result", "accum", "reuse_factor"):
+            if getattr(config, field_name) is None:
+                raise ValueError(
+                    f"kernel {name!r} needs a fully-resolved LayerConfig "
+                    f"(missing {field_name})"
+                )
+        self.name = name
+        self.config = config
+        self.input_names = list(input_names)
+        self.input_shapes = [tuple(s) for s in input_shapes]
+        self.output_shape = tuple(output_shape)
+        #: quantized parameter arrays (values on the weight-format grid)
+        self.weights: Dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Fixed-point plumbing
+    # ------------------------------------------------------------------
+    def _to_accum(self, values: np.ndarray) -> np.ndarray:
+        """Cast an exact arithmetic result into the accumulator format."""
+        return quantize(values, self.config.accum)
+
+    def _to_result(self, values: np.ndarray) -> np.ndarray:
+        """Cast into the layer's result format (the stream datatype)."""
+        return quantize(values, self.config.result)
+
+    def quantize_weight(self, key: str, values: np.ndarray) -> np.ndarray:
+        """Quantize and register a parameter array under *key*."""
+        q = quantize(np.asarray(values, dtype=np.float64), self.config.weight)
+        self.weights[key] = q
+        return q
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Cost-model hooks (defaults: free routing layer)
+    # ------------------------------------------------------------------
+    @property
+    def sequence_positions(self) -> int:
+        """Outer loop trip count (sequence length; 1 for flat layers)."""
+        shape = self.output_shape
+        return int(shape[0]) if len(shape) >= 2 else 1
+
+    @property
+    def n_mult_per_position(self) -> int:
+        """Multiplications performed per outer-loop iteration."""
+        return 0
+
+    @property
+    def n_mult_total(self) -> int:
+        """Total multiplications per inference."""
+        return self.n_mult_per_position * self.sequence_positions
+
+    @property
+    def weight_words(self) -> int:
+        """Distinct weight words touched per inference (BRAM streaming)."""
+        return int(sum(w.size for w in self.weights.values()))
+
+    @property
+    def streams_weights(self) -> bool:
+        """True when weights are streamed from BRAM once per inference
+        (flat dense layers), making the layer memory-bandwidth bound."""
+        return False
+
+    @property
+    def table_bits(self) -> int:
+        """Bits of lookup-table ROM the kernel instantiates."""
+        return 0
+
+    @property
+    def output_elements(self) -> int:
+        """Number of scalar outputs per inference."""
+        return int(np.prod(self.output_shape))
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line summary used by reports."""
+        return (
+            f"{self.name} [{self.kind}] out={self.output_shape} "
+            f"result={self.config.result.spec()} reuse={self.config.reuse_factor}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.describe()}>"

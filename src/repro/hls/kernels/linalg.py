@@ -1,0 +1,154 @@
+"""Multiply-accumulate kernels: dense, conv1d, fused batch-norm.
+
+Arithmetic discipline (matching the AC-types dataflow the Intel HLS
+compiler simulates): inputs and weights sit exactly on their fixed-point
+grids, so products and sums computed in float64 are *exact* (a 16×16-bit
+product has 32 significant bits; accumulating ≲2¹⁴ of them stays well
+inside float64's 53-bit mantissa).  Quantization effects therefore enter
+only where hardware narrows the datapath: the cast into the accumulator
+format and the cast into the result format.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.hls.config import LayerConfig
+from repro.hls.kernels.base import HLSKernel, Shape
+
+__all__ = ["DenseKernel", "Conv1DKernel", "BatchNormKernel"]
+
+
+class DenseKernel(HLSKernel):
+    """``y = xW + b`` on the last axis.
+
+    Applied to a flat vector it is the classic hls4ml dense layer whose
+    weights stream from BRAM once per inference (memory-bandwidth bound —
+    this is what dominates the MLP IP's latency).  Applied to a
+    ``(length, channels)`` tensor it is the U-Net's pointwise head, whose
+    small weight set is reused across the 260 positions — the layer the
+    paper gives a dedicated reuse factor of 260.
+    """
+
+    kind = "dense"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape], kernel: np.ndarray,
+                 bias=None):
+        fan_in, units = kernel.shape
+        (in_shape,) = input_shapes
+        if int(in_shape[-1]) != fan_in:
+            raise ValueError(
+                f"dense {name!r}: input features {in_shape[-1]} != kernel fan_in {fan_in}"
+            )
+        output_shape = tuple(in_shape[:-1]) + (units,)
+        super().__init__(name, config, input_names, input_shapes, output_shape)
+        self.quantize_weight("kernel", kernel)
+        if bias is not None:
+            self.quantize_weight("bias", bias)
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        acc = x @ self.weights["kernel"]
+        if "bias" in self.weights:
+            acc = acc + self.weights["bias"]
+        return self._to_result(self._to_accum(acc))
+
+    @property
+    def n_mult_per_position(self) -> int:
+        k = self.weights["kernel"]
+        return int(k.shape[0] * k.shape[1])
+
+    @property
+    def streams_weights(self) -> bool:
+        # Flat dense (vector in, vector out): every weight read exactly
+        # once per inference → streamed from BRAM.
+        return len(self.output_shape) == 1
+
+
+class Conv1DKernel(HLSKernel):
+    """Same-/valid-padded 1-D convolution, stride 1.
+
+    Weights live in registers (they are reused at every sequence
+    position), so the layer is compute-bound: the cycle model charges
+    ``positions × reuse_factor``.
+    """
+
+    kind = "conv1d"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape], kernel: np.ndarray,
+                 bias=None, padding: str = "same"):
+        if padding not in ("same", "valid"):
+            raise ValueError(f"padding must be 'same' or 'valid', got {padding!r}")
+        k, channels, filters = kernel.shape
+        (in_shape,) = input_shapes
+        if int(in_shape[-1]) != channels:
+            raise ValueError(
+                f"conv {name!r}: input channels {in_shape[-1]} != kernel channels {channels}"
+            )
+        length = int(in_shape[0])
+        out_len = length if padding == "same" else length - k + 1
+        if out_len <= 0:
+            raise ValueError(f"conv {name!r}: kernel too large for input")
+        super().__init__(name, config, input_names, input_shapes,
+                         (out_len, filters))
+        self.padding = padding
+        self.kernel_size = k
+        self.quantize_weight("kernel", kernel)
+        if bias is not None:
+            self.quantize_weight("bias", bias)
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        k = self.kernel_size
+        if self.padding == "same":
+            total = k - 1
+            left = total // 2
+            x = np.pad(x, ((0, 0), (left, total - left), (0, 0)))
+        windows = sliding_window_view(x, k, axis=1)
+        acc = np.einsum("ntck,kcf->ntf", windows, self.weights["kernel"],
+                        optimize=True)
+        if "bias" in self.weights:
+            acc = acc + self.weights["bias"]
+        return self._to_result(self._to_accum(acc))
+
+    @property
+    def n_mult_per_position(self) -> int:
+        k = self.weights["kernel"]
+        return int(k.shape[0] * k.shape[1] * k.shape[2])
+
+
+class BatchNormKernel(HLSKernel):
+    """Inference batch-norm folded to ``y = scale·x + shift``.
+
+    hls4ml fuses the four batch-norm tensors into two constant vectors at
+    conversion time; the fused constants are what get quantized, so a
+    batch-norm that absorbed a 10⁵-magnitude input scale carries that
+    scale straight into its fixed-point parameters — the paper's
+    train-with-batch-norm failure mode.
+    """
+
+    kind = "batchnorm"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape], scale: np.ndarray,
+                 shift: np.ndarray):
+        (in_shape,) = input_shapes
+        if scale.shape != shift.shape or scale.shape[-1] != in_shape[-1]:
+            raise ValueError(f"batchnorm {name!r}: scale/shift shape mismatch")
+        super().__init__(name, config, input_names, input_shapes, tuple(in_shape))
+        self.quantize_weight("scale", scale)
+        self.quantize_weight("shift", shift)
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        acc = x * self.weights["scale"] + self.weights["shift"]
+        return self._to_result(self._to_accum(acc))
+
+    @property
+    def n_mult_per_position(self) -> int:
+        return int(self.output_shape[-1])

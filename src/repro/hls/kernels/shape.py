@@ -1,0 +1,174 @@
+"""Routing / structural kernels: pooling, up-sampling, concat, reshape,
+the input quantizer and the identity layer.
+
+These layers move values rather than compute with them; their only
+fixed-point effect is the cast into the consumer's stream format (e.g. a
+Concatenate whose two inputs arrive with different per-layer formats must
+align them onto one grid).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.hls.config import LayerConfig
+from repro.hls.kernels.base import HLSKernel, Shape
+
+__all__ = [
+    "InputKernel",
+    "LinearKernel",
+    "MaxPoolKernel",
+    "AvgPoolKernel",
+    "UpSampleKernel",
+    "ConcatKernel",
+    "FlattenKernel",
+    "ReshapeKernel",
+]
+
+
+class InputKernel(HLSKernel):
+    """Entry point: quantizes the float input frame onto the input-stream
+    grid — the write into the 16-bit on-chip input buffer."""
+
+    kind = "input"
+
+    def __init__(self, name: str, config: LayerConfig, shape: Shape):
+        super().__init__(name, config, ["__input__"], [tuple(shape)], tuple(shape))
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return self._to_result(np.asarray(x, dtype=np.float64))
+
+
+class LinearKernel(HLSKernel):
+    """Identity with a format cast (keras 'linear' activations)."""
+
+    kind = "linear"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape]):
+        (in_shape,) = input_shapes
+        super().__init__(name, config, input_names, input_shapes, tuple(in_shape))
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return self._to_result(x)
+
+
+class MaxPoolKernel(HLSKernel):
+    """Window maximum (exact comparators on grid values)."""
+
+    kind = "maxpool"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape], pool_size: int = 2):
+        if pool_size <= 1:
+            raise ValueError(f"pool_size must be >= 2, got {pool_size}")
+        (in_shape,) = input_shapes
+        out_len = int(in_shape[0]) // pool_size
+        super().__init__(name, config, input_names, input_shapes,
+                         (out_len, int(in_shape[1])))
+        self.pool_size = pool_size
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        n, length, c = x.shape
+        out_len = length // self.pool_size
+        trimmed = x[:, : out_len * self.pool_size, :]
+        pooled = trimmed.reshape(n, out_len, self.pool_size, c).max(axis=2)
+        return self._to_result(pooled)
+
+
+class AvgPoolKernel(HLSKernel):
+    """Window mean; the divide by pool_size is a right-shift for powers
+    of two, then a cast (where truncation happens)."""
+
+    kind = "avgpool"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape], pool_size: int = 2):
+        if pool_size <= 1:
+            raise ValueError(f"pool_size must be >= 2, got {pool_size}")
+        (in_shape,) = input_shapes
+        out_len = int(in_shape[0]) // pool_size
+        super().__init__(name, config, input_names, input_shapes,
+                         (out_len, int(in_shape[1])))
+        self.pool_size = pool_size
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        n, length, c = x.shape
+        out_len = length // self.pool_size
+        trimmed = x[:, : out_len * self.pool_size, :]
+        pooled = trimmed.reshape(n, out_len, self.pool_size, c).mean(axis=2)
+        return self._to_result(self._to_accum(pooled))
+
+
+class UpSampleKernel(HLSKernel):
+    """Nearest-neighbour repeat (pure routing)."""
+
+    kind = "upsample"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape], size: int = 2):
+        if size <= 1:
+            raise ValueError(f"size must be >= 2, got {size}")
+        (in_shape,) = input_shapes
+        super().__init__(name, config, input_names, input_shapes,
+                         (int(in_shape[0]) * size, int(in_shape[1])))
+        self.size = size
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return self._to_result(np.repeat(x, self.size, axis=1))
+
+
+class ConcatKernel(HLSKernel):
+    """Channel concatenation; aligns both skip-connection operands onto
+    this layer's stream format."""
+
+    kind = "concat"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape]):
+        head = input_shapes[0]
+        channels = sum(int(s[-1]) for s in input_shapes)
+        super().__init__(name, config, input_names, input_shapes,
+                         tuple(head[:-1]) + (channels,))
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        return self._to_result(np.concatenate(inputs, axis=-1))
+
+
+class FlattenKernel(HLSKernel):
+    """Row-major flatten (pure routing, no re-quantization needed but the
+    cast keeps the output on the declared result grid)."""
+
+    kind = "flatten"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape]):
+        (in_shape,) = input_shapes
+        super().__init__(name, config, input_names, input_shapes,
+                         (int(np.prod(in_shape)),))
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return self._to_result(x.reshape(x.shape[0], -1))
+
+
+class ReshapeKernel(HLSKernel):
+    """Static reshape."""
+
+    kind = "reshape"
+
+    def __init__(self, name: str, config: LayerConfig, input_names,
+                 input_shapes: Sequence[Shape], target_shape: Shape):
+        super().__init__(name, config, input_names, input_shapes,
+                         tuple(int(d) for d in target_shape))
+
+    def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
+        (x,) = inputs
+        return self._to_result(x.reshape((x.shape[0],) + self.output_shape))

@@ -1,0 +1,122 @@
+"""The converted fixed-point model.
+
+:class:`HLSModel` is the bit-accurate C-simulation twin of the generated
+IP core: an ordered DAG of :class:`~repro.hls.kernels.base.HLSKernel`
+objects.  ``predict`` runs a whole batch through the quantized datapath;
+``trace`` additionally returns every intermediate stream (the hook used
+by the verification flow and the outlier analysis of Fig 5b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.hls.config import HLSConfig
+from repro.hls.kernels.base import HLSKernel
+
+__all__ = ["HLSModel"]
+
+
+class HLSModel:
+    """Ordered kernels + their wiring.
+
+    Parameters
+    ----------
+    kernels:
+        Kernels in topological order; the first must be the input kernel
+        (``input_names == ["__input__"]``), the last produces the model
+        output.
+    config:
+        The :class:`HLSConfig` the model was converted with (kept for
+        reports).
+    name:
+        Model name, inherited from the source network.
+    """
+
+    def __init__(self, kernels: List[HLSKernel], config: HLSConfig,
+                 name: str = "hls_model"):
+        if not kernels:
+            raise ValueError("need at least one kernel")
+        if kernels[0].input_names != ["__input__"]:
+            raise ValueError("first kernel must be the model input")
+        names = [k.name for k in kernels]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate kernel names")
+        known = set()
+        for k in kernels:
+            for dep in k.input_names:
+                if dep != "__input__" and dep not in known:
+                    raise ValueError(
+                        f"kernel {k.name!r} depends on {dep!r} before it is defined"
+                    )
+            known.add(k.name)
+        self.kernels = list(kernels)
+        self.config = config
+        self.name = name
+        self._by_name = {k.name: k for k in kernels}
+
+    # ------------------------------------------------------------------
+    def get_kernel(self, name: str) -> HLSKernel:
+        """Kernel lookup by layer name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"no kernel named {name!r}") from None
+
+    @property
+    def input_shape(self):
+        """Input shape excluding batch."""
+        return self.kernels[0].input_shapes[0]
+
+    @property
+    def output_shape(self):
+        """Output shape excluding batch."""
+        return self.kernels[-1].output_shape
+
+    # ------------------------------------------------------------------
+    def _run(self, x: np.ndarray) -> Dict[str, np.ndarray]:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[1:] != tuple(self.input_shape):
+            raise ValueError(
+                f"expected input shape (n, {self.input_shape}), got {x.shape}"
+            )
+        values: Dict[str, np.ndarray] = {}
+        for kernel in self.kernels:
+            ins = [
+                x if dep == "__input__" else values[dep]
+                for dep in kernel.input_names
+            ]
+            values[kernel.name] = kernel.forward(ins)
+        return values
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Quantized inference over a batch ``(n, *input_shape)``."""
+        return self._run(x)[self.kernels[-1].name]
+
+    def trace(self, x: np.ndarray) -> Dict[str, np.ndarray]:
+        """Per-kernel output streams (keyed by layer name)."""
+        return self._run(x)
+
+    # ------------------------------------------------------------------
+    def count_weights(self) -> int:
+        """Total quantized parameter scalars."""
+        return sum(k.weight_words for k in self.kernels)
+
+    def total_multiplications(self) -> int:
+        """Total MACs per inference across all kernels."""
+        return sum(k.n_mult_total for k in self.kernels)
+
+    def summary(self) -> str:
+        """Per-kernel description dump."""
+        lines = [f"HLSModel: {self.name} (strategy={self.config.strategy})"]
+        lines.extend("  " + k.describe() for k in self.kernels)
+        lines.append(
+            f"  total weights={self.count_weights():,} "
+            f"MACs/inference={self.total_multiplications():,}"
+        )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<HLSModel {self.name!r}: {len(self.kernels)} kernels>"

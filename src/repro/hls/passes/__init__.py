@@ -1,0 +1,29 @@
+"""Graph optimization passes applied before kernel generation.
+
+Real hls4ml rewrites the Keras graph before emitting firmware; the two
+rewrites that matter for the paper's models are implemented here:
+
+* :func:`fuse_batchnorm` — fold a ``BatchNormalization`` that directly
+  follows a Dense/Conv1D layer into that layer's weights and bias, so
+  the normalisation costs zero hardware (the standalone batch-norm
+  kernel is only needed when the layer ordering prevents fusion, e.g.
+  the paper's batch-norm-standardizer variant where it follows the
+  input).
+* :func:`strip_linear` — remove identity (``Linear``) activations.
+
+Passes operate on a :class:`~repro.hls.passes.graph.LayerGraph`, a small
+mutable intermediate representation extracted from the immutable
+:class:`repro.nn.Model`; :func:`repro.hls.passes.apply_default_passes`
+runs the standard pipeline and reports what changed.
+"""
+
+from repro.hls.passes.graph import GraphNode, LayerGraph
+from repro.hls.passes.fuse import apply_default_passes, fuse_batchnorm, strip_linear
+
+__all__ = [
+    "LayerGraph",
+    "GraphNode",
+    "fuse_batchnorm",
+    "strip_linear",
+    "apply_default_passes",
+]

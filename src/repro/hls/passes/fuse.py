@@ -1,0 +1,127 @@
+"""The standard pass pipeline: batch-norm fusion + identity stripping.
+
+Fusion math: a Dense/Conv1D computing ``y = Wx + b`` followed by a
+batch-norm with folded affine ``z = s·y + t`` is equivalent to a single
+layer ``z = (s∘W)x + (s∘b + t)`` where the scale broadcasts over output
+channels.  The rewritten weights live in the IR node's ``params``; the
+conversion entry point :func:`convert_optimized` builds kernels from
+those rewritten parameters, so fused designs cost one kernel fewer and
+one multiply less per output.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.hls.config import HLSConfig
+from repro.hls.model import HLSModel
+from repro.hls.passes.graph import LayerGraph
+from repro.nn.layers.activations import Linear
+from repro.nn.layers.conv import Conv1D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.normalization import BatchNormalization
+from repro.nn.model import Model
+
+__all__ = ["fuse_batchnorm", "strip_linear", "apply_default_passes",
+           "convert_optimized"]
+
+
+def fuse_batchnorm(graph: LayerGraph) -> List[str]:
+    """Fold eligible batch-norms into their producer; returns the names
+    of the batch-norm nodes removed.
+
+    Eligible: the batch-norm's single parent is a Dense or Conv1D whose
+    output feeds *only* the batch-norm (no fan-out — fusing across a
+    skip connection would change the skip branch's values).
+    """
+    removed = []
+    for node in list(graph.nodes):
+        if not isinstance(node.layer, BatchNormalization):
+            continue
+        parent_name = node.parents[0]
+        if parent_name == "__input__":
+            continue  # input-standardizer batch-norm: not fusable
+        parent = graph.node(parent_name)
+        if not isinstance(parent.layer, (Dense, Conv1D)):
+            continue
+        if len(graph.consumers(parent_name)) != 1:
+            continue  # parent output fans out; fusion would corrupt it
+        scale, shift = node.layer.inference_scale_shift()
+        kernel = parent.params["kernel"]
+        # Dense kernels are (fan_in, units); conv kernels (k, cin, cout);
+        # the scale broadcasts over the last (output-channel) axis either
+        # way.
+        parent.params["kernel"] = kernel * scale
+        bias = parent.params.get("bias")
+        if bias is None:
+            bias = np.zeros(kernel.shape[-1])
+        parent.params["bias"] = bias * scale + shift
+        parent.notes.append(f"fused batchnorm {node.name}")
+        graph.remove_node(node.name)
+        removed.append(node.name)
+    return removed
+
+
+def strip_linear(graph: LayerGraph) -> List[str]:
+    """Remove identity activations; returns the removed node names."""
+    removed = []
+    for node in list(graph.nodes):
+        if isinstance(node.layer, Linear) and node.name != graph.output_name:
+            graph.remove_node(node.name)
+            removed.append(node.name)
+    return removed
+
+
+def apply_default_passes(graph: LayerGraph) -> List[str]:
+    """Run the standard pipeline; returns a human-readable change log."""
+    log = []
+    for name in fuse_batchnorm(graph):
+        log.append(f"fuse_batchnorm: removed {name}")
+    for name in strip_linear(graph):
+        log.append(f"strip_linear: removed {name}")
+    return log
+
+
+# ----------------------------------------------------------------------
+# Conversion of an optimized graph
+# ----------------------------------------------------------------------
+def convert_optimized(model: Model, config: Optional[HLSConfig] = None,
+                      ) -> Tuple[HLSModel, List[str]]:
+    """Convert *model* with the default passes applied first.
+
+    Returns ``(hls_model, change_log)``.  Produces fewer kernels than
+    :func:`repro.hls.converter.convert` whenever a batch-norm or identity
+    was removable, with bit-level behaviour differing only through the
+    fused weights' (single) quantization.
+    """
+    from repro.hls.converter import _kernel_for
+    from repro.hls.kernels import InputKernel
+    from repro.nn.layers.input import InputLayer
+
+    config = config if config is not None else HLSConfig()
+    graph = LayerGraph.from_model(model)
+    log = apply_default_passes(graph)
+
+    kernels = []
+    for node in graph:
+        if isinstance(node.layer, InputLayer):
+            kernels.append(InputKernel(
+                node.name, config.for_layer(node.name),
+                shape=node.layer.shape,
+            ))
+            continue
+        input_shapes = [
+            graph.node(p).output_shape for p in node.parents
+        ]
+        # Build the kernel from the layer *type* but the node's
+        # (possibly rewritten) parameters.
+        original = node.layer.params
+        node.layer.params = node.params
+        try:
+            kernels.append(_kernel_for(node.layer, config, node.parents,
+                                       input_shapes))
+        finally:
+            node.layer.params = original
+    return HLSModel(kernels, config, name=f"{model.name}_hls_opt"), log

@@ -1,0 +1,112 @@
+"""A small mutable layer-graph IR for the optimization passes.
+
+``LayerGraph.from_model`` snapshots a built :class:`repro.nn.Model` into
+nodes carrying the layer object, its parents and its static shape; the
+passes rewrite nodes (merging weights, deleting identities) and
+``LayerGraph.consumers``/``replace_node`` keep the wiring consistent.
+The rewritten graph is consumed by
+:func:`repro.hls.passes.fuse.convert_optimized`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.layer import Layer
+from repro.nn.layers.input import InputLayer
+from repro.nn.model import Model
+
+__all__ = ["GraphNode", "LayerGraph"]
+
+
+@dataclass
+class GraphNode:
+    """One layer occurrence in the IR.
+
+    ``params`` holds *copies* of the layer's parameter arrays so passes
+    can rewrite them without touching the trained model.
+    """
+
+    name: str
+    layer: Layer
+    parents: List[str]
+    output_shape: Tuple[int, ...]
+    params: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: free-form annotations left by passes ("fused: bn_1", ...)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        """Layer class name (the pass-matching key)."""
+        return type(self.layer).__name__
+
+
+class LayerGraph:
+    """Ordered, mutable mirror of a model's layer DAG."""
+
+    def __init__(self, nodes: List[GraphNode], model: Model):
+        self.nodes: List[GraphNode] = nodes
+        self.model = model
+        self._index = {n.name: n for n in nodes}
+        if len(self._index) != len(nodes):
+            raise ValueError("duplicate node names")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_model(cls, model: Model) -> "LayerGraph":
+        """Snapshot *model* into the IR (parameters copied)."""
+        nodes = []
+        for layer in model.layers:
+            parents = [ref.layer.name for ref in layer.inbound]
+            if isinstance(layer, InputLayer):
+                parents = ["__input__"]
+            nodes.append(GraphNode(
+                name=layer.name,
+                layer=layer,
+                parents=parents,
+                output_shape=tuple(layer.output_shape or ()),
+                params={k: v.copy() for k, v in layer.params.items()},
+            ))
+        return cls(nodes, model)
+
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> GraphNode:
+        """Node lookup by layer name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no node named {name!r}") from None
+
+    def consumers(self, name: str) -> List[GraphNode]:
+        """Nodes reading *name*'s output."""
+        return [n for n in self.nodes if name in n.parents]
+
+    def remove_node(self, name: str) -> None:
+        """Delete a single-parent node, rewiring consumers to its parent."""
+        node = self.node(name)
+        if len(node.parents) != 1:
+            raise ValueError(
+                f"can only remove single-parent nodes, {name!r} has "
+                f"{len(node.parents)}"
+            )
+        parent = node.parents[0]
+        for consumer in self.consumers(name):
+            consumer.parents = [
+                parent if p == name else p for p in consumer.parents
+            ]
+        self.nodes.remove(node)
+        del self._index[name]
+
+    @property
+    def output_name(self) -> str:
+        """Name of the graph's terminal node."""
+        return self.nodes[-1].name
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)

@@ -1,0 +1,129 @@
+"""Precision strategies: uniform vs layer-based (paper Table II).
+
+* :func:`uniform_config` — one ``ac_fixed<W, I>`` everywhere (the rows
+  "Uniform Precision ac_fixed<18,10>" and "ac_fixed<16,7>").
+* :func:`layer_based_config` — the paper's winning strategy: keep the
+  total width at ``W`` (16) but derive each layer's integer bits from its
+  profiled maximum absolute output, and each layer's weight integer bits
+  from its weight maxima ("Layer-based Precision ac_fixed<16, x>").
+
+Both apply the deployed design's reuse factors: default 32 with 260 on
+Dense and Sigmoid layers (paper Table III).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.fixed import FixedPointFormat, Overflow, Rounding
+from repro.hls.config import HLSConfig, LayerConfig, WIDE_ACCUM
+from repro.hls.profiling import LayerProfile, profile_model
+from repro.nn.layers.activations import Sigmoid
+from repro.nn.layers.dense import Dense
+from repro.nn.model import Model
+
+__all__ = ["uniform_config", "layer_based_config", "apply_reference_reuse"]
+
+#: Table III: "Default Reuse Factor 32; Dense/Sigmoid Reuse Factor 260".
+DEFAULT_REUSE = 32
+DENSE_SIGMOID_REUSE = 260
+
+
+def apply_reference_reuse(config: HLSConfig, model: Model,
+                          default_reuse: int = DEFAULT_REUSE,
+                          dense_sigmoid_reuse: int = DENSE_SIGMOID_REUSE) -> None:
+    """Set the paper's reuse factors on *config* (in place)."""
+    from dataclasses import replace
+
+    config.default = replace(config.default, reuse_factor=default_reuse)
+    for layer in model.layers:
+        if isinstance(layer, (Dense, Sigmoid)):
+            config.set_layer(layer.name, reuse_factor=dense_sigmoid_reuse)
+
+
+def uniform_config(width: int = 16, integer: int = 7,
+                   model: Optional[Model] = None,
+                   rounding: Rounding = Rounding.RND,
+                   overflow: Overflow = Overflow.WRAP,
+                   clock_hz: float = 100e6) -> HLSConfig:
+    """One format for every weight and every stream.
+
+    ``overflow`` defaults to WRAP — the silicon default, and the reason
+    the paper's uniform ``<16,7>`` row collapses to 16.7 % / 36.5 %
+    accuracy when burst frames exceed the ±64 range.
+    """
+    fmt = FixedPointFormat(width, integer, rounding=rounding, overflow=overflow)
+    config = HLSConfig(
+        default=LayerConfig(weight=fmt, result=fmt, accum=WIDE_ACCUM,
+                            reuse_factor=DEFAULT_REUSE),
+        clock_hz=clock_hz,
+        strategy=f"uniform<{width},{integer}>",
+    )
+    if model is not None:
+        apply_reference_reuse(config, model)
+    return config
+
+
+def _integer_bits_for(max_abs: float, margin_bits: int = 0) -> int:
+    """Integer bits (sign included) to hold values up to ``max_abs``."""
+    fmt = FixedPointFormat.for_range(max_abs, width=16, signed=True,
+                                     margin_bits=margin_bits)
+    return fmt.integer
+
+
+def layer_based_config(model: Model, x_profile: np.ndarray,
+                       width: int = 16, margin_bits: int = 0,
+                       profiles: Optional[Dict[str, LayerProfile]] = None,
+                       rounding: Rounding = Rounding.RND,
+                       overflow: Overflow = Overflow.WRAP,
+                       clock_hz: float = 100e6) -> HLSConfig:
+    """The paper's layer-based strategy, derived from profiling.
+
+    Parameters
+    ----------
+    model:
+        The trained float network.
+    x_profile:
+        Profiling dataset (the paper profiles on training data).
+    width:
+        Total bits per value — 16 in the deployed design.
+    margin_bits:
+        Extra integer headroom.  Fig 5(b)'s observation that "half of
+        these outliers could be mitigated by adding one extra bit to the
+        integer part" is reproduced by re-running with ``margin_bits=1``.
+    profiles:
+        Pre-computed profiles (skips the forward passes when provided).
+    """
+    if width < 2:
+        raise ValueError(f"width must be >= 2, got {width}")
+    if margin_bits < 0:
+        raise ValueError(f"margin_bits must be >= 0, got {margin_bits}")
+    if profiles is None:
+        profiles = profile_model(model, x_profile)
+    config = HLSConfig(
+        default=LayerConfig(
+            weight=FixedPointFormat(width, 7, rounding=rounding, overflow=overflow),
+            result=FixedPointFormat(width, 7, rounding=rounding, overflow=overflow),
+            accum=WIDE_ACCUM,
+            reuse_factor=DEFAULT_REUSE,
+        ),
+        clock_hz=clock_hz,
+        strategy=f"layer-based<{width},x>"
+        + (f"+{margin_bits}" if margin_bits else ""),
+    )
+    for layer in model.layers:
+        prof = profiles[layer.name]
+        result_int = _integer_bits_for(prof.max_abs_output, margin_bits)
+        result_fmt = FixedPointFormat(width, result_int,
+                                      rounding=rounding, overflow=overflow)
+        if layer.params:
+            weight_int = _integer_bits_for(prof.max_abs_weight, margin_bits)
+            weight_fmt = FixedPointFormat(width, weight_int,
+                                          rounding=rounding, overflow=overflow)
+        else:
+            weight_fmt = result_fmt
+        config.set_layer(layer.name, result=result_fmt, weight=weight_fmt)
+    apply_reference_reuse(config, model)
+    return config

@@ -1,0 +1,101 @@
+"""Combined build report — the analogue of hls4ml's report files.
+
+:func:`build_report` bundles the latency and resource estimates of one
+converted model into a printable summary shaped like the paper's
+Table III (model summary) rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hls.device import ARRIA10_660, Device
+from repro.hls.latency import LatencyReport, estimate_latency
+from repro.hls.model import HLSModel
+from repro.hls.resources import (
+    CalibrationConstants,
+    ResourceReport,
+    estimate_resources,
+)
+from repro.utils.tables import Table
+
+__all__ = ["BuildReport", "build_report"]
+
+
+@dataclass(frozen=True)
+class BuildReport:
+    """Latency + resources + configuration for one design point."""
+
+    model_name: str
+    strategy: str
+    latency: LatencyReport
+    resources: ResourceReport
+    model: Optional[HLSModel] = None
+
+    @property
+    def ip_latency_ms(self) -> float:
+        """IP-core latency in milliseconds."""
+        return self.latency.latency_s * 1e3
+
+    def layer_table(self) -> Table:
+        """Per-layer breakdown: cycles, multiplier units, formats —
+        the co-design view of where time and area go."""
+        t = Table(["Layer", "Kind", "Cycles", "Mult units", "Result type",
+                   "Reuse"])
+        kernels = {k.name: k for k in self.model.kernels} if self.model else {}
+        for name, cycles in self.latency.per_layer_cycles.items():
+            units = self.resources.per_layer_units.get(name, 0)
+            k = kernels.get(name)
+            t.add_row([
+                name,
+                k.kind if k else "",
+                f"{cycles:,}",
+                units,
+                k.config.result.spec() if k else "",
+                k.config.reuse_factor if k else "",
+            ])
+        return t
+
+    def summary_table(self) -> Table:
+        """Render a Table III-style model summary."""
+        t = Table(["System Properties", self.model_name])
+        r = self.resources
+        d = r.device
+        t.add_row(["Strategy", self.strategy])
+        t.add_row(["FPGA IP Latency", f"{self.ip_latency_ms:.2f} ms"])
+        t.add_row(["IP cycles", f"{self.latency.total_cycles:,}"])
+        t.add_row([
+            "Logic Utilization (ALMs)",
+            f"{r.alms:,} ({r.alm_fraction:.0%})",
+        ])
+        t.add_row(["Total Registers", f"{r.registers:,}"])
+        t.add_row([
+            "Total Block Memory Bits",
+            f"{r.block_memory_bits:,} ({r.memory_bits_fraction:.0%})",
+        ])
+        t.add_row([
+            "Total RAM Blocks",
+            f"{r.m20k_blocks:,} ({r.m20k_fraction:.0%})",
+        ])
+        t.add_row([
+            "Total DSP Blocks",
+            f"{r.dsp_blocks:,} ({r.dsp_fraction:.0%})",
+        ])
+        t.add_row(["Device", d.name])
+        return t
+
+
+def build_report(
+    model: HLSModel,
+    device: Device = ARRIA10_660,
+    calibration: Optional[CalibrationConstants] = None,
+) -> BuildReport:
+    """Run both estimators on *model* and bundle the results."""
+    return BuildReport(
+        model_name=model.name,
+        strategy=model.config.strategy,
+        latency=estimate_latency(model),
+        resources=estimate_resources(model, device, calibration),
+        model=model,
+    )

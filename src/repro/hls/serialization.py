@@ -1,0 +1,189 @@
+"""Persisting converted HLS models.
+
+A converted :class:`~repro.hls.model.HLSModel` is a deployment artefact:
+quantized weights plus per-layer formats and reuse factors.  This module
+saves and restores it *without the float model*, the way a bitstream +
+its build report outlive the training environment.
+
+Format: one ``.npz`` holding every kernel's quantized weights as raw
+int64 words plus a JSON architecture/configuration blob.  Loading
+reconstructs kernels directly, and a round-tripped model is bit-exact:
+``loaded.predict(x) == original.predict(x)`` for every input.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.fixed import FixedPointFormat, Overflow, Rounding, from_raw, to_raw
+from repro.hls.config import HLSConfig, LayerConfig
+from repro.hls.kernels import (
+    AvgPoolKernel,
+    BatchNormKernel,
+    ConcatKernel,
+    Conv1DKernel,
+    DenseKernel,
+    FlattenKernel,
+    InputKernel,
+    LinearKernel,
+    MaxPoolKernel,
+    ReLUKernel,
+    ReshapeKernel,
+    SigmoidKernel,
+    SoftmaxKernel,
+    TanhKernel,
+    UpSampleKernel,
+)
+from repro.hls.model import HLSModel
+
+__all__ = ["save_hls_model", "load_hls_model"]
+
+PathLike = Union[str, os.PathLike]
+
+_KERNEL_CLASSES = {
+    cls.kind: cls
+    for cls in (
+        InputKernel, DenseKernel, Conv1DKernel, BatchNormKernel,
+        ReLUKernel, SigmoidKernel, TanhKernel, SoftmaxKernel,
+        LinearKernel, MaxPoolKernel, AvgPoolKernel, UpSampleKernel,
+        ConcatKernel, FlattenKernel, ReshapeKernel,
+    )
+}
+
+
+def _fmt_to_json(fmt: FixedPointFormat) -> Dict:
+    return {
+        "width": fmt.width,
+        "integer": fmt.integer,
+        "signed": fmt.signed,
+        "rounding": fmt.rounding.value,
+        "overflow": fmt.overflow.value,
+    }
+
+
+def _fmt_from_json(blob: Dict) -> FixedPointFormat:
+    return FixedPointFormat(
+        width=blob["width"], integer=blob["integer"], signed=blob["signed"],
+        rounding=Rounding(blob["rounding"]), overflow=Overflow(blob["overflow"]),
+    )
+
+
+def _layer_config_to_json(cfg: LayerConfig) -> Dict:
+    return {
+        "weight": _fmt_to_json(cfg.weight),
+        "result": _fmt_to_json(cfg.result),
+        "accum": _fmt_to_json(cfg.accum),
+        "reuse_factor": cfg.reuse_factor,
+    }
+
+
+def _layer_config_from_json(blob: Dict) -> LayerConfig:
+    return LayerConfig(
+        weight=_fmt_from_json(blob["weight"]),
+        result=_fmt_from_json(blob["result"]),
+        accum=_fmt_from_json(blob["accum"]),
+        reuse_factor=blob["reuse_factor"],
+    )
+
+
+def _kernel_extras(kernel) -> Dict:
+    """Constructor arguments beyond the common ones."""
+    extras: Dict = {}
+    if isinstance(kernel, Conv1DKernel):
+        extras["padding"] = kernel.padding
+    elif isinstance(kernel, (MaxPoolKernel, AvgPoolKernel)):
+        extras["pool_size"] = kernel.pool_size
+    elif isinstance(kernel, UpSampleKernel):
+        extras["size"] = kernel.size
+    elif isinstance(kernel, (SigmoidKernel, TanhKernel, SoftmaxKernel)):
+        extras["table_size"] = kernel.table_size
+        extras["table_range"] = kernel.table_range
+    elif isinstance(kernel, ReshapeKernel):
+        extras["target_shape"] = list(kernel.output_shape)
+    return extras
+
+
+def save_hls_model(model: HLSModel, path: PathLike) -> None:
+    """Serialize *model* (weights as raw fixed-point words + JSON arch)."""
+    arch: List[Dict] = []
+    arrays: Dict[str, np.ndarray] = {}
+    for kernel in model.kernels:
+        entry = {
+            "name": kernel.name,
+            "kind": kernel.kind,
+            "input_names": kernel.input_names,
+            "input_shapes": [list(s) for s in kernel.input_shapes],
+            "output_shape": list(kernel.output_shape),
+            "config": _layer_config_to_json(kernel.config),
+            "extras": _kernel_extras(kernel),
+            "weights": {},
+        }
+        for key, values in kernel.weights.items():
+            array_key = f"{kernel.name}/{key}"
+            arrays[array_key] = to_raw(values, kernel.config.weight)
+            entry["weights"][key] = {
+                "array": array_key,
+                "shape": list(values.shape),
+            }
+        arch.append(entry)
+    meta = {
+        "name": model.name,
+        "strategy": model.config.strategy,
+        "clock_hz": model.config.clock_hz,
+        "default": _layer_config_to_json(
+            model.config.for_layer("__default__")
+        ),
+        "arch": arch,
+    }
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez_compressed(path, **arrays)
+
+
+def load_hls_model(path: PathLike) -> HLSModel:
+    """Reconstruct a model saved by :func:`save_hls_model` (bit-exact)."""
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["__meta__"]).decode("utf-8"))
+        arrays = {k: data[k] for k in data.files if k != "__meta__"}
+
+    default_cfg = _layer_config_from_json(meta["default"])
+    config = HLSConfig(default=default_cfg, clock_hz=meta["clock_hz"],
+                       strategy=meta["strategy"])
+    kernels = []
+    for entry in meta["arch"]:
+        cfg = _layer_config_from_json(entry["config"])
+        config.layers[entry["name"]] = cfg
+        cls = _KERNEL_CLASSES[entry["kind"]]
+        kwargs = dict(entry["extras"])
+        weight_arrays = {}
+        for key, w in entry["weights"].items():
+            raw = arrays[entry["weights"][key]["array"]]
+            weight_arrays[key] = from_raw(raw, cfg.weight).reshape(
+                entry["weights"][key]["shape"]
+            )
+        input_shapes = [tuple(s) for s in entry["input_shapes"]]
+        if cls is InputKernel:
+            kernel = InputKernel(entry["name"], cfg,
+                                 shape=tuple(entry["output_shape"]))
+        elif cls in (DenseKernel, Conv1DKernel):
+            kernel = cls(entry["name"], cfg, entry["input_names"],
+                         input_shapes, kernel=weight_arrays["kernel"],
+                         bias=weight_arrays.get("bias"), **kwargs)
+        elif cls is BatchNormKernel:
+            kernel = cls(entry["name"], cfg, entry["input_names"],
+                         input_shapes, scale=weight_arrays["scale"],
+                         shift=weight_arrays["shift"])
+        elif cls is ReshapeKernel:
+            kernel = cls(entry["name"], cfg, entry["input_names"],
+                         input_shapes,
+                         target_shape=tuple(kwargs.pop("target_shape")))
+        else:
+            kernel = cls(entry["name"], cfg, entry["input_names"],
+                         input_shapes, **kwargs)
+        kernels.append(kernel)
+    return HLSModel(kernels, config, name=meta["name"])

@@ -1,0 +1,86 @@
+"""A minimal Keras-like neural-network framework on numpy.
+
+The paper trains its U-Net and MLP in Keras; since no deep-learning
+framework is available offline, this package provides the subset of Keras
+the paper needs, implemented from scratch with vectorised numpy:
+
+* functional-graph models with skip connections (:class:`Model`),
+* layers: :class:`Input`, :class:`Dense`, :class:`Conv1D`,
+  :class:`MaxPooling1D`, :class:`AveragePooling1D`, :class:`UpSampling1D`,
+  :class:`Concatenate`, :class:`BatchNormalization`, :class:`Flatten`,
+  :class:`Reshape` and the activations :class:`ReLU`, :class:`Sigmoid`,
+  :class:`Softmax`, :class:`Linear`,
+* full reverse-mode differentiation through the graph,
+* losses, metrics, SGD/Adam optimizers and a training loop,
+* weight (de)serialisation,
+* a model zoo (:mod:`repro.nn.zoo`) with builders reproducing the paper's
+  exact architectures and parameter counts.
+
+Shapes follow Keras conventions: batch first, channels last; e.g. a BLM
+frame enters the U-Net as ``(batch, 260, 1)``.
+"""
+
+from repro.nn.layer import Layer, TensorRef
+from repro.nn.layers.input import Input, InputLayer
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.conv import Conv1D
+from repro.nn.layers.pooling import AveragePooling1D, MaxPooling1D
+from repro.nn.layers.upsampling import UpSampling1D
+from repro.nn.layers.merge import Add, Concatenate
+from repro.nn.layers.normalization import BatchNormalization
+from repro.nn.layers.reshape import Flatten, Reshape
+from repro.nn.layers.dropout import Dropout
+from repro.nn.layers.activations import Linear, ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.model import Model
+from repro.nn.losses import (
+    BinaryCrossentropy,
+    Loss,
+    MeanAbsoluteError,
+    MeanSquaredError,
+)
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.training import History, fit
+from repro.nn.serialization import load_weights, save_weights
+from repro.nn.qat import disable_qat, enable_qat, fine_tune_quantized
+from repro.nn.schedules import CosineDecay, StepDecay, attach_schedule
+
+__all__ = [
+    "Layer",
+    "TensorRef",
+    "Input",
+    "InputLayer",
+    "Dense",
+    "Conv1D",
+    "MaxPooling1D",
+    "AveragePooling1D",
+    "UpSampling1D",
+    "Concatenate",
+    "Add",
+    "BatchNormalization",
+    "Flatten",
+    "Reshape",
+    "Dropout",
+    "ReLU",
+    "Sigmoid",
+    "Softmax",
+    "Tanh",
+    "Linear",
+    "Model",
+    "Loss",
+    "MeanSquaredError",
+    "MeanAbsoluteError",
+    "BinaryCrossentropy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "fit",
+    "History",
+    "save_weights",
+    "load_weights",
+    "enable_qat",
+    "disable_qat",
+    "fine_tune_quantized",
+    "StepDecay",
+    "CosineDecay",
+    "attach_schedule",
+]

@@ -1,0 +1,41 @@
+"""Weight initialisers (Glorot/He and constants).
+
+The zoo models use Glorot-uniform for dense/conv kernels — the Keras
+default, which matters because the paper's quantization behaviour depends
+on the trained weight magnitudes staying in the Keras-typical range.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = ["glorot_uniform", "he_normal", "zeros", "ones"]
+
+
+def glorot_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform: U(-limit, limit), limit = sqrt(6/(fi+fo))."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fans must be positive, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal(shape: Tuple[int, ...], fan_in: int,
+              rng: np.random.Generator) -> np.ndarray:
+    """He normal: N(0, sqrt(2/fan_in)) — used ahead of ReLU stacks."""
+    if fan_in <= 0:
+        raise ValueError(f"fan_in must be positive, got {fan_in}")
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+
+
+def zeros(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-zero parameter (biases, batch-norm beta)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def ones(shape: Tuple[int, ...]) -> np.ndarray:
+    """All-one parameter (batch-norm gamma)."""
+    return np.ones(shape, dtype=np.float64)

@@ -1,0 +1,128 @@
+"""Layer base class and the symbolic tensor handle used to build graphs.
+
+Models are built functionally, exactly like Keras::
+
+    inp = Input((260, 1))
+    x = Conv1D(16, 7, padding="same")(inp)
+    x = ReLU()(x)
+    model = Model(inp, x)
+
+``layer(tensor)`` records the connection and returns a new
+:class:`TensorRef`; the :class:`~repro.nn.model.Model` later walks these
+references to run forward/backward passes in topological order.
+
+Each concrete layer implements:
+
+* :meth:`Layer.build` — create parameters once input shapes are known,
+* :meth:`Layer.compute_output_shape` — static shape inference,
+* :meth:`Layer.forward` — the batched numpy computation (caching whatever
+  the backward pass needs), and
+* :meth:`Layer.backward` — gradients w.r.t. every input, also filling
+  ``self.grads`` for its own parameters.
+
+Shapes exclude the batch dimension throughout the symbolic API.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Layer", "TensorRef"]
+
+Shape = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TensorRef:
+    """A symbolic tensor: the output of *layer* with static *shape*.
+
+    ``shape`` excludes the batch dimension (Keras convention).
+    """
+
+    layer: "Layer"
+    shape: Shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TensorRef({self.layer.name}, shape={self.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses declare parameters in ``self.params`` (name → ndarray) and
+    fill ``self.grads`` (same keys) during :meth:`backward`.  A layer
+    instance may be called exactly once: weight sharing is out of scope for
+    this reproduction and forbidding it keeps the graph a simple DAG of
+    layers.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name or f"{type(self).__name__.lower()}_{next(Layer._ids)}"
+        self.params: Dict[str, np.ndarray] = {}
+        self.grads: Dict[str, np.ndarray] = {}
+        self.inbound: List[TensorRef] = []
+        self.output_shape: Optional[Shape] = None
+        self.built = False
+        #: set by Model.forward; True only inside a training step.
+        self.trainable = True
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def __call__(self, *inputs: TensorRef) -> TensorRef:
+        if self.inbound:
+            raise RuntimeError(
+                f"layer {self.name!r} was already connected; "
+                "create a new instance instead of sharing weights"
+            )
+        if not inputs:
+            raise ValueError(f"layer {self.name!r} called with no inputs")
+        for t in inputs:
+            if not isinstance(t, TensorRef):
+                raise TypeError(
+                    f"layer {self.name!r} must be called on TensorRef symbols, got {type(t).__name__}"
+                )
+        shapes = [t.shape for t in inputs]
+        self.build(shapes)
+        self.built = True
+        self.inbound = list(inputs)
+        self.output_shape = self.compute_output_shape(shapes)
+        return TensorRef(self, self.output_shape)
+
+    # ------------------------------------------------------------------
+    # To be implemented by subclasses
+    # ------------------------------------------------------------------
+    def build(self, input_shapes: Sequence[Shape]) -> None:
+        """Create parameters. Default: parameter-free layer."""
+
+    def compute_output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        """Infer the output shape (excluding batch). Default: passthrough."""
+        return input_shapes[0]
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        """Run the layer on batched inputs."""
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        """Given dL/d(output), return [dL/d(input_i)] and fill self.grads."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def count_params(self) -> int:
+        """Total number of trainable scalar parameters in this layer."""
+        return int(sum(p.size for p in self.params.values()))
+
+    def get_config(self) -> Dict[str, object]:
+        """A JSON-serialisable description (subset of Keras get_config)."""
+        return {"name": self.name, "class": type(self).__name__}
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.name!r} out={self.output_shape}>"

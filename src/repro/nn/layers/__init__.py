@@ -1,0 +1,1 @@
+"""Concrete layer implementations (one module per layer family)."""

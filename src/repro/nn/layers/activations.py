@@ -1,0 +1,111 @@
+"""Activation layers.
+
+Activations are standalone layers (not fused options on Dense/Conv): that
+matches how hls4ml sees a Keras graph and keeps the HLS converter's
+layer-by-layer precision assignment one-to-one with the paper's Fig 2.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layer import Layer
+
+__all__ = ["ReLU", "Sigmoid", "Tanh", "Softmax", "Linear"]
+
+
+class ReLU(Layer):
+    """``max(x, 0)``."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._mask = None
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return [grad * self._mask]
+
+
+class Sigmoid(Layer):
+    """Logistic function — the paper's output nonlinearity (probabilities
+    that MI resp. RR caused the loss at each monitor)."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._y = None
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        # Numerically stable piecewise form.
+        out = np.empty_like(x)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._y = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return [grad * self._y * (1.0 - self._y)]
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._y = None
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        return [grad * (1.0 - self._y**2)]
+
+
+class Softmax(Layer):
+    """Softmax over the last axis."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._y = None
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        z = x - x.max(axis=-1, keepdims=True)
+        e = np.exp(z)
+        self._y = e / e.sum(axis=-1, keepdims=True)
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        y = self._y
+        dot = (grad * y).sum(axis=-1, keepdims=True)
+        return [y * (grad - dot)]
+
+
+class Linear(Layer):
+    """Identity — keeps graph topology explicit where Keras would insert
+    a linear activation."""
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        return x
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        return [grad]

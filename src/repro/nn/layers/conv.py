@@ -1,0 +1,147 @@
+"""1-D convolution.
+
+Implements the ``Conv1D`` layer used by the paper's U-Net encoder/decoder.
+Stride is fixed at 1 (the U-Net downsamples via pooling layers, not via
+strided convs) and padding may be ``"same"`` or ``"valid"``.
+
+The forward pass is a single einsum over a
+:func:`numpy.lib.stride_tricks.sliding_window_view` — no Python-level
+loops — and the backward pass reuses the same windowing trick on the
+zero-padded output gradient (a full correlation with the flipped kernel).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.nn import initializers
+from repro.nn.layer import Layer, Shape
+from repro.utils.rng import SeedLike, default_rng
+
+__all__ = ["Conv1D"]
+
+
+class Conv1D(Layer):
+    """Cross-correlation over the length axis of ``(batch, length, channels)``.
+
+    Parameters
+    ----------
+    filters:
+        Number of output channels.
+    kernel_size:
+        Receptive field length (odd sizes recommended with ``"same"``).
+    padding:
+        ``"same"`` keeps the length; ``"valid"`` shrinks it by
+        ``kernel_size - 1``.
+    use_bias, seed:
+        As for :class:`~repro.nn.layers.dense.Dense`.
+    """
+
+    def __init__(self, filters: int, kernel_size: int, padding: str = "same",
+                 use_bias: bool = True, seed: SeedLike = 0,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        if filters <= 0:
+            raise ValueError(f"filters must be positive, got {filters}")
+        if kernel_size <= 0:
+            raise ValueError(f"kernel_size must be positive, got {kernel_size}")
+        if padding not in ("same", "valid"):
+            raise ValueError(f"padding must be 'same' or 'valid', got {padding!r}")
+        self.filters = int(filters)
+        self.kernel_size = int(kernel_size)
+        self.padding = padding
+        self.use_bias = bool(use_bias)
+        self._rng = default_rng(seed)
+        self._windows: Optional[np.ndarray] = None
+        self._input_length = 0
+        #: optional fixed-point weight quantizer (set by repro.nn.qat)
+        self.weight_quantizer = None
+        self._kernel_q: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    def _pad_amounts(self) -> Tuple[int, int]:
+        if self.padding == "valid":
+            return 0, 0
+        total = self.kernel_size - 1
+        left = total // 2
+        return left, total - left
+
+    def build(self, input_shapes: Sequence[Shape]) -> None:
+        (shape,) = input_shapes
+        if len(shape) != 2:
+            raise ValueError(
+                f"Conv1D expects (length, channels) inputs, got shape {shape}"
+            )
+        channels = int(shape[-1])
+        k = self.kernel_size
+        fan_in = k * channels
+        fan_out = k * self.filters
+        self.params["kernel"] = initializers.glorot_uniform(
+            (k, channels, self.filters), fan_in, fan_out, self._rng
+        )
+        if self.use_bias:
+            self.params["bias"] = initializers.zeros((self.filters,))
+
+    def compute_output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        length = int(shape[0])
+        if self.padding == "valid":
+            length = length - self.kernel_size + 1
+            if length <= 0:
+                raise ValueError(
+                    f"kernel {self.kernel_size} too large for length {shape[0]}"
+                )
+        return (length, self.filters)
+
+    # ------------------------------------------------------------------
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        left, right = self._pad_amounts()
+        self._input_length = x.shape[1]
+        if left or right:
+            x = np.pad(x, ((0, 0), (left, right), (0, 0)))
+        # (batch, out_len, channels, kernel)
+        windows = sliding_window_view(x, self.kernel_size, axis=1)
+        self._windows = windows
+        if self.weight_quantizer is None:
+            self._kernel_q = self.params["kernel"]
+        else:
+            from repro.fixed import quantize
+
+            self._kernel_q = quantize(self.params["kernel"],
+                                      self.weight_quantizer)
+        y = np.einsum("ntck,kcf->ntf", windows, self._kernel_q,
+                      optimize=True)
+        if self.use_bias:
+            y = y + self.params["bias"]
+        return y
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if self._windows is None:
+            raise RuntimeError("backward called before forward")
+        k = self.kernel_size
+        self.grads["kernel"] = np.einsum(
+            "ntck,ntf->kcf", self._windows, grad, optimize=True
+        )
+        if self.use_bias:
+            self.grads["bias"] = grad.sum(axis=(0, 1))
+        # Full correlation of grad with the flipped kernel gives the
+        # gradient w.r.t. the *padded* input; slice the padding back off.
+        grad_pad = np.pad(grad, ((0, 0), (k - 1, k - 1), (0, 0)))
+        gwin = sliding_window_view(grad_pad, k, axis=1)  # (n, Lp, f, k)
+        kernel = (self._kernel_q if self._kernel_q is not None
+                  else self.params["kernel"])
+        flipped = kernel[::-1]  # (k, c, f)
+        dx_pad = np.einsum("ntfk,kcf->ntc", gwin, flipped, optimize=True)
+        left, _right = self._pad_amounts()
+        dx = dx_pad[:, left:left + self._input_length, :]
+        return [dx]
+
+    def get_config(self):
+        cfg = super().get_config()
+        cfg.update(filters=self.filters, kernel_size=self.kernel_size,
+                   padding=self.padding, use_bias=self.use_bias)
+        return cfg

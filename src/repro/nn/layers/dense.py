@@ -1,0 +1,100 @@
+"""Fully-connected layer.
+
+Applies ``y = x @ W + b`` over the last axis, so it works both on flat
+``(batch, features)`` tensors and, Keras-style, pointwise on sequence
+tensors ``(batch, length, channels)``.
+
+The paper's reference MLP uses a bias-free first dense layer — that is
+the only (128, 518) split that reproduces the printed 100,102-parameter
+count exactly (see DESIGN.md) — so ``use_bias`` is a first-class option.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.layer import Layer, Shape
+from repro.utils.rng import SeedLike, default_rng
+
+__all__ = ["Dense"]
+
+
+class Dense(Layer):
+    """``y = x W + b`` on the last axis.
+
+    Parameters
+    ----------
+    units:
+        Output feature count.
+    use_bias:
+        Include the additive bias term (default True).
+    seed:
+        Seed/Generator for Glorot-uniform kernel initialisation.
+    """
+
+    def __init__(self, units: int, use_bias: bool = True,
+                 seed: SeedLike = 0, name: Optional[str] = None):
+        super().__init__(name)
+        if units <= 0:
+            raise ValueError(f"units must be positive, got {units}")
+        self.units = int(units)
+        self.use_bias = bool(use_bias)
+        self._rng = default_rng(seed)
+        self._x: Optional[np.ndarray] = None
+        #: optional fixed-point weight quantizer (set by repro.nn.qat);
+        #: forward uses quantized weights, gradients update the float
+        #: master copy — the straight-through estimator.
+        self.weight_quantizer = None
+        self._kernel_q: Optional[np.ndarray] = None
+
+    def build(self, input_shapes: Sequence[Shape]) -> None:
+        (shape,) = input_shapes
+        fan_in = int(shape[-1])
+        self.params["kernel"] = initializers.glorot_uniform(
+            (fan_in, self.units), fan_in, self.units, self._rng
+        )
+        if self.use_bias:
+            self.params["bias"] = initializers.zeros((self.units,))
+
+    def compute_output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        return tuple(shape[:-1]) + (self.units,)
+
+    def _effective_kernel(self) -> np.ndarray:
+        if self.weight_quantizer is None:
+            return self.params["kernel"]
+        from repro.fixed import quantize
+
+        return quantize(self.params["kernel"], self.weight_quantizer)
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        self._x = x
+        self._kernel_q = self._effective_kernel()
+        y = x @ self._kernel_q
+        if self.use_bias:
+            y = y + self.params["bias"]
+        return y
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        x = self._x
+        if x is None:
+            raise RuntimeError("backward called before forward")
+        # Collapse all leading axes so the same code serves 2-D and 3-D.
+        x2 = x.reshape(-1, x.shape[-1])
+        g2 = grad.reshape(-1, grad.shape[-1])
+        self.grads["kernel"] = x2.T @ g2
+        if self.use_bias:
+            self.grads["bias"] = g2.sum(axis=0)
+        kernel = (self._kernel_q if self._kernel_q is not None
+                  else self.params["kernel"])
+        dx = grad @ kernel.T
+        return [dx]
+
+    def get_config(self):
+        cfg = super().get_config()
+        cfg.update(units=self.units, use_bias=self.use_bias)
+        return cfg

@@ -1,0 +1,53 @@
+"""Inverted dropout.
+
+Not used by the paper's deployed models, but a standard regulariser for
+retraining experiments on noisier substrates; included so downstream
+users can train variants without leaving the framework.  Inference-mode
+behaviour is the identity, so converted HLS models are unaffected
+(the converter maps Dropout to a routing kernel).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.nn.layer import Layer
+from repro.utils.rng import SeedLike, default_rng
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Layer):
+    """Zero each activation with probability *rate* during training,
+    scaling survivors by ``1/(1-rate)`` (inverted dropout), so inference
+    needs no rescaling."""
+
+    def __init__(self, rate: float, seed: SeedLike = 0,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self._rng = default_rng(seed)
+        self._mask: Optional[np.ndarray] = None
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if self._mask is None:
+            return [grad]
+        return [grad * self._mask]
+
+    def get_config(self):
+        cfg = super().get_config()
+        cfg["rate"] = self.rate
+        return cfg

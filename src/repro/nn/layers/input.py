@@ -1,0 +1,56 @@
+"""The graph entry point.
+
+:func:`Input` mirrors ``keras.Input``: it creates an :class:`InputLayer`
+and immediately returns its symbolic tensor.  The model feeds actual
+arrays into these layers at execution time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layer import Layer, Shape, TensorRef
+
+__all__ = ["Input", "InputLayer"]
+
+
+class InputLayer(Layer):
+    """Placeholder layer holding the declared input shape (batch excluded)."""
+
+    def __init__(self, shape: Tuple[int, ...], name: str = None):
+        super().__init__(name)
+        if not shape:
+            raise ValueError("input shape must have at least one dimension")
+        if any(int(d) <= 0 for d in shape):
+            raise ValueError(f"input dimensions must be positive, got {shape}")
+        self.shape = tuple(int(d) for d in shape)
+        self.output_shape = self.shape
+        self.built = True
+
+    def symbol(self) -> TensorRef:
+        """The symbolic tensor produced by this input."""
+        return TensorRef(self, self.shape)
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[1:] != self.shape:
+            raise ValueError(
+                f"input {self.name!r} expects trailing shape {self.shape}, got {x.shape[1:]}"
+            )
+        return x
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        return [grad]
+
+    def get_config(self):
+        cfg = super().get_config()
+        cfg["shape"] = list(self.shape)
+        return cfg
+
+
+def Input(shape: Sequence[int], name: str = None) -> TensorRef:
+    """Create an input placeholder and return its symbolic tensor."""
+    return InputLayer(tuple(shape), name=name).symbol()

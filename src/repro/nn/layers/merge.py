@@ -1,0 +1,79 @@
+"""Multi-input merge layers: channel concatenation and elementwise add.
+
+``Concatenate`` realises the U-Net skip connections: the decoder receives
+``concat([upsampled, encoder_features])`` along the channel axis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layer import Layer, Shape
+
+__all__ = ["Concatenate", "Add"]
+
+
+class Concatenate(Layer):
+    """Concatenate along the channel (last) axis.
+
+    All inputs must agree on every axis except the last.  The backward
+    pass splits the gradient back into the per-input channel slices.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._splits: List[int] = []
+
+    def compute_output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if len(input_shapes) < 2:
+            raise ValueError("Concatenate needs at least two inputs")
+        head = input_shapes[0]
+        for s in input_shapes[1:]:
+            if s[:-1] != head[:-1]:
+                raise ValueError(
+                    f"concatenate shape mismatch: {head} vs {s} "
+                    "(all axes but the last must agree)"
+                )
+        channels = sum(int(s[-1]) for s in input_shapes)
+        return tuple(head[:-1]) + (channels,)
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        self._splits = [x.shape[-1] for x in inputs]
+        return np.concatenate(inputs, axis=-1)
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if not self._splits:
+            raise RuntimeError("backward called before forward")
+        offsets = np.cumsum(self._splits)[:-1]
+        return list(np.split(grad, offsets, axis=-1))
+
+
+class Add(Layer):
+    """Elementwise sum of identically-shaped inputs (residual connections)."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._n_inputs = 0
+
+    def compute_output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        if len(input_shapes) < 2:
+            raise ValueError("Add needs at least two inputs")
+        head = input_shapes[0]
+        for s in input_shapes[1:]:
+            if s != head:
+                raise ValueError(f"add shape mismatch: {head} vs {s}")
+        return head
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        self._n_inputs = len(inputs)
+        out = inputs[0].copy()
+        for x in inputs[1:]:
+            out += x
+        return out
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if not self._n_inputs:
+            raise RuntimeError("backward called before forward")
+        return [grad] * self._n_inputs

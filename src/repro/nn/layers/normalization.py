@@ -1,0 +1,101 @@
+"""Batch normalisation over the channel (last) axis.
+
+The paper's first training attempt placed a ``BatchNormalization`` layer
+inside the model to standardise the raw BLM magnitudes (105k–120k); that
+configuration quantizes poorly because the layer's own parameters then
+carry the huge input scale (Section IV-D).  Reproducing that experiment
+requires a faithful batch-norm, including the moving statistics used at
+inference time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.layer import Layer, Shape
+
+__all__ = ["BatchNormalization"]
+
+
+class BatchNormalization(Layer):
+    """Normalise each channel to zero mean / unit variance, then affine.
+
+    Trainable parameters: ``gamma`` (scale) and ``beta`` (shift).
+    Non-trainable state: ``moving_mean`` / ``moving_var`` updated with
+    ``momentum`` during training steps and used verbatim at inference.
+    """
+
+    def __init__(self, momentum: float = 0.99, epsilon: float = 1e-3,
+                 name: Optional[str] = None):
+        super().__init__(name)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+        #: inference-time statistics (non-trainable, excluded from grads)
+        self.state: Dict[str, np.ndarray] = {}
+        self._cache = None
+
+    def build(self, input_shapes: Sequence[Shape]) -> None:
+        (shape,) = input_shapes
+        c = int(shape[-1])
+        self.params["gamma"] = initializers.ones((c,))
+        self.params["beta"] = initializers.zeros((c,))
+        self.state["moving_mean"] = np.zeros(c)
+        self.state["moving_var"] = np.ones(c)
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        axes = tuple(range(x.ndim - 1))
+        if training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = self.momentum
+            self.state["moving_mean"] = m * self.state["moving_mean"] + (1 - m) * mean
+            self.state["moving_var"] = m * self.state["moving_var"] + (1 - m) * var
+        else:
+            mean = self.state["moving_mean"]
+            var = self.state["moving_var"]
+        inv_std = 1.0 / np.sqrt(var + self.epsilon)
+        x_hat = (x - mean) * inv_std
+        self._cache = (x_hat, inv_std, axes, x.shape)
+        return self.params["gamma"] * x_hat + self.params["beta"]
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x_hat, inv_std, axes, shape = self._cache
+        # Number of samples contributing to each channel statistic.
+        m = int(np.prod([shape[a] for a in axes]))
+        gamma = self.params["gamma"]
+        self.grads["gamma"] = (grad * x_hat).sum(axis=axes)
+        self.grads["beta"] = grad.sum(axis=axes)
+        # Standard batch-norm backward (training-mode statistics).
+        dxhat = grad * gamma
+        dx = (inv_std / m) * (
+            m * dxhat
+            - dxhat.sum(axis=axes)
+            - x_hat * (dxhat * x_hat).sum(axis=axes)
+        )
+        return [dx]
+
+    def inference_scale_shift(self):
+        """The folded affine form ``y = scale * x + shift`` used at inference.
+
+        hls4ml fuses batch-norm into a single multiply-add; the HLS
+        converter calls this to build that fused layer.
+        """
+        inv_std = 1.0 / np.sqrt(self.state["moving_var"] + self.epsilon)
+        scale = self.params["gamma"] * inv_std
+        shift = self.params["beta"] - self.state["moving_mean"] * scale
+        return scale, shift
+
+    def get_config(self):
+        cfg = super().get_config()
+        cfg.update(momentum=self.momentum, epsilon=self.epsilon)
+        return cfg

@@ -1,0 +1,70 @@
+"""Shape manipulation layers (Flatten / Reshape).
+
+The U-Net head flattens its ``(260, 2)`` per-monitor probability map into
+the flat 520-value output array the IP core writes to the output buffer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layer import Layer, Shape
+
+__all__ = ["Flatten", "Reshape"]
+
+
+class Flatten(Layer):
+    """Collapse all non-batch axes into one."""
+
+    def __init__(self, name: Optional[str] = None):
+        super().__init__(name)
+        self._input_shape = None
+
+    def compute_output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        return (int(np.prod(shape)),)
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        self._input_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return [grad.reshape(self._input_shape)]
+
+
+class Reshape(Layer):
+    """Reshape the non-batch axes to ``target_shape``."""
+
+    def __init__(self, target_shape: Tuple[int, ...], name: Optional[str] = None):
+        super().__init__(name)
+        self.target_shape = tuple(int(d) for d in target_shape)
+        self._input_shape = None
+
+    def compute_output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        if int(np.prod(shape)) != int(np.prod(self.target_shape)):
+            raise ValueError(
+                f"cannot reshape {shape} (size {int(np.prod(shape))}) to "
+                f"{self.target_shape} (size {int(np.prod(self.target_shape))})"
+            )
+        return self.target_shape
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        self._input_shape = x.shape
+        return x.reshape((x.shape[0],) + self.target_shape)
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return [grad.reshape(self._input_shape)]
+
+    def get_config(self):
+        cfg = super().get_config()
+        cfg["target_shape"] = list(self.target_shape)
+        return cfg

@@ -1,0 +1,48 @@
+"""Nearest-neighbour 1-D up-sampling — the U-Net decoder's expansion step."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.nn.layer import Layer, Shape
+
+__all__ = ["UpSampling1D"]
+
+
+class UpSampling1D(Layer):
+    """Repeat each timestep ``size`` times along the length axis.
+
+    The backward pass sums the gradient over each repeated group (the
+    transpose of repetition).
+    """
+
+    def __init__(self, size: int = 2, name: Optional[str] = None):
+        super().__init__(name)
+        if size <= 1:
+            raise ValueError(f"size must be >= 2, got {size}")
+        self.size = int(size)
+
+    def compute_output_shape(self, input_shapes: Sequence[Shape]) -> Shape:
+        (shape,) = input_shapes
+        if len(shape) != 2:
+            raise ValueError(f"UpSampling1D expects (length, channels), got {shape}")
+        return (int(shape[0]) * self.size, shape[1])
+
+    def forward(self, inputs: List[np.ndarray], training: bool = False) -> np.ndarray:
+        (x,) = inputs
+        return np.repeat(x, self.size, axis=1)
+
+    def backward(self, grad: np.ndarray) -> List[np.ndarray]:
+        n, length, c = grad.shape
+        if length % self.size:
+            raise ValueError(
+                f"gradient length {length} not a multiple of size {self.size}"
+            )
+        return [grad.reshape(n, length // self.size, self.size, c).sum(axis=2)]
+
+    def get_config(self):
+        cfg = super().get_config()
+        cfg["size"] = self.size
+        return cfg

@@ -1,0 +1,106 @@
+"""Gradient-descent optimizers (SGD with momentum, Adam).
+
+Optimizers consume the ``layer.grads`` dictionaries that
+``Model.backward`` fills and update ``layer.params`` in place.  Slot
+variables (momentum, Adam moments) are keyed by ``(layer.name, param)``
+so an optimizer instance can only ever be applied to one model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.nn.model import Model
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class: subclasses implement :meth:`_update` per parameter."""
+
+    def __init__(self, learning_rate: float = 0.001):
+        if learning_rate <= 0:
+            raise ValueError(f"learning_rate must be positive, got {learning_rate}")
+        self.learning_rate = float(learning_rate)
+        self.iterations = 0
+
+    def step(self, model: Model) -> None:
+        """Apply one update using the gradients currently stored on *model*."""
+        self.iterations += 1
+        for layer in model.trainable_layers():
+            if not layer.trainable:
+                continue
+            for key, param in layer.params.items():
+                grad = layer.grads.get(key)
+                if grad is None:
+                    raise RuntimeError(
+                        f"no gradient for {layer.name}/{key}; "
+                        "did you call model.backward()?"
+                    )
+                if grad.shape != param.shape:
+                    raise RuntimeError(
+                        f"gradient shape mismatch for {layer.name}/{key}: "
+                        f"{grad.shape} vs {param.shape}"
+                    )
+                self._update((layer.name, key), param, grad)
+
+    def _update(self, slot_key: Tuple[str, str], param: np.ndarray,
+                grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with classical momentum."""
+
+    def __init__(self, learning_rate: float = 0.01, momentum: float = 0.0):
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity: Dict[Tuple[str, str], np.ndarray] = {}
+
+    def _update(self, slot_key, param, grad) -> None:
+        if self.momentum:
+            v = self._velocity.get(slot_key)
+            if v is None:
+                v = np.zeros_like(param)
+            v = self.momentum * v - self.learning_rate * grad
+            self._velocity[slot_key] = v
+            param += v
+        else:
+            param -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias-corrected moment estimates —
+    the optimizer used for the zoo models' reference training runs."""
+
+    def __init__(self, learning_rate: float = 0.001, beta_1: float = 0.9,
+                 beta_2: float = 0.999, epsilon: float = 1e-7):
+        super().__init__(learning_rate)
+        if not 0.0 <= beta_1 < 1.0 or not 0.0 <= beta_2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {epsilon}")
+        self.beta_1 = float(beta_1)
+        self.beta_2 = float(beta_2)
+        self.epsilon = float(epsilon)
+        self._m: Dict[Tuple[str, str], np.ndarray] = {}
+        self._v: Dict[Tuple[str, str], np.ndarray] = {}
+
+    def _update(self, slot_key, param, grad) -> None:
+        m = self._m.get(slot_key)
+        v = self._v.get(slot_key)
+        if m is None:
+            m = np.zeros_like(param)
+            v = np.zeros_like(param)
+        m = self.beta_1 * m + (1 - self.beta_1) * grad
+        v = self.beta_2 * v + (1 - self.beta_2) * grad**2
+        self._m[slot_key] = m
+        self._v[slot_key] = v
+        t = self.iterations
+        m_hat = m / (1 - self.beta_1**t)
+        v_hat = v / (1 - self.beta_2**t)
+        param -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)

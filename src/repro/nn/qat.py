@@ -1,0 +1,101 @@
+"""Quantization-aware training (QAT).
+
+The paper uses *post-training* quantization; its natural extension —
+and the approach of hls4ml's companion project QKeras — is to expose the
+quantization during training so the network learns weights that survive
+narrow formats.  This module implements weight-QAT with the
+straight-through estimator (STE):
+
+* :func:`enable_qat` — attach fixed-point weight quantizers (taken from
+  an :class:`~repro.hls.config.HLSConfig` or a single format) to every
+  Dense/Conv1D layer.  Forward passes then use quantized weights while
+  gradients flow to the float master copies.
+* :func:`disable_qat` — detach the quantizers (the float masters are
+  untouched).
+* :func:`fine_tune_quantized` — the standard QAT recipe: enable, run a
+  few low-learning-rate epochs, disable; returns the history.
+
+The PTQ-vs-QAT comparison at narrow widths lives in
+``repro.experiments.ablations.run_qat_comparison``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.fixed import FixedPointFormat
+from repro.hls.config import HLSConfig
+from repro.nn.layers.conv import Conv1D
+from repro.nn.layers.dense import Dense
+from repro.nn.losses import Loss
+from repro.nn.model import Model
+from repro.nn.optimizers import Optimizer
+from repro.nn.training import History, fit
+from repro.utils.rng import SeedLike
+
+__all__ = ["enable_qat", "disable_qat", "fine_tune_quantized",
+           "qat_layer_formats"]
+
+QuantSpec = Union[FixedPointFormat, HLSConfig]
+
+
+def qat_layer_formats(model: Model, spec: QuantSpec) -> Dict[str, FixedPointFormat]:
+    """Resolve the weight format each quantizable layer will train under."""
+    formats = {}
+    for layer in model.layers:
+        if not isinstance(layer, (Dense, Conv1D)):
+            continue
+        if isinstance(spec, HLSConfig):
+            formats[layer.name] = spec.for_layer(layer.name).weight
+        else:
+            formats[layer.name] = spec
+    if not formats:
+        raise ValueError("model has no quantizable (Dense/Conv1D) layers")
+    return formats
+
+
+def enable_qat(model: Model, spec: QuantSpec) -> Dict[str, FixedPointFormat]:
+    """Attach weight quantizers; returns ``{layer: format}`` applied."""
+    formats = qat_layer_formats(model, spec)
+    for name, fmt in formats.items():
+        model.get_layer(name).weight_quantizer = fmt
+    return formats
+
+
+def disable_qat(model: Model) -> None:
+    """Detach all weight quantizers (float masters stay as trained)."""
+    for layer in model.layers:
+        if isinstance(layer, (Dense, Conv1D)):
+            layer.weight_quantizer = None
+            layer._kernel_q = None
+
+
+def fine_tune_quantized(
+    model: Model,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss: Loss,
+    optimizer: Optimizer,
+    spec: QuantSpec,
+    epochs: int = 3,
+    batch_size: int = 32,
+    seed: SeedLike = 0,
+    keep_enabled: bool = False,
+) -> History:
+    """QAT fine-tuning: train *model* with quantized-weight forwards.
+
+    The float master weights are updated (STE), so after
+    :func:`disable_qat` the model retains its fine-tuned float weights;
+    converting it with the same weight formats then reproduces exactly
+    the datapath it was trained against.
+    """
+    enable_qat(model, spec)
+    try:
+        history = fit(model, x, y, loss, optimizer, epochs=epochs,
+                      batch_size=batch_size, seed=seed)
+    finally:
+        if not keep_enabled:
+            disable_qat(model)
+    return history

@@ -1,0 +1,74 @@
+"""Learning-rate schedules.
+
+Small utilities that plug into :func:`repro.nn.training.fit` through its
+``callback`` hook: each schedule is called at the end of every epoch and
+rewrites ``optimizer.learning_rate``.  Used by the QAT fine-tuning
+recipes, where a decaying rate stabilises training on the coarse weight
+grid.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.nn.optimizers import Optimizer
+
+__all__ = ["StepDecay", "CosineDecay", "attach_schedule"]
+
+
+class StepDecay:
+    """Multiply the learning rate by ``factor`` every ``every`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, factor: float = 0.5,
+                 every: int = 10, min_lr: float = 1e-6):
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {factor}")
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        if min_lr <= 0:
+            raise ValueError(f"min_lr must be positive, got {min_lr}")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.every = every
+        self.min_lr = min_lr
+
+    def __call__(self, epoch: int, logs: Dict[str, float]) -> None:
+        if (epoch + 1) % self.every == 0:
+            self.optimizer.learning_rate = max(
+                self.min_lr, self.optimizer.learning_rate * self.factor
+            )
+
+
+class CosineDecay:
+    """Cosine-anneal the rate from its initial value to ``min_lr`` over
+    ``total_epochs``."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 1e-6):
+        if total_epochs < 1:
+            raise ValueError(f"total_epochs must be >= 1, got {total_epochs}")
+        if min_lr < 0:
+            raise ValueError(f"min_lr must be >= 0, got {min_lr}")
+        self.optimizer = optimizer
+        self.initial_lr = optimizer.learning_rate
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+
+    def __call__(self, epoch: int, logs: Dict[str, float]) -> None:
+        progress = min(1.0, (epoch + 1) / self.total_epochs)
+        cos = 0.5 * (1.0 + math.cos(math.pi * progress))
+        self.optimizer.learning_rate = (
+            self.min_lr + (self.initial_lr - self.min_lr) * cos
+        )
+
+
+def attach_schedule(schedule, extra_callback=None):
+    """Compose a schedule with an optional user callback for ``fit``."""
+
+    def callback(epoch: int, logs: Dict[str, float]) -> None:
+        schedule(epoch, logs)
+        if extra_callback is not None:
+            extra_callback(epoch, logs)
+
+    return callback

@@ -1,0 +1,107 @@
+"""Mini-batch training loop.
+
+:func:`fit` runs the classic loop — shuffle, batch, forward, loss grad,
+backward, optimizer step — and returns a :class:`History` of per-epoch
+metrics, including optional validation losses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.losses import Loss
+from repro.nn.model import Model
+from repro.nn.optimizers import Optimizer
+from repro.utils.rng import SeedLike, default_rng
+
+__all__ = ["fit", "History"]
+
+
+@dataclass
+class History:
+    """Per-epoch training record (mirrors ``keras.callbacks.History``)."""
+
+    loss: List[float] = field(default_factory=list)
+    val_loss: List[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        """Training loss of the last epoch."""
+        if not self.loss:
+            raise ValueError("no epochs recorded")
+        return self.loss[-1]
+
+
+def fit(
+    model: Model,
+    x: np.ndarray,
+    y: np.ndarray,
+    loss: Loss,
+    optimizer: Optimizer,
+    epochs: int = 10,
+    batch_size: int = 32,
+    validation_data: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+    seed: SeedLike = 0,
+    verbose: bool = False,
+    callback: Optional[Callable[[int, Dict[str, float]], None]] = None,
+) -> History:
+    """Train *model* on ``(x, y)``.
+
+    Parameters
+    ----------
+    model, x, y, loss, optimizer:
+        The usual suspects; ``x``/``y`` are full datasets with the batch
+        axis first.
+    epochs, batch_size:
+        Loop controls; the last batch may be smaller.
+    validation_data:
+        Optional ``(x_val, y_val)`` evaluated (inference mode) per epoch.
+    seed:
+        Shuffling seed — training is fully deterministic for a fixed seed.
+    callback:
+        Called as ``callback(epoch, logs)`` after each epoch.
+    """
+    if epochs <= 0:
+        raise ValueError(f"epochs must be positive, got {epochs}")
+    if batch_size <= 0:
+        raise ValueError(f"batch_size must be positive, got {batch_size}")
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape[0] != y.shape[0]:
+        raise ValueError(
+            f"x and y disagree on sample count: {x.shape[0]} vs {y.shape[0]}"
+        )
+    rng = default_rng(seed)
+    history = History()
+    n = x.shape[0]
+    for epoch in range(epochs):
+        order = rng.permutation(n)
+        epoch_loss = 0.0
+        seen = 0
+        for start in range(0, n, batch_size):
+            idx = order[start:start + batch_size]
+            xb, yb = x[idx], y[idx]
+            pred = model.forward(xb, training=True)
+            batch_loss = loss.value(yb, pred)
+            model.backward(loss.grad(yb, pred))
+            optimizer.step(model)
+            epoch_loss += batch_loss * len(idx)
+            seen += len(idx)
+        logs = {"loss": epoch_loss / seen}
+        history.loss.append(logs["loss"])
+        if validation_data is not None:
+            xv, yv = validation_data
+            pv = model.forward(np.asarray(xv, dtype=np.float64), training=False)
+            logs["val_loss"] = loss.value(np.asarray(yv, dtype=np.float64), pv)
+            history.val_loss.append(logs["val_loss"])
+        if verbose:  # pragma: no cover - cosmetic
+            msg = f"epoch {epoch + 1}/{epochs} loss={logs['loss']:.6f}"
+            if "val_loss" in logs:
+                msg += f" val_loss={logs['val_loss']:.6f}"
+            print(msg)
+        if callback is not None:
+            callback(epoch, logs)
+    return history

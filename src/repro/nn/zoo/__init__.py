@@ -1,0 +1,19 @@
+"""Reference model builders reproducing the paper's architectures.
+
+* :func:`build_unet` — the 1-D U-Net (134,434 trainable parameters,
+  260 inputs → 520 outputs) deployed as the FPGA IP core.
+* :func:`build_mlp` — the simpler MLP (100,102 parameters) the paper used
+  for verification and early architecture exploration.
+"""
+
+from repro.nn.zoo.unet import REFERENCE_UNET_CONFIG, UNetConfig, build_unet
+from repro.nn.zoo.mlp import REFERENCE_MLP_CONFIG, MLPConfig, build_mlp
+
+__all__ = [
+    "UNetConfig",
+    "REFERENCE_UNET_CONFIG",
+    "build_unet",
+    "MLPConfig",
+    "REFERENCE_MLP_CONFIG",
+    "build_mlp",
+]

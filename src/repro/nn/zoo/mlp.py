@@ -1,0 +1,55 @@
+"""The verification MLP.
+
+Section III-A: "two dense layers (128 and 518 nodes, respectively), and
+similar input size and output size … 100,102 trainable parameters".
+The only (128, 518) split that reproduces 100,102 exactly is a bias-free
+first layer: ``260·128 + (128·518 + 518) = 100,102``; we adopt it and
+record the reasoning in DESIGN.md.  The paper's companion "905 nodes"
+figure is not consistent with any such split and is documented as a
+paper-internal discrepancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nn.layers.activations import ReLU, Sigmoid
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.input import Input
+from repro.nn.model import Model
+from repro.utils.rng import SeedLike, spawn_rngs
+
+__all__ = ["MLPConfig", "REFERENCE_MLP_CONFIG", "build_mlp"]
+
+#: Parameter count printed in the paper (Table I / Section III-A).
+PAPER_MLP_PARAMS = 100_102
+
+
+@dataclass(frozen=True)
+class MLPConfig:
+    """Architecture hyper-parameters for :func:`build_mlp`."""
+
+    input_size: int = 260
+    hidden_units: int = 128
+    output_units: int = 518
+    hidden_bias: bool = False  # the split that matches the paper's count
+
+    def __post_init__(self):
+        if min(self.input_size, self.hidden_units, self.output_units) <= 0:
+            raise ValueError("all sizes must be positive")
+
+
+REFERENCE_MLP_CONFIG = MLPConfig()
+
+
+def build_mlp(config: MLPConfig = REFERENCE_MLP_CONFIG,
+              seed: SeedLike = 0, name: str = "mlp") -> Model:
+    """Build the two-dense-layer verification MLP (flat in, flat out)."""
+    rngs = iter(spawn_rngs(seed, 2))
+    inp = Input((config.input_size,), name="blm_input")
+    x = Dense(config.hidden_units, use_bias=config.hidden_bias,
+              seed=next(rngs), name="hidden_dense")(inp)
+    x = ReLU(name="hidden_relu")(x)
+    x = Dense(config.output_units, seed=next(rngs), name="output_dense")(x)
+    out = Sigmoid(name="output_sigmoid")(x)
+    return Model(inp, out, name=name)

@@ -1,0 +1,136 @@
+"""The beam-loss de-blending U-Net.
+
+The paper's Fig 2 U-Net has an encoder–decoder shape with skip
+connections over the layer types {Conv1D, MaxPooling, UpSampling,
+Concatenate, Dense, Sigmoid} and 134,434 trainable parameters over a
+260-sample input and 520-value output (two per-monitor probabilities,
+MI and RR).  The exact channel widths are not printed in the paper, so
+the reference configuration below was solved to reproduce the parameter
+count *exactly* (see DESIGN.md): two encoder levels of 40 and 96
+channels, a 136-channel bottleneck, kernel size 3 throughout, and a
+pointwise Dense(2) + Sigmoid head.  The head is a Keras ``Dense`` applied
+per sequence position — which is precisely why the paper's Table III
+lists a separate "Dense/Sigmoid reuse factor" of 260: hls4ml reuses that
+layer's multipliers across the 260 positions.
+
+The pooling chain 260 → 130 → 65 and the matching up-sampling chain
+65 → 130 → 260 reproduce the paper's spatial sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.nn.layers.activations import ReLU, Sigmoid
+from repro.nn.layers.conv import Conv1D
+from repro.nn.layers.dense import Dense
+from repro.nn.layers.input import Input
+from repro.nn.layers.merge import Concatenate
+from repro.nn.layers.normalization import BatchNormalization
+from repro.nn.layers.pooling import MaxPooling1D
+from repro.nn.layers.reshape import Flatten
+from repro.nn.layers.upsampling import UpSampling1D
+from repro.nn.model import Model
+from repro.utils.rng import SeedLike, spawn_rngs
+
+__all__ = ["UNetConfig", "REFERENCE_UNET_CONFIG", "build_unet"]
+
+#: Parameter count printed in the paper (Table III).
+PAPER_UNET_PARAMS = 134_434
+
+
+@dataclass(frozen=True)
+class UNetConfig:
+    """Architecture hyper-parameters for :func:`build_unet`.
+
+    ``encoder_channels`` lists the channel width of each encoder level;
+    the decoder mirrors it.  ``input_length`` must be divisible by
+    ``2 ** len(encoder_channels)``-ish — precisely, each pooling halves
+    (flooring) and each up-sampling doubles, so the round trip must
+    restore the original length (260 → 130 → 65 → 130 → 260 works).
+    """
+
+    input_length: int = 260
+    input_channels: int = 1
+    encoder_channels: Tuple[int, ...] = (40, 96)
+    bottleneck_channels: int = 136
+    kernel_size: int = 3
+    outputs_per_position: int = 2
+    #: Insert a BatchNormalization straight after the input.  This is the
+    #: paper's *first* training configuration (standardisation inside the
+    #: model), which quantizes poorly; the deployed model standardises the
+    #: data *before* training instead (Section IV-D).
+    batchnorm_standardizer: bool = False
+
+    def __post_init__(self):
+        if self.input_length <= 0 or self.input_channels <= 0:
+            raise ValueError("input dimensions must be positive")
+        if not self.encoder_channels:
+            raise ValueError("need at least one encoder level")
+        if self.kernel_size % 2 == 0:
+            raise ValueError("kernel_size must be odd for 'same' padding symmetry")
+        # Validate the pool/upsample round trip restores the length.
+        length = self.input_length
+        for _ in self.encoder_channels:
+            length //= 2
+            if length == 0:
+                raise ValueError("too many encoder levels for input_length")
+        for _ in self.encoder_channels:
+            length *= 2
+        if length != self.input_length:
+            raise ValueError(
+                f"input_length {self.input_length} does not survive the "
+                f"pool/upsample round trip (got back {length})"
+            )
+
+    @property
+    def output_size(self) -> int:
+        """Flat output width (260 monitors × 2 machines = 520)."""
+        return self.input_length * self.outputs_per_position
+
+
+#: The configuration whose parameter count matches the paper exactly.
+REFERENCE_UNET_CONFIG = UNetConfig()
+
+
+def build_unet(config: UNetConfig = REFERENCE_UNET_CONFIG,
+               seed: SeedLike = 0, name: str = "unet") -> Model:
+    """Build the de-blending U-Net.
+
+    Returns an untrained :class:`~repro.nn.model.Model`; train it with
+    :func:`repro.nn.training.fit` or via
+    :func:`repro.beamloss.dataset.train_reference_model`.
+    """
+    n_levels = len(config.encoder_channels)
+    # One independent weight stream per parameterised layer.
+    rngs = iter(spawn_rngs(seed, 2 * n_levels + 2 + 1))
+    k = config.kernel_size
+
+    inp = Input((config.input_length, config.input_channels), name="blm_input")
+    x = inp
+    if config.batchnorm_standardizer:
+        x = BatchNormalization(name="input_bn")(x)
+
+    skips = []
+    for level, channels in enumerate(config.encoder_channels, start=1):
+        x = Conv1D(channels, k, seed=next(rngs), name=f"enc{level}_conv")(x)
+        x = ReLU(name=f"enc{level}_relu")(x)
+        skips.append(x)
+        x = MaxPooling1D(2, name=f"enc{level}_pool")(x)
+
+    x = Conv1D(config.bottleneck_channels, k, seed=next(rngs),
+               name="bottleneck_conv")(x)
+    x = ReLU(name="bottleneck_relu")(x)
+
+    for level in range(n_levels, 0, -1):
+        channels = config.encoder_channels[level - 1]
+        x = UpSampling1D(2, name=f"dec{level}_up")(x)
+        x = Concatenate(name=f"dec{level}_concat")(x, skips[level - 1])
+        x = Conv1D(channels, k, seed=next(rngs), name=f"dec{level}_conv")(x)
+        x = ReLU(name=f"dec{level}_relu")(x)
+
+    x = Dense(config.outputs_per_position, seed=next(rngs), name="head_dense")(x)
+    x = Sigmoid(name="head_sigmoid")(x)
+    out = Flatten(name="output_flatten")(x)
+    return Model(inp, out, name=name)

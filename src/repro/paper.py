@@ -1,0 +1,102 @@
+"""Every number the paper publishes, in one typed place.
+
+The experiment notes and EXPERIMENTS.md compare against these values;
+keeping them centralized (with section references) makes the comparison
+auditable and gives downstream users a machine-readable record of the
+reproduction target.
+
+All values are copied verbatim from: R. Shi, S. Ogrenci, et al.,
+"ML-Based Real-Time Control at the Edge: An Approach Using hls4ml",
+IPPS 2024.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from types import MappingProxyType
+
+__all__ = [
+    "SYSTEM", "UNET", "MLP", "TABLE2", "TABLE3", "FIG5",
+    "PrecisionRow",
+]
+
+#: Deployment requirements and headline performance (Abstract, §I, §VI).
+SYSTEM = MappingProxyType({
+    "deadline_s": 3e-3,             # BLM digitizer poll rate
+    "required_fps": 320,            # practical deployment requirement
+    "achieved_fps": 575,            # paper's measured throughput
+    "clock_hz": 100e6,              # fabric clock (§VI)
+    "n_monitors": 260,              # BLMs around the tunnel (Fig 1)
+    "n_outputs": 520,               # two probabilities per monitor
+    "n_hubs": 7,                    # BLM hubs feeding the central node
+    "raw_counts_range": (105_000, 120_000),  # §IV-D data magnitudes
+})
+
+#: The deployed U-Net (§III-A, Table I, Table III, §V).
+UNET = MappingProxyType({
+    "params": 134_434,
+    "system_latency_ms": 1.74,
+    "ip_latency_ms": 1.57,
+    "latency_range_ms": (1.73, 2.27),
+    "fraction_below_1p9ms": 0.9997,
+    "mean_output_mi": 0.17,
+    "mean_output_rr": 0.42,
+    "mean_abs_diff_mi": 0.025,      # Fig 5a at the deployed precision
+    "mean_abs_diff_rr": 0.005,
+    "default_reuse_factor": 32,
+    "dense_sigmoid_reuse_factor": 260,
+})
+
+#: The verification MLP (§III-A, Table I, §V).
+MLP = MappingProxyType({
+    "params": 100_102,
+    "hidden_units": 128,
+    "output_units": 518,
+    "system_latency_ms": 0.31,
+    "latency_range_ms": (0.26, 0.91),
+    "precision_bits": 16,
+    "alms": 96_000,
+})
+
+
+@dataclass(frozen=True)
+class PrecisionRow:
+    """One Table II row: strategy → accuracies and ALUT fraction."""
+
+    strategy: str
+    accuracy_mi_pct: float
+    accuracy_rr_pct: float
+    alut_pct: float
+
+
+#: Table II — effect of precision customization.
+TABLE2 = (
+    PrecisionRow("Uniform Precision ac_fixed<18, 10>", 98.8, 99.3, 115.0),
+    PrecisionRow("Uniform Precision ac_fixed<16, 7>", 16.7, 36.5, 22.0),
+    PrecisionRow("Layer-based Precision ac_fixed<16, x>", 99.1, 99.9, 31.0),
+)
+
+#: Table III — full-system resource row (Quartus fit).
+TABLE3 = MappingProxyType({
+    "logic_alms": 223_674,
+    "logic_pct": 89,
+    "registers": 406_123,
+    "pins": 221,
+    "pins_pct": 37,
+    "block_memory_bits": 25_275_808,
+    "memory_pct": 58,
+    "ram_blocks": 1_818,
+    "ram_pct": 85,
+    "dsp_blocks": 273,
+    "dsp_pct": 16,
+    "plls": 3,
+    "plls_pct": 5,
+})
+
+#: Fig 5 qualitative facts (§V).
+FIG5 = MappingProxyType({
+    "eval_frames": 1_000,           # "across 1,000 datasets"
+    "close_enough_threshold": 0.20,
+    "outlier_margin_mitigation": 0.5,  # "half ... mitigated by one bit"
+    "tail_attribution": "task scheduling in the operating system",
+})

@@ -1,0 +1,30 @@
+"""Platform latency models for the paper's CPU/GPU/FPGA comparison.
+
+Section III-B motivates the FPGA SoC with a preliminary experiment: the
+Keras models on a CPU and a GPU at batch size 1 (sensor data arrives one
+260-value frame every 3 ms, so there is never a large batch to amortize
+over).  These analytic models reproduce that comparison's *shape*:
+
+* CPU — framework overhead plus modest sustained FLOPs; ms-range for
+  both models.
+* GPU — per-kernel-launch overhead dominates at batch 1 (≈ CPU-level
+  latency); at large batches the per-frame cost amortizes into the µs
+  range, which is exactly the regime the control application never sees.
+* FPGA SoC — the measured behaviour of :class:`repro.soc.AchillesBoard`.
+"""
+
+from repro.platforms.base import Platform, PlatformResult
+from repro.platforms.cpu import CPUPlatform
+from repro.platforms.gpu import GPUPlatform
+from repro.platforms.fpga import FPGAPlatform
+from repro.platforms.compare import compare_platforms, gpu_batch_sweep
+
+__all__ = [
+    "Platform",
+    "PlatformResult",
+    "CPUPlatform",
+    "GPUPlatform",
+    "FPGAPlatform",
+    "compare_platforms",
+    "gpu_batch_sweep",
+]

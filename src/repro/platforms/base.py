@@ -1,0 +1,72 @@
+"""Platform interface and shared model-cost extraction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers.conv import Conv1D
+from repro.nn.layers.dense import Dense
+from repro.nn.model import Model
+
+__all__ = ["Platform", "PlatformResult", "model_flops", "model_layers"]
+
+
+def model_flops(model: Model) -> int:
+    """Multiply-accumulate FLOPs per single-frame inference (2 per MAC)."""
+    macs = 0
+    for layer in model.layers:
+        if isinstance(layer, Dense):
+            fan_in, units = layer.params["kernel"].shape
+            positions = int(np.prod(layer.output_shape[:-1])) or 1
+            macs += fan_in * units * positions
+        elif isinstance(layer, Conv1D):
+            k, cin, cout = layer.params["kernel"].shape
+            positions = int(layer.output_shape[0])
+            macs += k * cin * cout * positions
+    return 2 * macs
+
+
+def model_layers(model: Model) -> int:
+    """Number of compute layers (kernel launches on a GPU)."""
+    return sum(1 for l in model.layers if l.params or type(l).__name__ in (
+        "ReLU", "Sigmoid", "Tanh", "Softmax", "MaxPooling1D",
+        "AveragePooling1D", "UpSampling1D", "Concatenate"))
+
+
+@dataclass(frozen=True)
+class PlatformResult:
+    """Latency of one model on one platform at one batch size."""
+
+    platform: str
+    model_name: str
+    batch_size: int
+    latency_s: float          # end-to-end latency of the whole batch
+    per_frame_s: float        # latency_s / batch (amortized)
+
+    @property
+    def meets_requirement(self) -> bool:
+        """Whether the 3 ms per-decision budget holds at batch 1."""
+        return self.batch_size == 1 and self.latency_s <= 3e-3
+
+
+class Platform:
+    """Interface: estimate inference latency of a model at a batch size."""
+
+    name = "platform"
+
+    def latency(self, model: Model, batch_size: int = 1) -> PlatformResult:
+        raise NotImplementedError
+
+    def _result(self, model: Model, batch_size: int,
+                latency_s: float) -> PlatformResult:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        return PlatformResult(
+            platform=self.name,
+            model_name=model.name,
+            batch_size=batch_size,
+            latency_s=latency_s,
+            per_frame_s=latency_s / batch_size,
+        )

@@ -1,0 +1,58 @@
+"""Cross-platform comparison harness (the data behind Fig 3)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.nn.model import Model
+from repro.platforms.base import Platform, PlatformResult
+from repro.platforms.cpu import CPUPlatform
+from repro.platforms.fpga import FPGAPlatform
+from repro.platforms.gpu import GPUPlatform
+from repro.utils.tables import Table
+
+__all__ = ["compare_platforms", "gpu_batch_sweep"]
+
+
+def compare_platforms(
+    models: Sequence[Model],
+    platforms: Optional[Sequence[Platform]] = None,
+    batch_size: int = 1,
+) -> List[PlatformResult]:
+    """Latency of every model on every platform at *batch_size*.
+
+    Defaults to the paper's trio (CPU, GPU, FPGA SoC) at batch 1.
+    """
+    if platforms is None:
+        platforms = [CPUPlatform(), GPUPlatform(), FPGAPlatform()]
+    results = []
+    for model in models:
+        for platform in platforms:
+            results.append(platform.latency(model, batch_size))
+    return results
+
+
+def gpu_batch_sweep(model: Model,
+                    batch_sizes: Sequence[int] = (1, 8, 64, 512, 4096),
+                    gpu: Optional[GPUPlatform] = None) -> List[PlatformResult]:
+    """Per-frame GPU latency vs batch size — the amortization curve that
+    justifies "GPUs are only efficient when large batches of data are
+    available" (Section I)."""
+    gpu = gpu or GPUPlatform()
+    return [gpu.latency(model, b) for b in batch_sizes]
+
+
+def comparison_table(results: Sequence[PlatformResult]) -> Table:
+    """Render results as a printable table (ms units, Fig 3 layout)."""
+    t = Table(["Model", "Platform", "Batch", "Latency (ms)",
+               "Per-frame (ms)", "Meets 3 ms"])
+    for r in results:
+        t.add_row([
+            r.model_name,
+            r.platform,
+            r.batch_size,
+            f"{r.latency_s * 1e3:.3f}",
+            f"{r.per_frame_s * 1e3:.4f}",
+            "yes" if r.latency_s <= 3e-3 and r.batch_size == 1 else "-",
+        ])
+    return t

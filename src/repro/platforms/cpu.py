@@ -1,0 +1,41 @@
+"""CPU latency model.
+
+"The high CPU latency is mainly due to the long control and data path
+delays which cannot be customized for the needs of our specific model"
+(Section III-B): a Keras ``predict`` on a server CPU pays a per-call
+framework overhead of a few milliseconds plus the arithmetic at a
+sustained single-stream FLOP rate.
+"""
+
+from __future__ import annotations
+
+from repro.nn.model import Model
+from repro.platforms.base import Platform, PlatformResult, model_flops
+
+__all__ = ["CPUPlatform"]
+
+
+class CPUPlatform(Platform):
+    """Framework-overhead-plus-FLOPs model of a Xeon-class CPU.
+
+    Parameters
+    ----------
+    framework_overhead_s:
+        Fixed per-``predict`` cost (graph dispatch, layer setup).
+    sustained_flops:
+        Effective single-stream throughput on small tensors.
+    """
+
+    name = "CPU (Keras)"
+
+    def __init__(self, framework_overhead_s: float = 2.2e-3,
+                 sustained_flops: float = 8e9):
+        if framework_overhead_s < 0 or sustained_flops <= 0:
+            raise ValueError("invalid CPU model parameters")
+        self.framework_overhead_s = framework_overhead_s
+        self.sustained_flops = sustained_flops
+
+    def latency(self, model: Model, batch_size: int = 1) -> PlatformResult:
+        flops = model_flops(model) * batch_size
+        latency = self.framework_overhead_s + flops / self.sustained_flops
+        return self._result(model, batch_size, latency)

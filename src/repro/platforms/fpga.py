@@ -1,0 +1,44 @@
+"""FPGA SoC platform — measured behaviour of the simulated board."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hls.config import HLSConfig
+from repro.hls.converter import convert
+from repro.hls.precision import uniform_config
+from repro.nn.model import Model
+from repro.platforms.base import Platform, PlatformResult
+from repro.soc.board import AchillesBoard
+
+__all__ = ["FPGAPlatform"]
+
+
+class FPGAPlatform(Platform):
+    """The Arria 10 SoC central node.
+
+    Latency comes from the converted model's cycle-accurate IP estimate
+    plus the measured step 1–8 system overhead.  The FPGA processes one
+    frame at a time (there is no batching on the IP), so batch latency
+    scales linearly — which is fine: the control task is batch-1 by
+    construction.
+    """
+
+    name = "FPGA SoC (hls4ml)"
+
+    def __init__(self, config: Optional[HLSConfig] = None,
+                 include_jitter_mean: bool = True):
+        self.config = config
+        self.include_jitter_mean = include_jitter_mean
+
+    def board_for(self, model: Model) -> AchillesBoard:
+        """Build the board hosting *model* (converted with our config)."""
+        config = self.config or uniform_config(16, 7, model=model)
+        return AchillesBoard(convert(model, config))
+
+    def latency(self, model: Model, batch_size: int = 1) -> PlatformResult:
+        board = board = self.board_for(model)
+        per_frame = board.deterministic_latency_s()
+        if self.include_jitter_mean:
+            per_frame += board.jitter.scale_s
+        return self._result(model, batch_size, per_frame * batch_size)

@@ -1,0 +1,61 @@
+"""GPU latency model.
+
+"The GPU performs well, with latencies in microseconds range, if we feed
+large batches … Sensor data arrives in small batches and in that case,
+we observe that the GPU performs similarly to the CPU" (Section III-B).
+The model captures both regimes: per-layer kernel-launch overhead and
+PCIe transfer dominate at batch 1; arithmetic throughput dominates at
+large batches.
+"""
+
+from __future__ import annotations
+
+from repro.nn.model import Model
+from repro.platforms.base import Platform, PlatformResult, model_flops, model_layers
+
+__all__ = ["GPUPlatform"]
+
+
+class GPUPlatform(Platform):
+    """Launch-overhead + transfer + throughput model of a datacentre GPU.
+
+    Parameters
+    ----------
+    launch_overhead_s:
+        Cost per layer dispatch at batch 1 — dominated by the Keras/TF
+        graph-execution overhead around each kernel launch, which is why
+        it is hundreds of microseconds rather than the raw CUDA launch
+        cost (this is what makes "GPU ≈ CPU at batch 1" in Fig 3).
+    transfer_overhead_s / transfer_bytes_per_s:
+        PCIe round-trip setup and bandwidth for inputs/outputs.
+    peak_flops:
+        Sustained arithmetic throughput at large batch.
+    """
+
+    name = "GPU (Keras)"
+
+    def __init__(self, launch_overhead_s: float = 250e-6,
+                 transfer_overhead_s: float = 300e-6,
+                 transfer_bytes_per_s: float = 12e9,
+                 peak_flops: float = 10e12):
+        if min(launch_overhead_s, transfer_overhead_s) < 0:
+            raise ValueError("overheads must be >= 0")
+        if min(transfer_bytes_per_s, peak_flops) <= 0:
+            raise ValueError("rates must be positive")
+        self.launch_overhead_s = launch_overhead_s
+        self.transfer_overhead_s = transfer_overhead_s
+        self.transfer_bytes_per_s = transfer_bytes_per_s
+        self.peak_flops = peak_flops
+
+    def latency(self, model: Model, batch_size: int = 1) -> PlatformResult:
+        import numpy as np
+
+        launches = model_layers(model) * self.launch_overhead_s
+        io_elements = int(np.prod(model.inputs[0].shape)) + int(
+            np.prod(model.outputs[0].shape)
+        )
+        transfer = self.transfer_overhead_s + (
+            io_elements * 4 * batch_size / self.transfer_bytes_per_s
+        )
+        compute = model_flops(model) * batch_size / self.peak_flops
+        return self._result(model, batch_size, launches + transfer + compute)

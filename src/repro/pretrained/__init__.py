@@ -1,0 +1,28 @@
+"""Pre-trained reference models (the paper starts from a *pre-trained*
+U-Net; we ship one).
+
+Training the reference U-Net takes minutes of CPU time, so the repository
+ships the trained weights under ``src/repro/pretrained/data/`` together
+with the dataset seed they were trained on.  Every experiment harness
+loads the same bundle, exactly as every experiment in the paper uses the
+same deployed network.
+
+Regenerate the weights with ``python tools/pretrain.py`` (deterministic:
+same seeds → same files).
+"""
+
+from repro.pretrained.bundle import (
+    DATA_DIR,
+    REFERENCE_DATASET_KWARGS,
+    ReferenceBundle,
+    load_reference_bundle,
+    reference_dataset,
+)
+
+__all__ = [
+    "DATA_DIR",
+    "REFERENCE_DATASET_KWARGS",
+    "ReferenceBundle",
+    "load_reference_bundle",
+    "reference_dataset",
+]

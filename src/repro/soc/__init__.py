@@ -1,0 +1,59 @@
+"""Discrete-event simulator of the Arria 10 SoC central node.
+
+Reproduces the paper's Fig 2 architecture and its step 0–9 frame
+pipeline:
+
+* :mod:`~repro.soc.event` — the event-driven simulation core,
+* :mod:`~repro.soc.avalon` — HPS↔FPGA Avalon memory-mapped bridge timing,
+* :mod:`~repro.soc.ocram` — the two dual-port on-chip RAM buffers
+  (16-bit IP-side port, 32-bit HPS-side port),
+* :mod:`~repro.soc.control` — the hand-written control IP (handshake FSM
+  between HPS and the U-Net IP, interrupt generation),
+* :mod:`~repro.soc.ip_core` — the U-Net IP wrapper: functional execution
+  via the converted :class:`repro.hls.HLSModel`, timing via its
+  :class:`repro.hls.LatencyReport`,
+* :mod:`~repro.soc.hps` — the Linux user-space application on the Hard
+  Processor System (uncached MMIO word transfers, IRQ wait, pre/post
+  processing) plus the OS-scheduling jitter model behind Fig 5(c)'s tail,
+* :mod:`~repro.soc.counters` / :mod:`~repro.soc.trace` — the performance
+  counters and SignalTap-style signal capture used for verification,
+* :mod:`~repro.soc.board` — the assembled Achilles board:
+  ``AchillesBoard.run(frames)`` returns outputs plus per-step timing for
+  every frame.
+
+The functional path is real: input frames are quantized into the input
+buffer's 16-bit words, the IP computes on those words, and the HPS reads
+back and dequantizes — so the SoC simulation produces *bit-identical*
+outputs to the HLS C-simulation, which is precisely the property the
+paper's verification flow checks on hardware.
+"""
+
+from repro.soc.event import Simulator
+from repro.soc.avalon import AvalonBridge
+from repro.soc.ocram import DualPortRAM
+from repro.soc.control import ControlIP
+from repro.soc.ip_core import NeuralIPCore
+from repro.soc.hps import HPSConfig, OSJitter
+from repro.soc.counters import PerformanceCounters
+from repro.soc.trace import SignalTrace
+from repro.soc.board import AchillesBoard, FrameTiming, SystemRunResult
+from repro.soc.dma import DMAEngine
+from repro.soc.runtime import CentralNodeRuntime, FrameRecord
+
+__all__ = [
+    "Simulator",
+    "AvalonBridge",
+    "DualPortRAM",
+    "ControlIP",
+    "NeuralIPCore",
+    "HPSConfig",
+    "OSJitter",
+    "PerformanceCounters",
+    "SignalTrace",
+    "AchillesBoard",
+    "FrameTiming",
+    "SystemRunResult",
+    "DMAEngine",
+    "CentralNodeRuntime",
+    "FrameRecord",
+]

@@ -1,0 +1,106 @@
+"""The hand-written control IP.
+
+The paper dedicates an HDL block to "handle the handshake between HPS
+and the U-Net IP" (Section IV-B): the HPS pokes a trigger register, the
+control IP starts the U-Net IP, watches for its done pulse, raises an
+interrupt toward the HPS and clears state on acknowledge.  The FSM below
+is that block; the verification tests drive it through every legal (and
+several illegal) transition, mirroring the paper's ModelSim testbench
+stage for component (1).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+__all__ = ["ControlIP", "ControlState"]
+
+
+class ControlState(enum.Enum):
+    """FSM states of the control IP."""
+
+    IDLE = "idle"
+    RUNNING = "running"
+    DONE_IRQ = "done_irq"  # done, interrupt asserted, awaiting ack
+
+
+class ControlIP:
+    """Handshake FSM with CSR-style interface.
+
+    Register map (word offsets on the lightweight bridge):
+
+    * ``0x0 TRIGGER`` — write 1: start the IP (only legal in IDLE),
+    * ``0x1 STATUS`` — read: 0 idle / 1 running / 2 done-irq,
+    * ``0x2 IRQ_ACK`` — write 1: de-assert the interrupt, return to IDLE.
+
+    Callbacks wire it to the rest of the board: ``start_ip`` launches the
+    U-Net IP; ``raise_irq`` pokes the HPS interrupt controller.
+    """
+
+    TRIGGER = 0x0
+    STATUS = 0x1
+    IRQ_ACK = 0x2
+
+    def __init__(self,
+                 start_ip: Optional[Callable[[], None]] = None,
+                 raise_irq: Optional[Callable[[], None]] = None,
+                 name: str = "control_ip"):
+        self.name = name
+        self.state = ControlState.IDLE
+        self._start_ip = start_ip
+        self._raise_irq = raise_irq
+        self.trigger_count = 0
+        self.irq_count = 0
+
+    # ------------------------------------------------------------------
+    # CSR interface (what the HPS sees)
+    # ------------------------------------------------------------------
+    def csr_write(self, offset: int, value: int) -> None:
+        """Register write from the HPS side."""
+        if offset == self.TRIGGER:
+            if value != 1:
+                return  # writing 0 is a no-op, like on the real block
+            if self.state is not ControlState.IDLE:
+                raise RuntimeError(
+                    f"{self.name}: trigger while {self.state.value} — the "
+                    "HPS must wait for the previous frame's IRQ ack"
+                )
+            self.state = ControlState.RUNNING
+            self.trigger_count += 1
+            if self._start_ip is not None:
+                self._start_ip()
+        elif offset == self.IRQ_ACK:
+            if value != 1:
+                return
+            if self.state is not ControlState.DONE_IRQ:
+                raise RuntimeError(
+                    f"{self.name}: IRQ ack while {self.state.value}"
+                )
+            self.state = ControlState.IDLE
+        else:
+            raise IndexError(f"{self.name}: no writable register at {offset:#x}")
+
+    def csr_read(self, offset: int) -> int:
+        """Register read from the HPS side."""
+        if offset == self.STATUS:
+            return {
+                ControlState.IDLE: 0,
+                ControlState.RUNNING: 1,
+                ControlState.DONE_IRQ: 2,
+            }[self.state]
+        raise IndexError(f"{self.name}: no readable register at {offset:#x}")
+
+    # ------------------------------------------------------------------
+    # Fabric side (what the U-Net IP sees)
+    # ------------------------------------------------------------------
+    def ip_done(self) -> None:
+        """Done pulse from the U-Net IP: assert the interrupt."""
+        if self.state is not ControlState.RUNNING:
+            raise RuntimeError(
+                f"{self.name}: done pulse while {self.state.value}"
+            )
+        self.state = ControlState.DONE_IRQ
+        self.irq_count += 1
+        if self._raise_irq is not None:
+            self._raise_irq()

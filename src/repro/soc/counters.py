@@ -1,0 +1,67 @@
+"""Performance counters.
+
+The paper integrates "performance counters to measure real latency"
+into the platform-designer subsystem (Section IV-B).  This module is
+that block: named timestamp counters latched against the simulator
+clock, from which per-step durations are derived.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["PerformanceCounters"]
+
+
+class PerformanceCounters:
+    """Named start/stop interval counters with cycle resolution.
+
+    Counters are keyed by step name (e.g. ``"step1_write_input"``); each
+    ``start``/``stop`` pair appends one measured interval.  ``clock_hz``
+    converts to cycle counts like the hardware counters would report.
+    """
+
+    def __init__(self, clock_hz: float = 100e6):
+        if clock_hz <= 0:
+            raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+        self.clock_hz = clock_hz
+        self._open: Dict[str, float] = {}
+        self._intervals: Dict[str, List[Tuple[float, float]]] = {}
+
+    def start(self, name: str, now: float) -> None:
+        """Latch the start timestamp of counter *name*."""
+        if name in self._open:
+            raise RuntimeError(f"counter {name!r} already running")
+        self._open[name] = now
+
+    def stop(self, name: str, now: float) -> float:
+        """Latch the stop timestamp; returns the interval in seconds."""
+        if name not in self._open:
+            raise RuntimeError(f"counter {name!r} was not started")
+        begin = self._open.pop(name)
+        if now < begin:
+            raise ValueError(f"counter {name!r}: stop before start")
+        self._intervals.setdefault(name, []).append((begin, now))
+        return now - begin
+
+    # ------------------------------------------------------------------
+    def intervals(self, name: str) -> List[Tuple[float, float]]:
+        """All recorded (start, stop) pairs of counter *name*."""
+        return list(self._intervals.get(name, []))
+
+    def durations(self, name: str) -> List[float]:
+        """Recorded durations (seconds) of counter *name*."""
+        return [b - a for a, b in self._intervals.get(name, [])]
+
+    def total_cycles(self, name: str) -> int:
+        """Sum of counter *name* in clock cycles."""
+        return int(round(sum(self.durations(name)) * self.clock_hz))
+
+    def names(self) -> List[str]:
+        """All counters that recorded at least one interval."""
+        return sorted(self._intervals)
+
+    def reset(self) -> None:
+        """Clear all state (counters and open intervals)."""
+        self._open.clear()
+        self._intervals.clear()

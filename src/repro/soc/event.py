@@ -1,0 +1,88 @@
+"""Minimal discrete-event simulation core.
+
+A priority queue of ``(time, sequence, callback)`` events.  Components
+schedule callbacks at absolute or relative times; the simulator advances
+time monotonically.  Deliberately tiny — the SoC model needs ordering,
+timestamps and determinism, not a process algebra.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Event queue with a monotonic clock (seconds as float64)."""
+
+    def __init__(self):
+        self._queue: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self.now: float = 0.0
+        self._processed = 0
+
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at ``now + delay`` (ties fire in schedule order)."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), callback))
+
+    def schedule_at(self, when: float, callback: Callable[[], None]) -> None:
+        """Run *callback* at absolute time *when* (>= now)."""
+        if when < self.now:
+            raise ValueError(
+                f"cannot schedule into the past (when={when}, now={self.now})"
+            )
+        heapq.heappush(self._queue, (when, next(self._seq), callback))
+
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Process one event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        when, _seq, callback = heapq.heappop(self._queue)
+        self.now = when
+        self._processed += 1
+        callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> None:
+        """Drain the queue (optionally stopping at time *until*).
+
+        ``max_events`` guards against runaway self-rescheduling loops.
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0][0] > until:
+                self.now = until
+                return
+            self.step()
+            processed += 1
+            if processed > max_events:
+                raise RuntimeError(
+                    f"event budget exceeded ({max_events}); "
+                    "likely a self-rescheduling loop"
+                )
+
+    def advance(self, delay: float) -> float:
+        """Move the clock forward *delay* seconds immediately (used by
+        sequential component code between scheduled events); returns the
+        new time."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.now += delay
+        return self.now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending(self) -> int:
+        """Events still queued."""
+        return len(self._queue)

@@ -1,0 +1,115 @@
+"""The neural-network IP core on the fabric.
+
+Wraps a converted :class:`~repro.hls.model.HLSModel`: when triggered it
+*actually reads* the raw 16-bit words from the input buffer, dequantizes
+them onto the input stream grid, runs the bit-accurate fixed-point
+forward pass, quantizes the results into the output buffer's words, and
+reports a completion time from the cycle-accurate latency model.  The
+simulated board therefore produces outputs bit-identical to the HLS
+C-simulation — the equivalence the paper's on-board verification checks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fixed import FixedPointFormat, from_raw, to_raw
+from repro.hls.latency import LatencyReport, estimate_latency
+from repro.hls.model import HLSModel
+from repro.soc.ocram import DualPortRAM
+
+__all__ = ["NeuralIPCore"]
+
+
+class NeuralIPCore:
+    """Memory-mapped-host neural IP (the paper's modified hls4ml IP).
+
+    Parameters
+    ----------
+    hls_model:
+        The converted fixed-point model to execute.
+    input_ram / output_ram:
+        The on-chip buffers the IP's Avalon MM host ports read/write.
+    latency:
+        Optional pre-computed latency report (estimated on demand).
+    """
+
+    def __init__(self, hls_model: HLSModel, input_ram: DualPortRAM,
+                 output_ram: DualPortRAM,
+                 latency: Optional[LatencyReport] = None,
+                 name: str = "nn_ip"):
+        self.name = name
+        self.hls_model = hls_model
+        self.input_ram = input_ram
+        self.output_ram = output_ram
+        self.latency = latency or estimate_latency(hls_model)
+        self.runs = 0
+
+        self._n_in = int(np.prod(hls_model.input_shape))
+        self._n_out = int(np.prod(hls_model.output_shape))
+        if input_ram.n_words < self._n_in:
+            raise ValueError(
+                f"input RAM too small: {input_ram.n_words} < {self._n_in}"
+            )
+        if output_ram.n_words < self._n_out:
+            raise ValueError(
+                f"output RAM too small: {output_ram.n_words} < {self._n_out}"
+            )
+        # Buffer word format = the model's input/output stream formats.
+        self.input_format = self._stream_format(hls_model.kernels[0])
+        self.output_format = self._stream_format(hls_model.kernels[-1])
+
+    @staticmethod
+    def _stream_format(kernel) -> FixedPointFormat:
+        fmt = kernel.config.result
+        if fmt.width > 16:
+            # The buffers have 16-bit IP-side ports; wider stream formats
+            # transfer their top 16 bits (width-preserving designs keep
+            # result widths ≤ 16 on the boundary layers).
+            fmt = fmt.with_(width=16, integer=min(fmt.integer, 16))
+        return fmt
+
+    # ------------------------------------------------------------------
+    @property
+    def compute_latency_s(self) -> float:
+        """IP busy time per frame from the cycle model."""
+        return self.latency.latency_s
+
+    def run(self) -> float:
+        """Execute one frame: buffer → network → buffer.
+
+        Returns the IP busy time in seconds (the caller schedules the
+        done pulse after it).
+        """
+        raw_in = self.input_ram.read(0, self._n_in)
+        x = from_raw(raw_in, self.input_format)
+        x = x.reshape((1,) + tuple(self.hls_model.input_shape))
+        y = self.hls_model.predict(x)[0]
+        raw_out = to_raw(y.ravel(), self.output_format)
+        self.output_ram.write(0, raw_out)
+        self.runs += 1
+        return self.compute_latency_s
+
+    # ------------------------------------------------------------------
+    def quantize_input(self, frame: np.ndarray) -> np.ndarray:
+        """Float frame → raw input-buffer words (what the HPS writes)."""
+        frame = np.asarray(frame, dtype=np.float64).ravel()
+        if frame.size != self._n_in:
+            raise ValueError(f"frame must have {self._n_in} values, got {frame.size}")
+        return to_raw(frame, self.input_format)
+
+    def dequantize_output(self, raw: np.ndarray) -> np.ndarray:
+        """Raw output-buffer words → float probabilities (HPS side)."""
+        return from_raw(np.asarray(raw, dtype=np.int64), self.output_format)
+
+    @property
+    def n_inputs(self) -> int:
+        """Input words per frame (260)."""
+        return self._n_in
+
+    @property
+    def n_outputs(self) -> int:
+        """Output words per frame (520 for the U-Net)."""
+        return self._n_out

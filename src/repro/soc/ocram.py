@@ -1,0 +1,77 @@
+"""Dual-port on-chip RAM buffers.
+
+The design instantiates two on-chip RAMs as input and output buffers: a
+16-bit port faces the U-Net IP and a 32-bit port faces the HPS bridge
+(paper Section IV-D).  The simulator's RAMs hold real 16-bit raw words —
+the quantized fixed-point bit patterns — so data corruption bugs
+(overflow, wrong formats, partial writes) are observable, exactly what
+the paper's in-system memory content editor was used to check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DualPortRAM"]
+
+
+class DualPortRAM:
+    """A word-addressable RAM with bounds and width checking.
+
+    Words are stored as int64 but constrained to ``width_bits`` two's-
+    complement range; writing an out-of-range word raises, because on
+    silicon it would silently truncate — the simulator turns that silent
+    corruption into a loud error.
+    """
+
+    def __init__(self, n_words: int, width_bits: int = 16, name: str = "ocram"):
+        if n_words <= 0:
+            raise ValueError(f"n_words must be positive, got {n_words}")
+        if not 1 <= width_bits <= 62:
+            raise ValueError(f"width_bits must be in [1, 62], got {width_bits}")
+        self.name = name
+        self.n_words = int(n_words)
+        self.width_bits = int(width_bits)
+        self._lo = -(2 ** (width_bits - 1))
+        self._hi = 2 ** (width_bits - 1) - 1
+        self._data = np.zeros(self.n_words, dtype=np.int64)
+        self.write_count = 0
+        self.read_count = 0
+
+    # ------------------------------------------------------------------
+    def _check_span(self, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > self.n_words:
+            raise IndexError(
+                f"{self.name}: access [{offset}, {offset + length}) outside "
+                f"[0, {self.n_words})"
+            )
+
+    def write(self, offset: int, words: np.ndarray) -> None:
+        """Write a contiguous span of raw words."""
+        words = np.asarray(words, dtype=np.int64)
+        self._check_span(offset, words.size)
+        if words.size and (words.min() < self._lo or words.max() > self._hi):
+            raise OverflowError(
+                f"{self.name}: word outside {self.width_bits}-bit range "
+                f"[{self._lo}, {self._hi}]"
+            )
+        self._data[offset:offset + words.size] = words
+        self.write_count += int(words.size)
+
+    def read(self, offset: int, length: int) -> np.ndarray:
+        """Read a contiguous span of raw words (copy)."""
+        self._check_span(offset, length)
+        self.read_count += int(length)
+        return self._data[offset:offset + length].copy()
+
+    def poke(self, offset: int, word: int) -> None:
+        """Single-word write (the in-system memory content editor path)."""
+        self.write(offset, np.array([word], dtype=np.int64))
+
+    def peek(self, offset: int) -> int:
+        """Single-word read."""
+        return int(self.read(offset, 1)[0])
+
+    def clear(self) -> None:
+        """Zero the memory (power-on state)."""
+        self._data[:] = 0

@@ -1,0 +1,122 @@
+"""The operational control loop: hubs → board → controller → ACNET.
+
+:class:`CentralNodeRuntime` is the library form of the deployment the
+paper schedules for the Fermilab facility: it owns the hub network
+(step 0), the Achilles board (steps 1–8), the trip controller and the
+ACNET uplink (step 9), and advances frame by frame on the 3 ms digitizer
+grid.  The examples and the controller-level tests drive this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.beamloss.acnet import ACNETLog
+from repro.beamloss.controller import TripController, TripDecision
+from repro.beamloss.hubs import HubNetwork
+from repro.soc.board import FRAME_PERIOD_S, AchillesBoard
+from repro.utils.rng import SeedLike, default_rng
+
+__all__ = ["CentralNodeRuntime", "FrameRecord"]
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Everything that happened to one digitizer frame."""
+
+    frame_index: int
+    hub_delay_s: float       # step 0: last hub packet arrival
+    node_latency_s: float    # steps 1–8
+    decision: TripDecision   # step 9 payload
+
+    @property
+    def total_latency_s(self) -> float:
+        """Digitizer tick → decision available."""
+        return self.hub_delay_s + self.node_latency_s
+
+
+@dataclass
+class CentralNodeRuntime:
+    """The assembled central node plus its communication fabric.
+
+    Parameters
+    ----------
+    board:
+        An :class:`AchillesBoard` programmed with the de-blending IP.
+    hubs / controller / acnet:
+        Substituted for customization; defaults match the facility.
+    period_s:
+        Digitizer frame period (3 ms).
+    """
+
+    board: AchillesBoard
+    hubs: HubNetwork = field(default_factory=HubNetwork)
+    controller: TripController = field(default_factory=TripController)
+    acnet: ACNETLog = field(default_factory=ACNETLog)
+    period_s: float = FRAME_PERIOD_S
+    records: List[FrameRecord] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+
+    # ------------------------------------------------------------------
+    def run(self, frames: np.ndarray, seed: SeedLike = 0) -> List[FrameRecord]:
+        """Process a stretch of frames on the digitizer grid.
+
+        *frames* are standardized 260-value model inputs, one per 3 ms
+        tick.  Returns (and appends to :attr:`records`) one
+        :class:`FrameRecord` per frame; decisions are published to ACNET
+        in tick order.
+        """
+        frames = np.asarray(frames, dtype=np.float64)
+        if frames.ndim != 2:
+            raise ValueError(f"frames must be 2-D, got {frames.shape}")
+        rng = default_rng(seed)
+        hub_delays = self.hubs.frame_complete_times(
+            frames.shape[0], seed=int(rng.integers(0, 2**62))
+        )
+        result = self.board.run(frames, seed=int(rng.integers(0, 2**62)),
+                                paced=True, period_s=self.period_s)
+        start = len(self.records)
+        new_records = []
+        for i, timing in enumerate(result.timings):
+            total = hub_delays[i] + timing.total
+            decision = self.controller.decide(
+                result.outputs[i], latency_s=total,
+                frame_index=start + i,
+            )
+            self.acnet.publish(
+                decision,
+                sent_at_s=(start + i) * self.period_s + total,
+            )
+            record = FrameRecord(
+                frame_index=start + i,
+                hub_delay_s=float(hub_delays[i]),
+                node_latency_s=float(timing.total),
+                decision=decision,
+            )
+            new_records.append(record)
+        self.records.extend(new_records)
+        return new_records
+
+    # ------------------------------------------------------------------
+    @property
+    def total_latencies_s(self) -> np.ndarray:
+        """Tick-to-decision latency of every processed frame."""
+        return np.array([r.total_latency_s for r in self.records])
+
+    def deadline_compliance(self, deadline_s: Optional[float] = None) -> float:
+        """Fraction of frames decided inside the deadline (default: the
+        digitizer period)."""
+        if not self.records:
+            return 1.0
+        deadline = deadline_s if deadline_s is not None else self.period_s
+        return float((self.total_latencies_s <= deadline).mean())
+
+    def decisions(self) -> List[TripDecision]:
+        """All decisions in frame order."""
+        return [r.decision for r in self.records]

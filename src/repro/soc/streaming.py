@@ -1,0 +1,74 @@
+"""The stock hls4ml *streaming* interface, for comparison.
+
+"With its default capabilities, hls4ml generates descriptions for IPs
+with streaming interfaces, hence, the IP can only consume data
+passively.  We modified this default hls4ml interface by customizing the
+memory-mapped host interface" (Section IV-B).  This module models the
+path the paper moved *away from*, so the benefit of that engineering can
+be measured:
+
+* the HPS must push every input word into the IP's Avalon-ST FIFO
+  itself (one uncached CSR-style write per word),
+* there is no completion interrupt — the HPS polls the output FIFO's
+  fill level, paying a poll-interval penalty on average,
+* every output word is popped individually.
+
+The IP-core compute time is identical (the kernels don't change); only
+the system wrapper differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hls.latency import LatencyReport
+
+__all__ = ["StreamingInterfaceModel"]
+
+
+@dataclass(frozen=True)
+class StreamingInterfaceModel:
+    """Timing model of the stock streaming wrapper.
+
+    Parameters
+    ----------
+    word_push_s / word_pop_s:
+        One FIFO write/read from HPS user space (uncached single-beat
+        accesses on the lightweight bridge).
+    poll_interval_s:
+        Status-register polling period while waiting for output; on
+        average half an interval of latency is added, plus one poll's bus
+        read per check.
+    preprocess_s / postprocess_s:
+        Same user-space framing costs as the MM design.
+    """
+
+    word_push_s: float = 0.35e-6
+    word_pop_s: float = 0.40e-6
+    poll_interval_s: float = 20e-6
+    preprocess_s: float = 4e-6
+    postprocess_s: float = 5e-6
+
+    def __post_init__(self):
+        for name in ("word_push_s", "word_pop_s", "poll_interval_s",
+                     "preprocess_s", "postprocess_s"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    def system_latency_s(self, latency: LatencyReport,
+                         n_inputs: int, n_outputs: int) -> float:
+        """End-to-end frame latency under the streaming wrapper.
+
+        The IP's host-interface transfer cycles are replaced by the
+        HPS-side push/pop costs (the stream consumes as it is fed, so the
+        compute pipeline still finishes ``compute_cycles`` after the last
+        input word).
+        """
+        if n_inputs <= 0 or n_outputs <= 0:
+            raise ValueError("word counts must be positive")
+        compute_s = latency.compute_cycles / latency.clock_hz
+        push = n_inputs * self.word_push_s
+        pop = n_outputs * self.word_pop_s
+        polling = self.poll_interval_s / 2
+        return (self.preprocess_s + push + compute_s + polling + pop
+                + self.postprocess_s)

@@ -1,0 +1,91 @@
+"""SignalTap-style signal capture.
+
+The paper debugs the fabric with Intel's SignalTap logic analyser
+(Section IV-C).  :class:`SignalTrace` is the simulator's equivalent: a
+bounded ring buffer of ``(time, signal, value)`` samples with trigger
+support, so verification tests can assert on signal *sequences* (e.g.
+"trigger rises before busy, busy falls before irq") rather than only on
+final state.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+__all__ = ["SignalTrace", "Sample"]
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One captured transition."""
+
+    time: float
+    signal: str
+    value: object
+
+
+class SignalTrace:
+    """Bounded capture buffer with optional trigger condition.
+
+    Parameters
+    ----------
+    depth:
+        Ring-buffer capacity (oldest samples fall out, like the real
+        analyser's sample memory).
+    trigger:
+        Optional predicate ``(signal, value) -> bool``; capture only
+        starts once it fires (pre-trigger samples are discarded).
+    """
+
+    def __init__(self, depth: int = 4096,
+                 trigger: Optional[Callable[[str, object], bool]] = None):
+        if depth <= 0:
+            raise ValueError(f"depth must be positive, got {depth}")
+        self.depth = depth
+        self.trigger = trigger
+        self.armed = trigger is None
+        self._samples: Deque[Sample] = deque(maxlen=depth)
+
+    def record(self, time: float, signal: str, value: object) -> None:
+        """Capture one transition (subject to trigger arming)."""
+        if not self.armed and self.trigger is not None:
+            if self.trigger(signal, value):
+                self.armed = True
+            else:
+                return
+        self._samples.append(Sample(time, signal, value))
+
+    # ------------------------------------------------------------------
+    def samples(self, signal: Optional[str] = None) -> List[Sample]:
+        """Captured samples, optionally filtered by signal name."""
+        if signal is None:
+            return list(self._samples)
+        return [s for s in self._samples if s.signal == signal]
+
+    def last(self, signal: str) -> Optional[Sample]:
+        """Most recent sample of *signal*, or None."""
+        for s in reversed(self._samples):
+            if s.signal == signal:
+                return s
+        return None
+
+    def assert_order(self, *signals: str) -> bool:
+        """True if the first occurrences of *signals* appear in order."""
+        times = []
+        for name in signals:
+            first = next((s.time for s in self._samples if s.signal == name),
+                         None)
+            if first is None:
+                return False
+            times.append(first)
+        return all(a <= b for a, b in zip(times, times[1:]))
+
+    def clear(self) -> None:
+        """Drop all captured samples and re-arm the trigger."""
+        self._samples.clear()
+        self.armed = self.trigger is None
+
+    def __len__(self) -> int:
+        return len(self._samples)

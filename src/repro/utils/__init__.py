@@ -1,0 +1,35 @@
+"""Shared utilities: deterministic RNG management, units, tables, timing.
+
+These helpers keep the rest of the library free of boilerplate:
+
+* :mod:`repro.utils.rng` — a single entry point for seeded
+  :class:`numpy.random.Generator` instances so every experiment is
+  reproducible bit-for-bit.
+* :mod:`repro.utils.units` — conversions between cycles, seconds and
+  frames-per-second used throughout the latency models.
+* :mod:`repro.utils.tables` — minimal ASCII table rendering for the
+  experiment harnesses (the benchmark scripts print paper-style tables).
+"""
+
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.units import (
+    MHZ,
+    cycles_to_seconds,
+    fps_from_latency,
+    seconds_to_cycles,
+    us,
+    ms,
+)
+from repro.utils.tables import Table
+
+__all__ = [
+    "default_rng",
+    "spawn_rngs",
+    "MHZ",
+    "cycles_to_seconds",
+    "seconds_to_cycles",
+    "fps_from_latency",
+    "us",
+    "ms",
+    "Table",
+]

@@ -1,0 +1,53 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the library (dataset synthesis, weight
+initialisation, OS-jitter model, ...) takes either an integer seed or a
+:class:`numpy.random.Generator`.  This module centralises the coercion
+logic so that
+
+* an ``int`` seed always produces the same stream,
+* ``None`` produces a fresh nondeterministic stream (only used when the
+  caller explicitly opts in), and
+* a ``Generator`` is passed through untouched, letting callers share one
+  stream across components.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def default_rng(seed: SeedLike = 0) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Parameters
+    ----------
+    seed:
+        ``int`` / ``SeedSequence`` for a deterministic stream, an existing
+        ``Generator`` (returned unchanged), or ``None`` for entropy-seeded
+        randomness.  The library-wide default seed is ``0``.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, n: int) -> Sequence[np.random.Generator]:
+    """Split *seed* into *n* independent generators.
+
+    Used when a component (e.g. the SoC simulator) needs per-subsystem
+    streams that must not correlate: drawing from one stream must never
+    perturb another subsystem's sequence.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(n)]

@@ -1,0 +1,69 @@
+"""Minimal ASCII table rendering for experiment harnesses.
+
+The benchmark/experiment scripts print tables in the same row/column layout
+as the paper.  We deliberately avoid external dependencies; this renderer
+supports left/right alignment and a title line, which is all the harnesses
+need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+class Table:
+    """An append-only ASCII table.
+
+    Example
+    -------
+    >>> t = Table(["Strategy", "Accuracy MI"], title="Table II")
+    >>> t.add_row(["Uniform <18,10>", "98.8%"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self._rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        """Append a row; values are stringified. Length must match columns."""
+        cells = [str(v) for v in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.columns)}"
+            )
+        self._rows.append(cells)
+
+    @property
+    def rows(self) -> List[List[str]]:
+        """A copy of the row data added so far."""
+        return [list(r) for r in self._rows]
+
+    def render(self) -> str:
+        """Render the table as a string with ``|``-separated columns."""
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "+".join("-" * (w + 2) for w in widths)
+        sep = f"+{sep}+"
+
+        def fmt(cells: Sequence[str]) -> str:
+            return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(sep)
+        lines.append(fmt(self.columns))
+        lines.append(sep)
+        for row in self._rows:
+            lines.append(fmt(row))
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.render()

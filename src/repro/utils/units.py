@@ -1,0 +1,51 @@
+"""Unit helpers shared by the latency and throughput models.
+
+The paper reports latencies in milliseconds, clock frequency in MHz and
+throughput in frames per second; the HLS latency model internally works in
+clock cycles.  These tiny converters keep the arithmetic explicit and
+self-documenting at call sites.
+"""
+
+from __future__ import annotations
+
+MHZ = 1_000_000.0
+
+#: Clock frequency of the deployed design (paper, Section VI).
+DEFAULT_CLOCK_HZ = 100 * MHZ
+
+
+def us(value: float) -> float:
+    """Microseconds → seconds."""
+    return value * 1e-6
+
+
+def ms(value: float) -> float:
+    """Milliseconds → seconds."""
+    return value * 1e-3
+
+
+def cycles_to_seconds(cycles: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> float:
+    """Convert a cycle count at *clock_hz* into seconds."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return cycles / clock_hz
+
+
+def seconds_to_cycles(seconds: float, clock_hz: float = DEFAULT_CLOCK_HZ) -> int:
+    """Convert seconds into a (rounded-up) cycle count at *clock_hz*."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    if seconds < 0:
+        raise ValueError(f"seconds must be non-negative, got {seconds}")
+    cycles = seconds * clock_hz
+    return int(-(-cycles // 1))  # ceil without importing math
+
+
+def fps_from_latency(latency_s: float) -> float:
+    """Frames per second sustained at a per-frame latency of *latency_s*.
+
+    This matches the paper's definition: 575 fps ⇔ 1.74 ms per frame.
+    """
+    if latency_s <= 0:
+        raise ValueError(f"latency must be positive, got {latency_s}")
+    return 1.0 / latency_s

@@ -1,0 +1,50 @@
+"""Staged verification flow (paper Section IV-C).
+
+The paper verifies the system bottom-up: (1) the control IP alone,
+(2) the hls4ml-generated IP against Keras outputs, (3) the FPGA-side
+subsystem (RAMs + control + IP), (4) the bridge with a trivial adder
+component, (5) interrupts, (6) everything combined under SignalTap.
+This package reproduces that flow against the simulated board:
+
+* :mod:`~repro.verify.comparators` — the paper's metrics: the
+  within-0.20 "close enough" accuracy (Table II), per-machine mean
+  absolute difference (Fig 5a) and outlier counts (Fig 5b),
+* :mod:`~repro.verify.stages` — one callable per verification stage,
+* :mod:`~repro.verify.flow` — the orchestrator running all stages and
+  producing a pass/fail report.
+"""
+
+from repro.verify.comparators import (
+    close_enough_accuracy,
+    mean_abs_diff_per_machine,
+    outlier_count,
+    split_machine_channels,
+)
+from repro.verify.stages import (
+    StageResult,
+    verify_bridge_with_adder,
+    verify_control_ip,
+    verify_cyclone_bringup,
+    verify_hls_against_float,
+    verify_interrupt_path,
+    verify_soc_subsystem,
+)
+from repro.verify.flow import VerificationFlow
+from repro.verify.testbench import read_vector_file, write_test_vectors
+
+__all__ = [
+    "close_enough_accuracy",
+    "mean_abs_diff_per_machine",
+    "outlier_count",
+    "split_machine_channels",
+    "StageResult",
+    "verify_control_ip",
+    "verify_hls_against_float",
+    "verify_soc_subsystem",
+    "verify_bridge_with_adder",
+    "verify_interrupt_path",
+    "verify_cyclone_bringup",
+    "VerificationFlow",
+    "write_test_vectors",
+    "read_vector_file",
+]

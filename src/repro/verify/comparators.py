@@ -1,0 +1,89 @@
+"""Comparison metrics between float (Keras) and quantized (HLS) outputs.
+
+The paper's accuracy definition (Section IV-D): a quantized output is
+"close enough" when it is within **0.20** of the pre-trained model's
+output, the full output range being [0, 1].  Outputs interleave the two
+machines monitor-major (``[m0_MI, m0_RR, m1_MI, m1_RR, …]``), so every
+metric is reported per machine — the MI/RR asymmetry is a headline
+observation (Fig 5a).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "CLOSE_ENOUGH_THRESHOLD",
+    "split_machine_channels",
+    "close_enough_accuracy",
+    "mean_abs_diff_per_machine",
+    "outlier_count",
+]
+
+#: Paper Section IV-D: |Δ| ≤ 0.20 on a [0, 1] output counts as correct.
+CLOSE_ENOUGH_THRESHOLD = 0.20
+
+
+def split_machine_channels(flat: np.ndarray,
+                           n_machines: int = 2) -> np.ndarray:
+    """Reshape flat outputs ``(n, monitors*machines)`` →
+    ``(n, monitors, machines)`` (monitor-major, machine-minor)."""
+    flat = np.asarray(flat, dtype=np.float64)
+    if flat.ndim != 2:
+        raise ValueError(f"expected 2-D outputs, got {flat.shape}")
+    if flat.shape[1] % n_machines:
+        raise ValueError(
+            f"output width {flat.shape[1]} not divisible by {n_machines}"
+        )
+    return flat.reshape(flat.shape[0], -1, n_machines)
+
+
+def _check_pair(y_ref: np.ndarray, y_test: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    y_ref = np.asarray(y_ref, dtype=np.float64)
+    y_test = np.asarray(y_test, dtype=np.float64)
+    if y_ref.shape != y_test.shape:
+        raise ValueError(f"shape mismatch: {y_ref.shape} vs {y_test.shape}")
+    return y_ref, y_test
+
+
+def close_enough_accuracy(y_ref: np.ndarray, y_test: np.ndarray,
+                          threshold: float = CLOSE_ENOUGH_THRESHOLD,
+                          machine_names: Sequence[str] = ("MI", "RR"),
+                          ) -> Dict[str, float]:
+    """Per-machine fraction of outputs within *threshold* of the
+    reference — the Table II accuracy columns."""
+    if threshold <= 0:
+        raise ValueError(f"threshold must be positive, got {threshold}")
+    y_ref, y_test = _check_pair(y_ref, y_test)
+    ref = split_machine_channels(y_ref, len(machine_names))
+    test = split_machine_channels(y_test, len(machine_names))
+    close = np.abs(ref - test) <= threshold
+    return {
+        name: float(close[:, :, i].mean())
+        for i, name in enumerate(machine_names)
+    }
+
+
+def mean_abs_diff_per_machine(y_ref: np.ndarray, y_test: np.ndarray,
+                              machine_names: Sequence[str] = ("MI", "RR"),
+                              ) -> Dict[str, float]:
+    """Per-machine mean |quantized − float| — the Fig 5a series
+    (paper values at 16 bits: ≈0.025 MI, ≈0.005 RR)."""
+    y_ref, y_test = _check_pair(y_ref, y_test)
+    ref = split_machine_channels(y_ref, len(machine_names))
+    test = split_machine_channels(y_test, len(machine_names))
+    diff = np.abs(ref - test)
+    return {
+        name: float(diff[:, :, i].mean())
+        for i, name in enumerate(machine_names)
+    }
+
+
+def outlier_count(y_ref: np.ndarray, y_test: np.ndarray,
+                  threshold: float = CLOSE_ENOUGH_THRESHOLD) -> int:
+    """Number of output values whose error exceeds *threshold* — the
+    "abnormal points" of Fig 5b (attributed to inner-layer overflows)."""
+    y_ref, y_test = _check_pair(y_ref, y_test)
+    return int((np.abs(y_ref - y_test) > threshold).sum())

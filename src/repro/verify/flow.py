@@ -1,0 +1,94 @@
+"""The orchestrated verification flow.
+
+"After the system is verified any future verification effort only needs
+to focus on the incremental updates of the IP alone" (Section IV-C):
+:class:`VerificationFlow` runs all six stages for a model/board pair and
+renders a report; :meth:`VerificationFlow.verify_ip_update` re-runs only
+the IP-facing stages, which is the paper's incremental re-verification
+story.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.hls.model import HLSModel
+from repro.nn.model import Model
+from repro.soc.board import AchillesBoard
+from repro.verify.stages import (
+    StageResult,
+    verify_bridge_with_adder,
+    verify_control_ip,
+    verify_cyclone_bringup,
+    verify_hls_against_float,
+    verify_interrupt_path,
+    verify_soc_subsystem,
+)
+
+__all__ = ["VerificationFlow"]
+
+
+class VerificationFlow:
+    """Run the staged verification of one deployed design.
+
+    Parameters
+    ----------
+    model / hls_model / board:
+        The float network, its converted fixed-point twin, and the board
+        hosting it.
+    """
+
+    def __init__(self, model: Model, hls_model: HLSModel,
+                 board: Optional[AchillesBoard] = None):
+        self.model = model
+        self.hls_model = hls_model
+        self.board = board or AchillesBoard(hls_model)
+        self.results: List[StageResult] = []
+
+    # ------------------------------------------------------------------
+    def run_all(self, x: np.ndarray, n_subsystem_frames: int = 3,
+                min_accuracy: float = 0.95) -> List[StageResult]:
+        """Run every stage on profiling data *x* ``(n, n_inputs)``."""
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.reshape(x.shape[0], -1)
+        shaped = x.reshape((x.shape[0],) + tuple(self.hls_model.input_shape))
+        self.results = [
+            verify_cyclone_bringup(),
+            verify_control_ip(),
+            verify_hls_against_float(self.model, self.hls_model, shaped,
+                                     min_accuracy=min_accuracy),
+            verify_soc_subsystem(self.board, self.hls_model,
+                                 flat[:n_subsystem_frames]),
+            verify_bridge_with_adder(),
+            verify_interrupt_path(self.board, flat[0]),
+        ]
+        return self.results
+
+    def verify_ip_update(self, x: np.ndarray,
+                         min_accuracy: float = 0.95) -> List[StageResult]:
+        """Incremental flow after swapping the IP: only stages 2–3."""
+        x = np.asarray(x, dtype=np.float64)
+        flat = x.reshape(x.shape[0], -1)
+        shaped = x.reshape((x.shape[0],) + tuple(self.hls_model.input_shape))
+        self.results = [
+            verify_hls_against_float(self.model, self.hls_model, shaped,
+                                     min_accuracy=min_accuracy),
+            verify_soc_subsystem(self.board, self.hls_model, flat[:3]),
+        ]
+        return self.results
+
+    # ------------------------------------------------------------------
+    @property
+    def passed(self) -> bool:
+        """All executed stages passed (False when none ran)."""
+        return bool(self.results) and all(r.passed for r in self.results)
+
+    def report(self) -> str:
+        """Multi-line pass/fail report."""
+        if not self.results:
+            return "no stages executed"
+        lines = [str(r) for r in self.results]
+        lines.append(f"=> {'ALL PASS' if self.passed else 'FAILURES PRESENT'}")
+        return "\n".join(lines)

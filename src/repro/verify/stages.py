@@ -1,0 +1,188 @@
+"""Individual verification stages.
+
+Each stage returns a :class:`StageResult` instead of raising, so the
+flow can report every failure at once — like a regression run over the
+paper's six testbenches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hls.model import HLSModel
+from repro.nn.model import Model
+from repro.soc.avalon import LIGHTWEIGHT_BRIDGE
+from repro.soc.board import AchillesBoard
+from repro.soc.control import ControlIP, ControlState
+from repro.soc.ocram import DualPortRAM
+from repro.soc.trace import SignalTrace
+from repro.verify.comparators import close_enough_accuracy
+
+__all__ = [
+    "StageResult",
+    "verify_control_ip",
+    "verify_hls_against_float",
+    "verify_soc_subsystem",
+    "verify_bridge_with_adder",
+    "verify_interrupt_path",
+    "verify_cyclone_bringup",
+]
+
+
+@dataclass(frozen=True)
+class StageResult:
+    """Outcome of one verification stage."""
+
+    stage: str
+    passed: bool
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        extras = ", ".join(f"{k}={v}" for k, v in self.details.items())
+        return f"[{status}] {self.stage}" + (f" ({extras})" if extras else "")
+
+
+def verify_control_ip() -> StageResult:
+    """Stage 1: drive the handshake FSM through every legal transition
+    and assert the illegal ones are rejected (the VHDL testbench on the
+    Cyclone V in the paper)."""
+    started, irqs = [], []
+    ctl = ControlIP(start_ip=lambda: started.append(True),
+                    raise_irq=lambda: irqs.append(True))
+    ok = True
+    details: Dict[str, object] = {}
+    try:
+        assert ctl.csr_read(ControlIP.STATUS) == 0
+        ctl.csr_write(ControlIP.TRIGGER, 1)
+        assert ctl.state is ControlState.RUNNING and started
+        # Illegal: re-trigger while running.
+        try:
+            ctl.csr_write(ControlIP.TRIGGER, 1)
+            ok = False
+            details["retrigger"] = "not rejected"
+        except RuntimeError:
+            pass
+        ctl.ip_done()
+        assert ctl.state is ControlState.DONE_IRQ and irqs
+        assert ctl.csr_read(ControlIP.STATUS) == 2
+        ctl.csr_write(ControlIP.IRQ_ACK, 1)
+        assert ctl.state is ControlState.IDLE
+        # Illegal: spurious done pulse while idle.
+        try:
+            ctl.ip_done()
+            ok = False
+            details["spurious_done"] = "not rejected"
+        except RuntimeError:
+            pass
+    except AssertionError as exc:
+        ok = False
+        details["assertion"] = repr(exc)
+    return StageResult("control_ip_fsm", ok, details)
+
+
+def verify_hls_against_float(model: Model, hls_model: HLSModel,
+                             x: np.ndarray,
+                             min_accuracy: float = 0.95) -> StageResult:
+    """Stage 2: HLS C-sim vs Keras outputs using the paper's within-0.20
+    accuracy metric (the hls4ml-translation check)."""
+    y_float = model.forward(np.asarray(x, dtype=np.float64))
+    y_fixed = hls_model.predict(np.asarray(x, dtype=np.float64))
+    acc = close_enough_accuracy(y_float, y_fixed)
+    passed = all(v >= min_accuracy for v in acc.values())
+    return StageResult("hls_vs_float", passed,
+                       {k: round(v, 4) for k, v in acc.items()})
+
+
+def verify_soc_subsystem(board: AchillesBoard, hls_model: HLSModel,
+                         frames: np.ndarray) -> StageResult:
+    """Stage 3: the FPGA-side subsystem must produce outputs
+    *bit-identical* to the HLS C-sim once both sides' buffer quantization
+    is accounted for (on-board vs co-simulation equivalence)."""
+    frames = np.asarray(frames, dtype=np.float64)
+    result = board.run(frames)
+    shaped = frames.reshape((frames.shape[0],) + tuple(hls_model.input_shape))
+    expected = hls_model.predict(shaped).reshape(frames.shape[0], -1)
+    # The output buffer narrows to its 16-bit stream format:
+    expected_raw = np.stack([board.ip.quantize_input(f) for f in frames])
+    del expected_raw  # inputs already identical; outputs compared below
+    from repro.fixed import quantize
+
+    expected_words = quantize(expected, board.ip.output_format)
+    exact = np.array_equal(result.outputs, expected_words)
+    max_diff = float(np.abs(result.outputs - expected_words).max()) if not exact else 0.0
+    return StageResult("soc_vs_hls_bit_exact", exact, {"max_diff": max_diff})
+
+
+def verify_bridge_with_adder() -> StageResult:
+    """Stage 4: the paper validates the memory-mapped bridge path with a
+    trivial adder component before trusting it with the real IP.  We do
+    the same: write two operands through the bridge into a RAM, "run" the
+    adder, read the sum back."""
+    ram = DualPortRAM(8, 16, "adder_scratch")
+    a, b = 12_345, -2_345
+    ram.poke(0, a)
+    ram.poke(1, b)
+    total = ram.peek(0) + ram.peek(1)
+    ram.poke(2, total)
+    ok = ram.peek(2) == 10_000
+    # Timing sanity on the CSR bridge used for the pokes:
+    t = LIGHTWEIGHT_BRIDGE.write_time(3) + LIGHTWEIGHT_BRIDGE.read_time(3)
+    return StageResult("bridge_adder", ok and t > 0,
+                       {"sum": ram.peek(2), "bus_time_us": round(t * 1e6, 3)})
+
+
+def verify_interrupt_path(board: AchillesBoard,
+                          frame: Optional[np.ndarray] = None) -> StageResult:
+    """Stage 5/6: one frame end to end with SignalTap-style capture; the
+    trigger → busy → irq ordering must hold and the IRQ must be acked."""
+    if board.trace is None:
+        board.trace = SignalTrace()
+    if frame is None:
+        frame = np.zeros(board.ip.n_inputs)
+    board.process_frame(np.asarray(frame, dtype=np.float64))
+    ordered = board.trace.assert_order("trigger", "ip_busy", "irq")
+    idle = board.control.state is ControlState.IDLE
+    return StageResult("interrupt_path", bool(ordered and idle),
+                       {"signal_order": ordered, "fsm_idle": idle})
+
+
+def verify_cyclone_bringup(min_accuracy: float = 0.9) -> StageResult:
+    """Stage 0 (pre-integration): the paper brings sub-systems up on a
+    smaller Cyclone V board with a small MLP before committing to the
+    Arria 10 ("we started with a simpler model, a small MLP, and verified
+    each stage").  Reproduced: build a small MLP, convert it, check that
+    it *fits the Cyclone V* and that the board produces bit-exact
+    outputs vs the C-sim."""
+    from repro.hls.converter import convert as _convert
+    from repro.hls.config import HLSConfig
+    from repro.hls.device import CYCLONE_V
+    from repro.hls.resources import estimate_resources
+    from repro.nn.layers.activations import ReLU as _ReLU, Sigmoid as _Sigmoid
+    from repro.nn.layers.dense import Dense as _Dense
+    from repro.nn.layers.input import Input as _Input
+    from repro.nn.model import Model as _Model
+
+    inp = _Input((32,), name="bringup_in")
+    x = _Dense(16, seed=5, name="bringup_h")(inp)
+    x = _ReLU(name="bringup_r")(x)
+    x = _Dense(8, seed=6, name="bringup_o")(x)
+    out = _Sigmoid(name="bringup_s")(x)
+    small = _Model(inp, out, name="bringup_mlp")
+
+    hls_small = _convert(small, HLSConfig())
+    res = estimate_resources(hls_small, CYCLONE_V)
+    board = AchillesBoard(hls_small)
+    frames = np.linspace(-2.0, 2.0, 64).reshape(2, 32)
+    sub = verify_soc_subsystem(board, hls_small, frames)
+    acc_stage = verify_hls_against_float(small, hls_small,
+                                         frames, min_accuracy=min_accuracy)
+    passed = res.fits and sub.passed and acc_stage.passed
+    return StageResult("cyclone_v_bringup", passed, {
+        "fits_cyclone_v": res.fits,
+        "alm_fraction": round(res.alm_fraction, 3),
+        "bit_exact": sub.passed,
+    })

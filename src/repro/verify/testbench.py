@@ -1,0 +1,88 @@
+"""Test-vector management for the emitted C++ testbench.
+
+The generated project's ``<model>_test.cpp`` loads ``tb_input.dat`` and
+``tb_expected.dat``; this module produces those files from the Python
+side of the flow (float inputs quantized to the input stream grid, and
+the bit-accurate expected outputs), and can read them back for
+round-trip checks.  File format: one ASCII line per frame, raw
+(scaled-integer) words separated by spaces — the format hls4ml's
+testbenches conventionally use.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.fixed import from_raw, to_raw
+from repro.hls.model import HLSModel
+
+__all__ = ["write_test_vectors", "read_vector_file"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_test_vectors(hls_model: HLSModel, frames: np.ndarray,
+                       directory: PathLike) -> Tuple[Path, Path]:
+    """Write ``tb_input.dat`` / ``tb_expected.dat`` for *frames*.
+
+    *frames* is ``(n, *input_shape)`` float data.  Inputs are stored as
+    raw words of the input kernel's stream format; expected outputs are
+    the bit-accurate predictions in the output stream's raw words.
+    Returns the two paths.
+    """
+    frames = np.asarray(frames, dtype=np.float64)
+    expected_shape = tuple(hls_model.input_shape)
+    if frames.shape[1:] != expected_shape:
+        raise ValueError(
+            f"frames must be (n, {expected_shape}), got {frames.shape}"
+        )
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    in_fmt = hls_model.kernels[0].config.result
+    out_fmt = hls_model.kernels[-1].config.result
+
+    raw_in = to_raw(frames.reshape(frames.shape[0], -1), in_fmt)
+    predictions = hls_model.predict(frames)
+    raw_out = to_raw(predictions.reshape(frames.shape[0], -1), out_fmt)
+
+    input_path = directory / "tb_input.dat"
+    expected_path = directory / "tb_expected.dat"
+    _write_raw(input_path, raw_in)
+    _write_raw(expected_path, raw_out)
+    return input_path, expected_path
+
+
+def _write_raw(path: Path, raw: np.ndarray) -> None:
+    with path.open("w") as fh:
+        for row in raw:
+            fh.write(" ".join(str(int(v)) for v in row))
+            fh.write("\n")
+
+
+def read_vector_file(path: PathLike, fmt=None) -> np.ndarray:
+    """Read a ``.dat`` vector file back.
+
+    Returns raw int64 words ``(n_frames, n_words)``; pass the matching
+    :class:`~repro.fixed.FixedPointFormat` as *fmt* to get float values
+    instead.
+    """
+    rows = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            rows.append([int(tok) for tok in line.split()])
+    if not rows:
+        raise ValueError(f"no vectors in {path}")
+    widths = {len(r) for r in rows}
+    if len(widths) != 1:
+        raise ValueError(f"ragged vector file {path}: widths {sorted(widths)}")
+    raw = np.array(rows, dtype=np.int64)
+    if fmt is None:
+        return raw
+    return from_raw(raw, fmt)

@@ -1,0 +1,53 @@
+"""Smoke tests: every example must run to completion.
+
+The examples are the library's living documentation; a broken example is
+a broken deliverable, so each is executed in-process (sharing the session
+cache through ``repro.experiments.common``) with output captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES.glob("*.py"))
+
+
+def test_examples_directory_complete():
+    assert "quickstart.py" in ALL_EXAMPLES
+    assert len(ALL_EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("name", ["precision_exploration.py",
+                                  "soc_latency_analysis.py"])
+def test_fast_examples_run(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 200
+
+
+def test_beamloss_deblending_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "beamloss_deblending.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "trips:" in out
+    assert "deadline" in out
+
+
+@pytest.mark.slow
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "FEASIBLE" in out or "feasible" in out
+
+
+@pytest.mark.slow
+def test_custom_model_deployment_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "custom_model_deployment.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "parameters" in out
+    assert "firmware/parameters.h" in out

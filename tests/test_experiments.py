@@ -1,0 +1,86 @@
+"""Tests for the experiment harnesses (fast mode) and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import REGISTRY, get_experiment
+from repro.experiments.cli import main as cli_main
+from repro.experiments.common import ExperimentResult, bundle, eval_inputs
+from repro.utils.tables import Table
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        expected = {"table1", "table2", "table3", "fig3", "fig5a", "fig5b",
+                    "fig5c", "ablation-reuse", "ablation-interface",
+                    "ablation-buffers", "ablation-standardization",
+                    "ablation-interface-style", "ablation-qat",
+                    "ablation-pipelining"}
+        assert expected == set(REGISTRY)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+
+class TestCommon:
+    def test_bundle_cached(self):
+        assert bundle() is bundle()
+
+    def test_eval_inputs_sizes(self):
+        assert eval_inputs(fast=True).shape == (150, 260, 1)
+        assert eval_inputs(fast=False).shape == (1000, 260, 1)
+
+    def test_result_render(self):
+        t = Table(["a"])
+        t.add_row(["v"])
+        res = ExperimentResult("x", t, notes=["hello"])
+        out = res.render()
+        assert "hello" in out and "v" in out
+
+
+class TestHarnesses:
+    """Each harness must run in fast mode and carry paper-vs-measured
+    notes.  (Numerical shape assertions live in benchmarks/.)"""
+
+    def test_table1(self):
+        res = get_experiment("table1")(True)
+        assert len(res.table.rows) == 6  # 4 literature + 2 ours
+        assert any("paper" in n for n in res.notes)
+
+    def test_table3(self):
+        res = get_experiment("table3")(True)
+        props = {r[0] for r in res.table.rows}
+        assert "Trainable Parameters" in props
+        assert "Total DSP Blocks" in props
+
+    def test_fig3_series(self):
+        res = get_experiment("fig3")(True)
+        assert "batch sizes" in res.series
+        assert len(res.table.rows) == 6
+
+    def test_fig5c_series(self):
+        res = get_experiment("fig5c")(True)
+        assert res.series["latencies_s"].shape == (2000,)
+        assert res.series["hist"].sum() == 2000
+
+    def test_ablation_reuse_series_lengths_match(self):
+        res = get_experiment("ablation-reuse")(True)
+        n = len(res.series["reuse"])
+        assert len(res.series["latency_s"]) == n
+        assert len(res.table.rows) == n
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert cli_main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+
+    def test_unknown_experiment_exit_code(self, capsys):
+        assert cli_main(["definitely-not-real"]) == 2
+
+    def test_single_fast_run(self, capsys):
+        assert cli_main(["ablation-interface", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "DMA" in out and "regenerated" in out

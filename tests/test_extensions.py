@@ -1,0 +1,105 @@
+"""Tests for extension features: Dropout, ASCII figures."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import ascii_histogram, ascii_series
+from repro.hls import HLSConfig, convert
+from repro.nn import Adam, Dense, Dropout, Input, MeanSquaredError, Model, fit
+
+
+class TestDropout:
+    def _model(self, rate=0.5):
+        inp = Input((8,))
+        drop = Dropout(rate, seed=1)
+        x = drop(inp)
+        out = Dense(3, seed=0)(x)
+        return Model(inp, out), drop
+
+    def test_training_masks_and_scales(self):
+        m, drop = self._model()
+        m.forward(np.ones((6, 8)), training=True)
+        out = m._last_outputs[drop]
+        assert (out == 0.0).any()
+        assert np.isclose(out, 2.0).any()  # 1 / (1 - 0.5)
+
+    def test_inference_identity(self):
+        m, drop = self._model()
+        x = np.random.default_rng(0).normal(size=(4, 8))
+        m.forward(x, training=False)
+        np.testing.assert_array_equal(m._last_outputs[drop], x)
+
+    def test_zero_rate_identity_in_training(self):
+        m, drop = self._model(rate=0.0)
+        x = np.ones((3, 8))
+        m.forward(x, training=True)
+        np.testing.assert_array_equal(m._last_outputs[drop], x)
+
+    def test_expected_scale_preserved(self):
+        m, drop = self._model(rate=0.3)
+        x = np.ones((2000, 8))
+        m.forward(x, training=True)
+        out = m._last_outputs[drop]
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_routes_through_mask(self):
+        m, drop = self._model()
+        x = np.ones((4, 8))
+        pred = m.forward(x, training=True)
+        mask = m._last_outputs[drop]
+        (dx,) = m.backward(np.ones_like(pred))
+        # zeroed activations must receive zero gradient
+        assert (dx[mask == 0] == 0).all()
+
+    def test_trains_without_diverging(self):
+        m, _ = self._model(rate=0.2)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(64, 8))
+        y = rng.normal(size=(64, 3))
+        h = fit(m, x, y, MeanSquaredError(), Adam(0.01), epochs=5,
+                batch_size=16)
+        assert np.isfinite(h.loss[-1])
+
+    def test_converter_maps_to_identity_kernel(self):
+        m, _ = self._model()
+        hm = convert(m, HLSConfig())
+        assert [k.kind for k in hm.kernels] == ["input", "linear", "dense"]
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestAsciiFigures:
+    def test_series_renders_all_points(self):
+        out = ascii_series([1, 2, 3], [10.0, 5.0, 0.0], title="t")
+        assert out.count("|") >= 4
+        assert "10" in out
+
+    def test_series_scaling_monotone(self):
+        out = ascii_series([0, 1], [1.0, 2.0], width=10)
+        lines = out.splitlines()[-2:]
+        assert lines[0].count("#") < lines[1].count("#")
+
+    def test_series_validation(self):
+        with pytest.raises(ValueError):
+            ascii_series([1, 2], [1.0])
+        with pytest.raises(ValueError):
+            ascii_series([], [])
+
+    def test_histogram_counts_sum(self):
+        values = np.random.default_rng(0).normal(size=500)
+        out = ascii_histogram(values, bins=8)
+        counts = [int(line.rsplit(" ", 1)[1]) for line in out.splitlines()]
+        assert sum(counts) == 500
+
+    def test_histogram_unit_scaling(self):
+        out = ascii_histogram([1e-3, 2e-3], bins=2, unit_scale=1e3,
+                              unit_label="ms")
+        assert "ms" in out
+
+    def test_histogram_validation(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([])
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], bins=0)

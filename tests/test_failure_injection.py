@@ -1,0 +1,151 @@
+"""Failure-injection tests: the system must *detect* corruption, not
+silently produce wrong control decisions.
+
+The paper's verification apparatus (memory content editor, SignalTap,
+bit-exact comparisons) exists precisely to catch these failure modes;
+these tests inject each fault into the simulator and assert the
+corresponding detector fires.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hls import HLSConfig, convert
+from repro.nn.schedules import CosineDecay, StepDecay, attach_schedule
+from repro.soc.board import AchillesBoard
+from repro.soc.control import ControlIP, ControlState
+from repro.verify.stages import verify_soc_subsystem
+
+
+class TestMemoryCorruption:
+    def test_corrupted_output_buffer_detected(self, tiny_model):
+        """Flipping one output word after a run must fail the bit-exact
+        subsystem check (the in-system memory content editor scenario)."""
+        hm = convert(tiny_model, HLSConfig())
+        board = AchillesBoard(hm)
+        frames = np.random.default_rng(0).normal(size=(2, 16))
+        result = verify_soc_subsystem(board, hm, frames)
+        assert result.passed
+        # corrupt and re-verify via direct comparison
+        board.process_frame(frames[0])
+        word = board.output_ram.peek(3)
+        board.output_ram.poke(3, word + 1)
+        out = board.last_output()
+        expected = hm.predict(frames[:1, :, None]).reshape(-1)
+        from repro.fixed import quantize
+
+        expected = quantize(expected, board.ip.output_format)
+        assert not np.array_equal(out, expected)
+
+    def test_oversized_word_rejected_at_write(self, tiny_model):
+        hm = convert(tiny_model, HLSConfig())
+        board = AchillesBoard(hm)
+        with pytest.raises(OverflowError):
+            board.input_ram.write(0, np.array([2**20], dtype=np.int64))
+
+
+class TestProtocolViolations:
+    def test_retrigger_during_inference_rejected(self, tiny_model):
+        """The HPS must not trigger while the IP runs; the FSM refuses."""
+        hm = convert(tiny_model, HLSConfig())
+        board = AchillesBoard(hm)
+        raw = board.ip.quantize_input(np.zeros(16))
+        board.input_ram.write(0, raw)
+        board.control.csr_write(ControlIP.TRIGGER, 1)  # running now
+        with pytest.raises(RuntimeError, match="trigger while running"):
+            board.control.csr_write(ControlIP.TRIGGER, 1)
+        # drain the pending completion so the board stays consistent
+        board.sim.run()
+        board.control.csr_write(ControlIP.IRQ_ACK, 1)
+        assert board.control.state is ControlState.IDLE
+
+    def test_lost_irq_diagnosed(self, tiny_model):
+        """If the IP never signals completion the board raises rather
+        than hanging or returning stale data."""
+        hm = convert(tiny_model, HLSConfig())
+        board = AchillesBoard(hm)
+        # sabotage: detach the done path
+        board.ip.run = lambda: (_ for _ in ()).throw(
+            RuntimeError("IP wedged"))
+        with pytest.raises(RuntimeError):
+            board.process_frame(np.zeros(16))
+
+    def test_deadline_miss_detected_by_controller(self, tiny_model):
+        """A pathologically slow HPS must surface as deadline misses in
+        the controller's statistics, not vanish."""
+        from repro.beamloss.controller import TripController
+        from repro.soc.hps import HPSConfig
+
+        hm = convert(tiny_model, HLSConfig())
+        slow = HPSConfig(preprocess_s=5e-3)  # blows the 3 ms budget alone
+        board = AchillesBoard(hm, hps=slow)
+        result = board.run(np.zeros((3, 16)))
+        ctl = TripController(min_votes=1)
+        ctl.decide_batch(result.outputs, result.latencies_s)
+        assert ctl.deadline_miss_rate() == 1.0
+
+
+class TestSchedules:
+    def _opt(self):
+        from repro.nn.optimizers import SGD
+
+        return SGD(0.1)
+
+    def test_step_decay(self):
+        opt = self._opt()
+        sched = StepDecay(opt, factor=0.5, every=2)
+        for epoch in range(4):
+            sched(epoch, {})
+        assert opt.learning_rate == pytest.approx(0.025)
+
+    def test_step_decay_floor(self):
+        opt = self._opt()
+        sched = StepDecay(opt, factor=0.1, every=1, min_lr=1e-3)
+        for epoch in range(10):
+            sched(epoch, {})
+        assert opt.learning_rate == pytest.approx(1e-3)
+
+    def test_cosine_decay_endpoints(self):
+        opt = self._opt()
+        sched = CosineDecay(opt, total_epochs=10, min_lr=0.0)
+        sched(9, {})
+        assert opt.learning_rate == pytest.approx(0.0, abs=1e-12)
+
+    def test_cosine_monotone(self):
+        opt = self._opt()
+        sched = CosineDecay(opt, total_epochs=5)
+        rates = []
+        for epoch in range(5):
+            sched(epoch, {})
+            rates.append(opt.learning_rate)
+        assert all(a >= b for a, b in zip(rates, rates[1:]))
+
+    def test_attach_schedule_composes(self):
+        opt = self._opt()
+        calls = []
+        cb = attach_schedule(StepDecay(opt, factor=0.5, every=1),
+                             extra_callback=lambda e, logs: calls.append(e))
+        cb(0, {})
+        assert calls == [0]
+        assert opt.learning_rate == pytest.approx(0.05)
+
+    def test_schedule_in_fit(self):
+        import numpy as np
+
+        from repro.nn import Adam, Dense, Input, MeanSquaredError, Model, fit
+
+        inp = Input((4,))
+        m = Model(inp, Dense(2, seed=0)(inp))
+        opt = Adam(0.01)
+        sched = CosineDecay(opt, total_epochs=3)
+        rng = np.random.default_rng(0)
+        fit(m, rng.normal(size=(16, 4)), rng.normal(size=(16, 2)),
+            MeanSquaredError(), opt, epochs=3, batch_size=8,
+            callback=attach_schedule(sched))
+        assert opt.learning_rate < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepDecay(self._opt(), factor=0.0)
+        with pytest.raises(ValueError):
+            CosineDecay(self._opt(), total_epochs=0)

@@ -1,0 +1,283 @@
+"""Tests for repro.fixed — formats, quantization, FixedArray."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixed import (
+    FixedArray,
+    FixedPointFormat,
+    Overflow,
+    Rounding,
+    from_raw,
+    quantization_error,
+    quantize,
+    to_raw,
+)
+
+F16_7 = FixedPointFormat(16, 7)
+F16_7_WRAP = FixedPointFormat(16, 7, overflow=Overflow.WRAP)
+F18_10 = FixedPointFormat(18, 10)
+
+
+class TestFormat:
+    def test_spec_spelling(self):
+        assert F16_7.spec() == "ac_fixed<16, 7, true>"
+
+    def test_ranges_signed(self):
+        assert F16_7.min_value == -64.0
+        assert F16_7.max_value == pytest.approx(64.0 - 2**-9)
+        assert F16_7.lsb == 2**-9
+
+    def test_ranges_unsigned(self):
+        f = FixedPointFormat(8, 4, signed=False)
+        assert f.min_value == 0.0
+        assert f.max_value == pytest.approx(16.0 - 2**-4)
+
+    def test_integer_can_exceed_width(self):
+        f = FixedPointFormat(8, 12)
+        assert f.fractional == -4
+        assert f.lsb == 16.0
+
+    def test_negative_integer_bits(self):
+        f = FixedPointFormat(8, -2)
+        assert f.max_value < 0.25
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(0, 0)
+        with pytest.raises(ValueError):
+            FixedPointFormat(63, 10)
+
+    def test_sat_sym_min(self):
+        f = FixedPointFormat(8, 4, overflow=Overflow.SAT_SYM)
+        assert f.raw_min == -(2**7 - 1)
+
+    def test_with_override(self):
+        g = F16_7.with_(width=18, integer=10)
+        assert (g.width, g.integer) == (18, 10)
+        assert g.rounding is F16_7.rounding
+
+    def test_for_range_powers_of_two(self):
+        # 4.0 needs 3 magnitude bits (to represent values up to 4.x).
+        f = FixedPointFormat.for_range(4.0, width=16)
+        assert f.integer == 4  # 3 magnitude + sign
+        f2 = FixedPointFormat.for_range(3.99, width=16)
+        assert f2.integer == 3  # 2 magnitude + sign
+
+    def test_for_range_zero(self):
+        f = FixedPointFormat.for_range(0.0, width=16)
+        assert f.integer == 1  # just the sign
+
+    def test_for_range_margin(self):
+        base = FixedPointFormat.for_range(100.0, width=16)
+        plus = FixedPointFormat.for_range(100.0, width=16, margin_bits=1)
+        assert plus.integer == base.integer + 1
+
+    def test_for_range_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat.for_range(-1.0, width=16)
+
+
+class TestQuantize:
+    def test_representable_values_unchanged(self):
+        vals = np.array([0.0, 1.0, -1.0, 0.5, 63.998046875])
+        np.testing.assert_array_equal(quantize(vals, F16_7), vals)
+
+    def test_rounding_rnd_half_up(self):
+        f = FixedPointFormat(8, 4, rounding=Rounding.RND)
+        lsb = f.lsb
+        assert quantize(np.array([1.5 * lsb]), f)[0] == pytest.approx(2 * lsb)
+        assert quantize(np.array([-1.5 * lsb]), f)[0] == pytest.approx(-lsb)
+
+    def test_rounding_trn_floor(self):
+        f = FixedPointFormat(8, 4, rounding=Rounding.TRN)
+        lsb = f.lsb
+        assert quantize(np.array([1.9 * lsb]), f)[0] == pytest.approx(lsb)
+        assert quantize(np.array([-0.1 * lsb]), f)[0] == pytest.approx(-lsb)
+
+    def test_rounding_convergent_ties_even(self):
+        f = FixedPointFormat(8, 4, rounding=Rounding.RND_CONV)
+        lsb = f.lsb
+        assert quantize(np.array([0.5 * lsb]), f)[0] == 0.0
+        assert quantize(np.array([1.5 * lsb]), f)[0] == pytest.approx(2 * lsb)
+
+    def test_rounding_zero_ties_toward_zero(self):
+        f = FixedPointFormat(8, 4, rounding=Rounding.RND_ZERO)
+        lsb = f.lsb
+        assert quantize(np.array([0.5 * lsb]), f)[0] == 0.0
+        assert quantize(np.array([-0.5 * lsb]), f)[0] == 0.0
+
+    def test_saturation_clips(self):
+        f = FixedPointFormat(16, 7, overflow=Overflow.SAT)
+        out = quantize(np.array([1000.0, -1000.0]), f)
+        assert out[0] == pytest.approx(f.max_value)
+        assert out[1] == pytest.approx(f.min_value)
+
+    def test_wrap_two_complement(self):
+        # 70 with range ±64 wraps to 70 - 128 = -58 — the Table II
+        # catastrophe in miniature.
+        out = quantize(np.array([70.0]), F16_7_WRAP)
+        assert out[0] == pytest.approx(-58.0)
+
+    def test_wrap_periodicity(self):
+        span = 128.0
+        vals = np.array([1.25])
+        for k in (1, 2, 5):
+            shifted = quantize(vals + k * span, F16_7_WRAP)
+            assert shifted[0] == pytest.approx(1.25)
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(np.array([np.nan]), F16_7)
+
+    def test_inf_rejected(self):
+        with pytest.raises(ValueError):
+            quantize(np.array([np.inf]), F16_7)
+
+    def test_huge_values_saturate_not_crash(self):
+        out = quantize(np.array([1e30, -1e30]), FixedPointFormat(16, 7))
+        assert out[0] == pytest.approx(F16_7.max_value)
+
+    def test_raw_roundtrip(self):
+        vals = np.linspace(-60, 60, 101)
+        raw = to_raw(vals, F16_7)
+        assert raw.dtype == np.int64
+        back = from_raw(raw, F16_7)
+        np.testing.assert_allclose(back, quantize(vals, F16_7))
+
+    def test_error_bounded_by_lsb(self):
+        rng = np.random.default_rng(0)
+        vals = rng.uniform(-60, 60, size=1000)
+        err = quantization_error(vals, F16_7)
+        assert np.abs(err).max() <= F16_7.lsb / 2 + 1e-12
+
+    def test_shape_preserved(self):
+        x = np.zeros((3, 4, 5))
+        assert quantize(x, F16_7).shape == (3, 4, 5)
+
+
+class TestQuantizeProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(-60, 60), min_size=1, max_size=50))
+    def test_idempotent(self, values):
+        x = np.array(values)
+        once = quantize(x, F16_7)
+        twice = quantize(once, F16_7)
+        np.testing.assert_array_equal(once, twice)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(-60, 60), min_size=1, max_size=50))
+    def test_monotone_on_in_range(self, values):
+        x = np.sort(np.array(values))
+        q = quantize(x, F16_7)
+        assert (np.diff(q) >= 0).all()
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.integers(2, 30), st.integers(-5, 20),
+        st.lists(st.floats(-1e4, 1e4), min_size=1, max_size=30),
+    )
+    def test_output_on_grid(self, width, integer, values):
+        fmt = FixedPointFormat(width, integer, overflow=Overflow.SAT)
+        q = quantize(np.array(values), fmt)
+        raw = q / fmt.lsb
+        np.testing.assert_allclose(raw, np.round(raw), atol=1e-9)
+        assert (q >= fmt.min_value - 1e-9).all()
+        assert (q <= fmt.max_value + 1e-9).all()
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=30))
+    def test_wrap_stays_in_range(self, values):
+        q = quantize(np.array(values), F16_7_WRAP)
+        assert (q >= F16_7_WRAP.min_value).all()
+        assert (q <= F16_7_WRAP.max_value).all()
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.floats(-400, 400))
+    def test_for_range_holds_value(self, max_abs):
+        fmt = FixedPointFormat.for_range(abs(max_abs), width=24)
+        q = quantize(np.array([max_abs]), fmt)
+        # once integer bits are sized for |v|, error is at most one LSB
+        assert abs(q[0] - max_abs) <= fmt.lsb
+
+
+class TestFixedArray:
+    def test_from_float_roundtrip(self):
+        a = FixedArray.from_float(np.array([1.5, -2.25]), F16_7)
+        np.testing.assert_allclose(a.to_float(), [1.5, -2.25])
+
+    def test_add_exact(self):
+        a = FixedArray.from_float(np.array([63.0]), F16_7)
+        b = FixedArray.from_float(np.array([63.0]), F16_7)
+        c = a + b
+        assert c.to_float()[0] == pytest.approx(126.0)  # no overflow: widened
+        assert c.format.integer == F16_7.integer + 1
+
+    def test_sub(self):
+        a = FixedArray.from_float(np.array([1.0]), F16_7)
+        b = FixedArray.from_float(np.array([2.5]), F16_7)
+        assert (a - b).to_float()[0] == pytest.approx(-1.5)
+
+    def test_neg(self):
+        a = FixedArray.from_float(np.array([3.25]), F16_7)
+        assert (-a).to_float()[0] == pytest.approx(-3.25)
+
+    def test_mul_exact(self):
+        a = FixedArray.from_float(np.array([0.5]), FixedPointFormat(8, 2))
+        b = FixedArray.from_float(np.array([0.25]), FixedPointFormat(8, 2))
+        c = a * b
+        assert c.to_float()[0] == pytest.approx(0.125)
+        assert c.format.width == 16
+
+    def test_scalar_coercion(self):
+        a = FixedArray.from_float(np.array([1.0]), F16_7)
+        assert (a + 1.0).to_float()[0] == pytest.approx(2.0)
+        assert (2.0 * a).to_float()[0] == pytest.approx(2.0)
+
+    def test_cast_narrowing_saturates(self):
+        wide = FixedArray.from_float(np.array([100.0]), FixedPointFormat(24, 12))
+        narrow = wide.cast(FixedPointFormat(16, 7, overflow=Overflow.SAT))
+        assert narrow.to_float()[0] == pytest.approx(64.0 - 2**-9)
+
+    def test_cast_widening_exact(self):
+        a = FixedArray.from_float(np.array([1.25]), FixedPointFormat(8, 4))
+        wide = a.cast(FixedPointFormat(16, 8))
+        assert wide.to_float()[0] == pytest.approx(1.25)
+
+    def test_sum_widens(self):
+        a = FixedArray.from_float(np.full(100, 60.0), F16_7)
+        s = a.sum()
+        assert s.to_float() == pytest.approx(6000.0)
+
+    def test_requires_int64(self):
+        with pytest.raises(TypeError):
+            FixedArray(np.zeros(3, dtype=np.int32), F16_7)
+
+    def test_getitem(self):
+        a = FixedArray.from_float(np.array([1.0, 2.0, 3.0]), F16_7)
+        assert a[1].to_float()[0] == pytest.approx(2.0)
+        assert len(a) == 3
+
+
+class TestFixedArrayProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(-30, 30), min_size=1, max_size=20),
+           st.lists(st.floats(-30, 30), min_size=1, max_size=20))
+    def test_add_matches_float(self, xs, ys):
+        n = min(len(xs), len(ys))
+        a = FixedArray.from_float(np.array(xs[:n]), F16_7)
+        b = FixedArray.from_float(np.array(ys[:n]), F16_7)
+        np.testing.assert_allclose(
+            (a + b).to_float(), a.to_float() + b.to_float(), atol=1e-12
+        )
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.floats(-7, 7), min_size=1, max_size=20))
+    def test_mul_matches_float(self, xs):
+        a = FixedArray.from_float(np.array(xs), FixedPointFormat(12, 4))
+        prod = a * a
+        np.testing.assert_allclose(
+            prod.to_float(), a.to_float() ** 2, atol=1e-12
+        )

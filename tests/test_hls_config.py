@@ -1,0 +1,183 @@
+"""Tests for HLS configuration and precision strategies."""
+
+import numpy as np
+import pytest
+
+from repro.fixed import FixedPointFormat, Overflow
+from repro.hls.config import (
+    DEFAULT_PRECISION,
+    DEFAULT_REUSE_FACTOR,
+    HLSConfig,
+    LayerConfig,
+)
+from repro.hls.precision import (
+    DENSE_SIGMOID_REUSE,
+    apply_reference_reuse,
+    layer_based_config,
+    uniform_config,
+)
+from repro.hls.profiling import LayerProfile, profile_model
+from repro.nn import Dense, Input, Model, ReLU, Sigmoid
+
+
+def small_model():
+    inp = Input((8,), name="x")
+    h = Dense(4, seed=0, name="h")(inp)
+    r = ReLU(name="r")(h)
+    o = Dense(3, seed=1, name="o")(r)
+    s = Sigmoid(name="s")(o)
+    return Model(inp, s, name="small")
+
+
+class TestHLSConfig:
+    def test_defaults_match_paper(self):
+        cfg = HLSConfig()
+        assert cfg.default.result == DEFAULT_PRECISION
+        assert cfg.default.reuse_factor == DEFAULT_REUSE_FACTOR == 32
+        assert cfg.clock_hz == 100e6
+
+    def test_layer_override_merging(self):
+        cfg = HLSConfig()
+        special = FixedPointFormat(16, 10)
+        cfg.set_layer("conv", result=special)
+        resolved = cfg.for_layer("conv")
+        assert resolved.result == special
+        assert resolved.weight == cfg.default.weight  # fell through
+        assert resolved.reuse_factor == 32
+
+    def test_set_layer_merges_incrementally(self):
+        cfg = HLSConfig()
+        cfg.set_layer("a", reuse_factor=64)
+        cfg.set_layer("a", result=FixedPointFormat(16, 3))
+        resolved = cfg.for_layer("a")
+        assert resolved.reuse_factor == 64
+        assert resolved.result.integer == 3
+
+    def test_with_reuse_factor_global(self):
+        cfg = HLSConfig().with_reuse_factor(128)
+        assert cfg.for_layer("anything").reuse_factor == 128
+
+    def test_with_reuse_factor_selected_layers(self):
+        cfg = HLSConfig().with_reuse_factor(260, layer_names=["d"])
+        assert cfg.for_layer("d").reuse_factor == 260
+        assert cfg.for_layer("other").reuse_factor == 32
+
+    def test_invalid_reuse(self):
+        with pytest.raises(ValueError):
+            HLSConfig().with_reuse_factor(0)
+
+    def test_describe_lists_overrides(self):
+        cfg = HLSConfig()
+        cfg.set_layer("lay", reuse_factor=7)
+        assert "lay" in cfg.describe()
+
+    def test_incomplete_default_rejected(self):
+        with pytest.raises(ValueError):
+            HLSConfig(default=LayerConfig(weight=None))
+
+
+class TestUniformConfig:
+    def test_formats(self):
+        cfg = uniform_config(18, 10)
+        assert cfg.default.result.spec() == "ac_fixed<18, 10, true>"
+        assert cfg.default.weight.spec() == "ac_fixed<18, 10, true>"
+        assert cfg.default.result.overflow is Overflow.WRAP
+
+    def test_reference_reuse_applied(self):
+        m = small_model()
+        cfg = uniform_config(16, 7, model=m)
+        assert cfg.for_layer("h").reuse_factor == DENSE_SIGMOID_REUSE
+        assert cfg.for_layer("s").reuse_factor == DENSE_SIGMOID_REUSE
+        assert cfg.for_layer("r").reuse_factor == 32
+
+    def test_strategy_label(self):
+        assert uniform_config(16, 7).strategy == "uniform<16,7>"
+
+
+class TestProfiling:
+    def test_profiles_every_layer(self):
+        m = small_model()
+        x = np.random.default_rng(0).normal(size=(20, 8))
+        profiles = profile_model(m, x)
+        assert set(profiles) == {l.name for l in m.layers}
+
+    def test_max_abs_correct_for_input(self):
+        m = small_model()
+        x = np.zeros((4, 8))
+        x[2, 5] = -9.5
+        profiles = profile_model(m, x)
+        assert profiles["x"].max_abs_output == pytest.approx(9.5)
+
+    def test_weight_maxima(self):
+        m = small_model()
+        layer = m.get_layer("h")
+        layer.params["kernel"][0, 0] = 123.0
+        profiles = profile_model(m, np.zeros((2, 8)))
+        assert profiles["h"].max_abs_weight == pytest.approx(123.0)
+
+    def test_batched_profiling_consistent(self):
+        m = small_model()
+        x = np.random.default_rng(1).normal(size=(30, 8))
+        a = profile_model(m, x, batch_size=7)
+        b = profile_model(m, x, batch_size=30)
+        for name in a:
+            assert a[name].max_abs_output == pytest.approx(
+                b[name].max_abs_output
+            )
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            profile_model(small_model(), np.zeros((0, 8)))
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            LayerProfile(max_abs_output=-1, max_abs_weight=0,
+                         output_percentile_99=0)
+
+
+class TestLayerBasedConfig:
+    def test_integer_bits_track_profile(self):
+        m = small_model()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(50, 8)) * 40  # inputs up to ~±150
+        cfg = layer_based_config(m, x)
+        input_fmt = cfg.for_layer("x").result
+        # needs ~8-9 integer bits for |x| ≈ 150
+        assert input_fmt.integer >= 8
+        assert input_fmt.width == 16
+        sig_fmt = cfg.for_layer("s").result
+        assert sig_fmt.integer <= 2  # sigmoid outputs ≤ 1
+
+    def test_margin_bits_add_headroom(self):
+        m = small_model()
+        x = np.random.default_rng(0).normal(size=(20, 8))
+        base = layer_based_config(m, x)
+        plus = layer_based_config(m, x, margin_bits=1)
+        assert (plus.for_layer("x").result.integer
+                == base.for_layer("x").result.integer + 1)
+
+    def test_width_sweep(self):
+        m = small_model()
+        x = np.random.default_rng(0).normal(size=(20, 8))
+        for width in (10, 12, 16, 18):
+            cfg = layer_based_config(m, x, width=width)
+            assert cfg.for_layer("h").result.width == width
+
+    def test_precomputed_profiles_used(self):
+        m = small_model()
+        x = np.random.default_rng(0).normal(size=(20, 8))
+        profiles = profile_model(m, x)
+        cfg = layer_based_config(m, None, profiles=profiles)
+        assert cfg.for_layer("x").result.width == 16
+
+    def test_reference_reuse_applied(self):
+        m = small_model()
+        x = np.random.default_rng(0).normal(size=(20, 8))
+        cfg = layer_based_config(m, x)
+        assert cfg.for_layer("o").reuse_factor == DENSE_SIGMOID_REUSE
+
+    def test_strategy_label(self):
+        m = small_model()
+        x = np.zeros((5, 8))
+        assert "layer-based" in layer_based_config(m, x).strategy
+        assert "+1" in layer_based_config(m, x, margin_bits=1).strategy

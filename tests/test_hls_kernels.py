@@ -1,0 +1,267 @@
+"""Tests for the fixed-point kernels and the converter."""
+
+import numpy as np
+import pytest
+
+from repro.fixed import FixedPointFormat, Overflow, quantize
+from repro.hls.config import HLSConfig, LayerConfig, WIDE_ACCUM
+from repro.hls.converter import convert
+from repro.hls.kernels import (
+    BatchNormKernel,
+    ConcatKernel,
+    Conv1DKernel,
+    DenseKernel,
+    InputKernel,
+    MaxPoolKernel,
+    ReLUKernel,
+    SigmoidKernel,
+    SoftmaxKernel,
+    UpSampleKernel,
+)
+from repro.nn import (
+    BatchNormalization,
+    Conv1D,
+    Dense,
+    Flatten,
+    Input,
+    Model,
+    ReLU,
+    Sigmoid,
+)
+
+PRECISE = FixedPointFormat(32, 16, overflow=Overflow.SAT)
+
+
+def cfg(result=None, weight=None, reuse=32):
+    return LayerConfig(
+        weight=weight or PRECISE,
+        result=result or PRECISE,
+        accum=WIDE_ACCUM,
+        reuse_factor=reuse,
+    )
+
+
+class TestDenseKernel:
+    def test_matches_float_at_high_precision(self):
+        rng = np.random.default_rng(0)
+        W = rng.normal(size=(6, 4))
+        b = rng.normal(size=4)
+        k = DenseKernel("d", cfg(), ["__input__"], [(6,)], W, b)
+        x = quantize(rng.normal(size=(3, 6)), PRECISE)
+        np.testing.assert_allclose(k.forward([x]), x @ k.weights["kernel"]
+                                   + k.weights["bias"], atol=1e-4)
+
+    def test_weights_quantized(self):
+        W = np.array([[0.123456789]])
+        narrow = FixedPointFormat(8, 2)
+        k = DenseKernel("d", cfg(weight=narrow), ["__input__"], [(1,)], W)
+        assert k.weights["kernel"][0, 0] == quantize(W, narrow)[0, 0]
+
+    def test_result_wraps_on_overflow(self):
+        W = np.array([[1.0]])
+        wrap = FixedPointFormat(16, 7, overflow=Overflow.WRAP)
+        k = DenseKernel("d", cfg(result=wrap), ["__input__"], [(1,)], W)
+        out = k.forward([np.array([[70.0]])])
+        assert out[0, 0] == pytest.approx(-58.0)
+
+    def test_pointwise_shape(self):
+        W = np.zeros((3, 2))
+        k = DenseKernel("d", cfg(), ["__input__"], [(10, 3)], W)
+        assert k.output_shape == (10, 2)
+        assert not k.streams_weights
+
+    def test_flat_dense_streams_weights(self):
+        W = np.zeros((3, 2))
+        k = DenseKernel("d", cfg(), ["__input__"], [(3,)], W)
+        assert k.streams_weights
+        assert k.weight_words == 6
+
+    def test_fan_in_mismatch(self):
+        with pytest.raises(ValueError):
+            DenseKernel("d", cfg(), ["__input__"], [(5,)], np.zeros((3, 2)))
+
+
+class TestConvKernel:
+    def test_matches_nn_conv_at_high_precision(self):
+        rng = np.random.default_rng(1)
+        inp = Input((12, 2))
+        layer = Conv1D(3, 3, seed=5)
+        model = Model(inp, layer(inp))
+        x = quantize(rng.normal(size=(2, 12, 2)), PRECISE)
+        expected = model.forward(x)
+        k = Conv1DKernel("c", cfg(), ["__input__"], [(12, 2)],
+                         layer.params["kernel"], layer.params["bias"])
+        np.testing.assert_allclose(k.forward([x]), expected, atol=1e-3)
+
+    def test_valid_padding_shape(self):
+        k = Conv1DKernel("c", cfg(), ["__input__"], [(10, 1)],
+                         np.zeros((3, 1, 4)), padding="valid")
+        assert k.output_shape == (8, 4)
+
+    def test_mult_count(self):
+        k = Conv1DKernel("c", cfg(reuse=32), ["__input__"], [(10, 2)],
+                         np.zeros((3, 2, 4)))
+        assert k.n_mult_per_position == 24
+        assert k.n_mult_total == 240
+
+    def test_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            Conv1DKernel("c", cfg(), ["__input__"], [(10, 3)],
+                         np.zeros((3, 2, 4)))
+
+
+class TestBatchNormKernel:
+    def test_affine(self):
+        scale = np.array([2.0, 0.5])
+        shift = np.array([1.0, -1.0])
+        k = BatchNormKernel("b", cfg(), ["__input__"], [(4, 2)], scale, shift)
+        x = np.ones((1, 4, 2))
+        out = k.forward([x])
+        np.testing.assert_allclose(out[0, 0], [3.0, -0.5])
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            BatchNormKernel("b", cfg(), ["__input__"], [(4, 2)],
+                            np.zeros(3), np.zeros(3))
+
+
+class TestActivationKernels:
+    def test_relu_exact(self):
+        k = ReLUKernel("r", cfg(), ["__input__"], [(5,)])
+        x = np.array([[-1.0, 0.0, 2.5, -0.25, 7.0]])
+        np.testing.assert_allclose(k.forward([x]).ravel(),
+                                   [0, 0, 2.5, 0, 7.0])
+
+    def test_sigmoid_lut_close_to_real(self):
+        k = SigmoidKernel("s", cfg(), ["__input__"], [(1,)])
+        x = np.linspace(-6, 6, 201).reshape(1, -1)
+        k2 = SigmoidKernel("s2", cfg(), ["__input__"], [(201,)])
+        out = k2.forward([x])
+        err = np.abs(out - 1 / (1 + np.exp(-x)))
+        assert err.max() < 0.01  # LUT resolution bound
+
+    def test_sigmoid_saturates_outside_range(self):
+        k = SigmoidKernel("s", cfg(), ["__input__"], [(2,)])
+        out = k.forward([np.array([[-100.0, 100.0]])])
+        assert out[0, 0] == pytest.approx(k.table[0])
+        assert out[0, 1] == pytest.approx(k.table[-1])
+
+    def test_sigmoid_monotone(self):
+        k = SigmoidKernel("s", cfg(), ["__input__"], [(100,)])
+        x = np.linspace(-10, 10, 100).reshape(1, -1)
+        out = k.forward([x]).ravel()
+        assert (np.diff(out) >= 0).all()
+
+    def test_sigmoid_table_quantized_to_result(self):
+        narrow = FixedPointFormat(8, 1)
+        k = SigmoidKernel("s", cfg(result=narrow), ["__input__"], [(1,)])
+        grid = k.table / narrow.lsb
+        np.testing.assert_allclose(grid, np.round(grid), atol=1e-9)
+
+    def test_table_bits(self):
+        k = SigmoidKernel("s", cfg(result=FixedPointFormat(16, 2)),
+                          ["__input__"], [(1,)])
+        assert k.table_bits == 1024 * 16
+
+    def test_softmax_normalized(self):
+        k = SoftmaxKernel("sm", cfg(), ["__input__"], [(4, 3)])
+        x = np.random.default_rng(0).normal(size=(2, 4, 3)) * 3
+        out = k.forward([x])
+        np.testing.assert_allclose(out.sum(axis=-1), 1.0, atol=2e-3)
+
+
+class TestShapeKernels:
+    def test_input_quantizes(self):
+        narrow = FixedPointFormat(16, 7, overflow=Overflow.WRAP)
+        k = InputKernel("in", cfg(result=narrow), (4,))
+        out = k.forward([np.array([[70.0, 1.0, -2.0, 0.5]])])
+        assert out[0, 0] == pytest.approx(-58.0)  # wrapped at the buffer
+
+    def test_maxpool(self):
+        k = MaxPoolKernel("p", cfg(), ["__input__"], [(6, 1)], 2)
+        x = np.array([[1, 9, 2, 3, 5, 4]], dtype=float).reshape(1, 6, 1)
+        np.testing.assert_allclose(k.forward([x]).ravel(), [9, 3, 5])
+
+    def test_upsample(self):
+        k = UpSampleKernel("u", cfg(), ["__input__"], [(2, 1)], 2)
+        x = np.array([[1.0, 2.0]]).reshape(1, 2, 1)
+        np.testing.assert_allclose(k.forward([x]).ravel(), [1, 1, 2, 2])
+
+    def test_concat_aligns_formats(self):
+        narrow = FixedPointFormat(8, 4)
+        k = ConcatKernel("cat", cfg(result=narrow), ["a", "b"],
+                         [(2, 1), (2, 1)])
+        a = np.full((1, 2, 1), 1.0 + 2**-9)  # finer grid than result
+        b = np.zeros((1, 2, 1))
+        out = k.forward([a, b])
+        grid = out / narrow.lsb
+        np.testing.assert_allclose(grid, np.round(grid), atol=1e-9)
+
+
+class TestConverter:
+    def _model(self):
+        inp = Input((12, 1), name="in")
+        x = Conv1D(3, 3, seed=0, name="c")(inp)
+        x = BatchNormalization(name="bn")(x)
+        x = ReLU(name="r")(x)
+        x = Dense(2, seed=1, name="d")(x)
+        x = Sigmoid(name="s")(x)
+        out = Flatten(name="f")(x)
+        return Model(inp, out, name="m")
+
+    def test_kernel_per_layer(self):
+        m = self._model()
+        hm = convert(m, HLSConfig())
+        assert [k.name for k in hm.kernels] == [l.name for l in m.layers]
+
+    def test_batchnorm_fused(self):
+        m = self._model()
+        # give batch-norm nontrivial statistics
+        bn = m.get_layer("bn")
+        bn.state["moving_mean"] = np.array([1.0, -2.0, 0.5])
+        bn.state["moving_var"] = np.array([4.0, 1.0, 9.0])
+        hm = convert(m, HLSConfig())
+        k = hm.get_kernel("bn")
+        assert isinstance(k, BatchNormKernel)
+        scale, shift = bn.inference_scale_shift()
+        np.testing.assert_allclose(k.weights["scale"], scale, atol=1e-3)
+
+    def test_high_precision_matches_float(self):
+        m = self._model()
+        wide = FixedPointFormat(40, 20, overflow=Overflow.SAT)
+        config = HLSConfig(default=LayerConfig(
+            weight=wide, result=wide, accum=WIDE_ACCUM, reuse_factor=32))
+        hm = convert(m, config)
+        x = np.random.default_rng(0).normal(size=(4, 12, 1))
+        # sigmoid LUT is the only remaining error source (~1e-2)
+        np.testing.assert_allclose(hm.predict(x), m.forward(x), atol=2e-2)
+
+    def test_trace_returns_all_layers(self):
+        m = self._model()
+        hm = convert(m, HLSConfig())
+        tr = hm.trace(np.zeros((1, 12, 1)))
+        assert set(tr) == {l.name for l in m.layers}
+
+    def test_input_shape_validated(self):
+        hm = convert(self._model(), HLSConfig())
+        with pytest.raises(ValueError):
+            hm.predict(np.zeros((1, 13, 1)))
+
+    def test_count_weights(self):
+        m = self._model()
+        hm = convert(m, HLSConfig())
+        # conv (3*1*3+3) + bn fused (3+3) + dense (3*2+2) = 12+6+8 = 26
+        assert hm.count_weights() == 26
+
+    def test_summary_renders(self):
+        hm = convert(self._model(), HLSConfig())
+        s = hm.summary()
+        assert "conv1d" in s and "MACs" in s
+
+    def test_multi_output_rejected(self):
+        inp = Input((4,))
+        a = Dense(2, seed=0)(inp)
+        b = Dense(2, seed=1)(inp)
+        m = Model(inp, [a, b])
+        with pytest.raises(ValueError):
+            convert(m, HLSConfig())

@@ -1,0 +1,197 @@
+"""Tests for graph passes (batch-norm fusion) and accumulator inference."""
+
+import numpy as np
+import pytest
+
+from repro.hls import HLSConfig, convert
+from repro.hls.accum import apply_accum_inference, infer_accum_format
+from repro.hls.passes import LayerGraph, apply_default_passes, fuse_batchnorm
+from repro.hls.passes.fuse import convert_optimized, strip_linear
+from repro.nn import (
+    BatchNormalization,
+    Concatenate,
+    Conv1D,
+    Dense,
+    Flatten,
+    Input,
+    Linear,
+    Model,
+    ReLU,
+    Sigmoid,
+)
+
+
+def bn_model(after="conv", fanout=False):
+    inp = Input((12, 1), name="in")
+    if after == "input":
+        x = BatchNormalization(name="bn")(inp)
+        x = Conv1D(3, 3, seed=0, name="c")(x)
+    else:
+        c = Conv1D(3, 3, seed=0, name="c")(inp)
+        x = BatchNormalization(name="bn")(c)
+        if fanout:
+            # the conv output also feeds a skip concat → fusion illegal
+            x = Concatenate(name="cat")(x, c)
+    x = ReLU(name="r")(x)
+    x = Dense(2, seed=1, name="d")(x)
+    x = Sigmoid(name="s")(x)
+    out = Flatten(name="f")(x)
+    m = Model(inp, out)
+    # non-trivial batch-norm statistics
+    xs = np.random.default_rng(0).normal(1.5, 2.0, size=(64, 12, 1))
+    m.forward(xs, training=True)
+    return m
+
+
+class TestLayerGraph:
+    def test_snapshot_structure(self):
+        m = bn_model()
+        g = LayerGraph.from_model(m)
+        assert len(g) == len(m.layers)
+        assert g.node("bn").parents == ["c"]
+        assert g.node("in").parents == ["__input__"]
+
+    def test_params_are_copies(self):
+        m = bn_model()
+        g = LayerGraph.from_model(m)
+        g.node("c").params["kernel"][:] = 0.0
+        assert m.get_layer("c").params["kernel"].any()
+
+    def test_remove_rewires(self):
+        m = bn_model()
+        g = LayerGraph.from_model(m)
+        g.remove_node("bn")
+        assert g.node("r").parents == ["c"]
+
+    def test_remove_multi_parent_rejected(self):
+        m = bn_model(fanout=True)
+        g = LayerGraph.from_model(m)
+        with pytest.raises(ValueError):
+            g.remove_node("cat")
+
+    def test_consumers(self):
+        m = bn_model(fanout=True)
+        g = LayerGraph.from_model(m)
+        names = {n.name for n in g.consumers("c")}
+        assert names == {"bn", "cat"}
+
+
+class TestFusion:
+    def test_fuses_conv_bn(self):
+        g = LayerGraph.from_model(bn_model())
+        removed = fuse_batchnorm(g)
+        assert removed == ["bn"]
+        assert "fused batchnorm bn" in g.node("c").notes[0]
+
+    def test_does_not_fuse_input_bn(self):
+        g = LayerGraph.from_model(bn_model(after="input"))
+        assert fuse_batchnorm(g) == []
+
+    def test_does_not_fuse_across_fanout(self):
+        g = LayerGraph.from_model(bn_model(fanout=True))
+        assert fuse_batchnorm(g) == []
+
+    def test_fused_math_matches_float(self):
+        m = bn_model()
+        g = LayerGraph.from_model(m)
+        fuse_batchnorm(g)
+        x = np.random.default_rng(1).normal(1.5, 2.0, size=(4, 12, 1))
+        # manual fused conv == conv→bn in inference mode
+        node = g.node("c")
+        from numpy.lib.stride_tricks import sliding_window_view
+
+        xp = np.pad(x, ((0, 0), (1, 1), (0, 0)))
+        win = sliding_window_view(xp, 3, axis=1)
+        fused = np.einsum("ntck,kcf->ntf", win, node.params["kernel"]) \
+            + node.params["bias"]
+        ref_conv = m.get_layer("c")
+        ref_bn = m.get_layer("bn")
+        y = ref_conv.forward([x])
+        y = ref_bn.forward([y], training=False)
+        np.testing.assert_allclose(fused, y, atol=1e-10)
+
+    def test_strip_linear(self):
+        inp = Input((4,), name="in")
+        x = Linear(name="lin")(inp)
+        x = Dense(2, seed=0, name="d")(x)
+        m = Model(inp, x)
+        g = LayerGraph.from_model(m)
+        assert strip_linear(g) == ["lin"]
+        assert g.node("d").parents == ["in"]
+
+    def test_terminal_linear_kept(self):
+        inp = Input((4,), name="in")
+        x = Dense(2, seed=0, name="d")(inp)
+        out = Linear(name="lin")(x)
+        m = Model(inp, out)
+        g = LayerGraph.from_model(m)
+        assert strip_linear(g) == []
+
+
+class TestConvertOptimized:
+    def test_fewer_kernels(self):
+        m = bn_model()
+        plain = convert(m, HLSConfig())
+        opt, log = convert_optimized(m, HLSConfig())
+        assert len(opt.kernels) == len(plain.kernels) - 1
+        assert any("fuse_batchnorm" in entry for entry in log)
+
+    def test_outputs_close_to_plain(self):
+        m = bn_model()
+        plain = convert(m, HLSConfig())
+        opt, _ = convert_optimized(m, HLSConfig())
+        x = np.random.default_rng(2).normal(1.5, 2.0, size=(6, 12, 1))
+        # same datapath up to one quantization of the fused constants
+        assert np.abs(plain.predict(x) - opt.predict(x)).max() < 0.02
+
+    def test_model_params_untouched(self):
+        m = bn_model()
+        before = m.get_layer("c").params["kernel"].copy()
+        convert_optimized(m, HLSConfig())
+        np.testing.assert_array_equal(m.get_layer("c").params["kernel"],
+                                      before)
+
+    def test_saves_resources(self):
+        from repro.hls.resources import estimate_resources
+
+        m = bn_model()
+        plain = estimate_resources(convert(m, HLSConfig()))
+        opt, _ = convert_optimized(m, HLSConfig())
+        opt_res = estimate_resources(opt)
+        # the standalone batch-norm kernel's multipliers are gone
+        assert sum(opt_res.per_layer_units.values()) < sum(
+            plain.per_layer_units.values()
+        )
+
+
+class TestAccumInference:
+    def test_width_grows_with_terms(self):
+        m = bn_model()
+        hm = convert(m, HLSConfig())
+        conv_fmt = infer_accum_format(hm.get_kernel("c"))
+        dense_fmt = infer_accum_format(hm.get_kernel("d"))
+        # conv accumulates 3 terms, dense only 3 as well (3 chans × …)
+        assert conv_fmt.integer > hm.get_kernel("c").config.weight.integer
+
+    def test_parameter_free_unchanged(self):
+        m = bn_model()
+        hm = convert(m, HLSConfig())
+        relu = hm.get_kernel("r")
+        assert infer_accum_format(relu) == relu.config.accum
+
+    def test_apply_preserves_numerics(self):
+        m = bn_model()
+        x = np.random.default_rng(3).normal(1.5, 2.0, size=(5, 12, 1))
+        hm = convert(m, HLSConfig())
+        before = hm.predict(x)
+        apply_accum_inference(hm)
+        np.testing.assert_array_equal(hm.predict(x), before)
+
+    def test_width_capped_at_simulation_limit(self):
+        # a dense with a huge fan-in must not exceed 62 bits
+        inp = Input((5000,), name="in")
+        d = Dense(2, seed=0, name="d")(inp)
+        m = Model(inp, d)
+        hm = convert(m, HLSConfig())
+        fmt = infer_accum_format(hm.get_kernel("d"))
+        assert fmt.width <= 62

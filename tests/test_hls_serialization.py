@@ -1,0 +1,99 @@
+"""Tests for HLS model persistence (the deployment artefact)."""
+
+import numpy as np
+import pytest
+
+from repro.hls import HLSConfig, convert
+from repro.hls.latency import estimate_latency
+from repro.hls.resources import estimate_resources
+from repro.hls.serialization import load_hls_model, save_hls_model
+from repro.nn import (
+    BatchNormalization,
+    Conv1D,
+    Dense,
+    Flatten,
+    Input,
+    MaxPooling1D,
+    Model,
+    ReLU,
+    Sigmoid,
+    Softmax,
+    UpSampling1D,
+)
+
+
+@pytest.fixture()
+def rich_hls(tmp_path):
+    """A model touching every serializable kernel family."""
+    inp = Input((16, 1), name="in")
+    x = Conv1D(4, 3, seed=0, name="c")(inp)
+    x = BatchNormalization(name="bn")(x)
+    x = ReLU(name="r")(x)
+    x = MaxPooling1D(2, name="p")(x)
+    x = UpSampling1D(2, name="u")(x)
+    x = Dense(3, seed=1, name="d")(x)
+    x = Softmax(name="sm")(x)
+    out = Flatten(name="f")(x)
+    m = Model(inp, out)
+    m.forward(np.random.default_rng(0).normal(size=(32, 16, 1)),
+              training=True)  # give batch-norm real statistics
+    return convert(m, HLSConfig())
+
+
+class TestRoundTrip:
+    def test_bit_exact(self, rich_hls, tmp_path):
+        path = tmp_path / "model.npz"
+        save_hls_model(rich_hls, path)
+        loaded = load_hls_model(path)
+        x = np.random.default_rng(1).normal(size=(6, 16, 1))
+        np.testing.assert_array_equal(loaded.predict(x),
+                                      rich_hls.predict(x))
+
+    def test_structure_preserved(self, rich_hls, tmp_path):
+        path = tmp_path / "model.npz"
+        save_hls_model(rich_hls, path)
+        loaded = load_hls_model(path)
+        assert [k.name for k in loaded.kernels] == [
+            k.name for k in rich_hls.kernels
+        ]
+        assert [k.kind for k in loaded.kernels] == [
+            k.kind for k in rich_hls.kernels
+        ]
+        assert loaded.name == rich_hls.name
+
+    def test_configs_preserved(self, rich_hls, tmp_path):
+        path = tmp_path / "model.npz"
+        save_hls_model(rich_hls, path)
+        loaded = load_hls_model(path)
+        for a, b in zip(rich_hls.kernels, loaded.kernels):
+            assert a.config.result == b.config.result
+            assert a.config.weight == b.config.weight
+            assert a.config.reuse_factor == b.config.reuse_factor
+
+    def test_estimators_agree(self, rich_hls, tmp_path):
+        path = tmp_path / "model.npz"
+        save_hls_model(rich_hls, path)
+        loaded = load_hls_model(path)
+        assert (estimate_latency(loaded).total_cycles
+                == estimate_latency(rich_hls).total_cycles)
+        assert (estimate_resources(loaded).aluts
+                == estimate_resources(rich_hls).aluts)
+
+    def test_weights_stored_as_raw_words(self, rich_hls, tmp_path):
+        path = tmp_path / "model.npz"
+        save_hls_model(rich_hls, path)
+        with np.load(path) as data:
+            raw = data["c/kernel"]
+        assert raw.dtype == np.int64
+
+    def test_loaded_model_without_float_source(self, rich_hls, tmp_path):
+        """The artefact must be self-sufficient (no repro.nn objects)."""
+        path = tmp_path / "model.npz"
+        save_hls_model(rich_hls, path)
+        loaded = load_hls_model(path)
+        # it can feed a board directly
+        from repro.soc.board import AchillesBoard
+
+        board = AchillesBoard(loaded)
+        result = board.run(np.zeros((2, 16)))
+        assert result.outputs.shape == (2, 48)

@@ -1,0 +1,158 @@
+"""Integration tests: the full pipeline on the pre-trained reference
+bundle.  These are the repository's ground-truth checks that the paper's
+headline results actually regenerate."""
+
+import numpy as np
+import pytest
+
+from repro.hls.converter import convert
+from repro.hls.latency import estimate_latency
+from repro.hls.precision import layer_based_config, uniform_config
+from repro.hls.resources import estimate_resources
+from repro.soc.board import AchillesBoard
+from repro.verify import close_enough_accuracy
+from repro.verify.flow import VerificationFlow
+
+
+@pytest.fixture(scope="module")
+def eval_slice(reference_bundle):
+    ds = reference_bundle.dataset
+    return ds.unet_inputs(ds.x_eval[:120])
+
+
+class TestReferenceBundle:
+    def test_param_counts(self, reference_bundle):
+        assert reference_bundle.unet.count_params() == 134_434
+        assert reference_bundle.mlp.count_params() == 100_102
+
+    def test_unet_learned_the_task(self, reference_bundle):
+        """Predictions must beat the trivial all-zeros baseline clearly."""
+        ds = reference_bundle.dataset
+        x = ds.unet_inputs(ds.x_eval[:200])
+        pred = reference_bundle.unet.forward(x)
+        y = ds.y_eval[:200]
+        mse_model = float(((pred - y) ** 2).mean())
+        mse_zero = float((y**2).mean())
+        assert mse_model < 0.5 * mse_zero
+
+    def test_output_means_match_paper_band(self, reference_bundle):
+        """Paper: mean model output ≈ 0.17 (MI) and 0.42 (RR)."""
+        ds = reference_bundle.dataset
+        pred = reference_bundle.unet.forward(ds.unet_inputs(ds.x_eval[:300]))
+        per_machine = pred.reshape(-1, 260, 2)
+        mi = per_machine[..., 0].mean()
+        rr = per_machine[..., 1].mean()
+        assert 0.10 < mi < 0.30
+        assert 0.30 < rr < 0.55
+        assert rr > mi  # the asymmetry that drives Fig 5a's reading
+
+    def test_metadata_recorded(self, reference_bundle):
+        assert reference_bundle.metadata is not None
+        assert "unet" in reference_bundle.metadata
+
+
+class TestTableIIShape:
+    def test_uniform16_collapses(self, reference_bundle, eval_slice):
+        b = reference_bundle
+        y_float = b.unet.forward(eval_slice)
+        hm = convert(b.unet, uniform_config(16, 7, model=b.unet))
+        acc = close_enough_accuracy(y_float, hm.predict(eval_slice))
+        assert acc["MI"] < 0.7 and acc["RR"] < 0.7
+
+    def test_layer_based_accurate_and_cheap(self, reference_bundle,
+                                            reference_hls_unet, eval_slice):
+        b = reference_bundle
+        y_float = b.unet.forward(eval_slice)
+        acc = close_enough_accuracy(
+            y_float, reference_hls_unet.predict(eval_slice))
+        assert acc["MI"] > 0.97 and acc["RR"] > 0.97
+        res = estimate_resources(reference_hls_unet)
+        assert res.alut_fraction < 0.5
+        assert res.fits
+
+    def test_uniform18_accurate_but_infeasible(self, reference_bundle,
+                                               eval_slice):
+        b = reference_bundle
+        y_float = b.unet.forward(eval_slice)
+        hm = convert(b.unet, uniform_config(18, 10, model=b.unet))
+        acc = close_enough_accuracy(y_float, hm.predict(eval_slice))
+        assert acc["MI"] > 0.95 and acc["RR"] > 0.95
+        assert estimate_resources(hm).alut_fraction > 1.0
+
+
+class TestDeployedSystem:
+    def test_latency_bands(self, reference_hls_unet):
+        lat = estimate_latency(reference_hls_unet)
+        assert 1.3e-3 < lat.latency_s < 1.8e-3  # paper: 1.57 ms
+        board = AchillesBoard(reference_hls_unet)
+        system = board.deterministic_latency_s()
+        assert 1.5e-3 < system < 2.0e-3  # paper: 1.74 ms
+        assert 1.0 / system > 320  # deployment requirement (paper: 575)
+
+    def test_verification_flow_passes(self, reference_bundle,
+                                      reference_hls_unet):
+        ds = reference_bundle.dataset
+        flow = VerificationFlow(reference_bundle.unet, reference_hls_unet)
+        flow.run_all(ds.unet_inputs(ds.x_eval[:40]), min_accuracy=0.95)
+        assert flow.passed, flow.report()
+
+    def test_board_output_bit_exact_vs_hls(self, reference_bundle,
+                                           reference_hls_unet):
+        from repro.fixed import quantize
+
+        ds = reference_bundle.dataset
+        frames = ds.x_eval[:2]
+        board = AchillesBoard(reference_hls_unet)
+        result = board.run(frames)
+        expected = reference_hls_unet.predict(
+            ds.unet_inputs(frames)).reshape(2, -1)
+        expected = quantize(expected, board.ip.output_format)
+        np.testing.assert_array_equal(result.outputs, expected)
+
+    def test_latency_distribution_facts(self, reference_hls_unet):
+        board = AchillesBoard(reference_hls_unet)
+        lat = board.sample_latency_distribution(20_000, seed=11)
+        assert (lat < 3e-3).all()
+        assert (lat < 1.9e-3).mean() > 0.995
+        assert lat.max() > 2.0e-3  # the OS-jitter tail exists
+
+
+class TestCodesignOnReference:
+    def test_optimizer_chooses_layer_based(self, reference_bundle):
+        """On the real U-Net the ladder must reject both uniform designs
+        and land on layer-based — the paper's Section IV-D storyline."""
+        from repro.core import CodesignOptimizer
+
+        ds = reference_bundle.dataset
+        opt = CodesignOptimizer(
+            reference_bundle.unet,
+            ds.unet_inputs(ds.x_train[:200]),
+            eval_frames=60,
+        )
+        result = opt.optimize()
+        assert result.feasible
+        assert "layer-based" in result.config.strategy
+        tried = [r.config.strategy for r in opt.history]
+        assert any("uniform<16,7>" in s for s in tried)
+        assert any("uniform<18,10>" in s for s in tried)
+
+
+class TestMLPReference:
+    def test_mlp_system_latency_band(self, reference_bundle):
+        b = reference_bundle
+        hm = convert(b.mlp, uniform_config(16, 7, model=b.mlp))
+        board = AchillesBoard(hm)
+        system = board.deterministic_latency_s()
+        assert 0.2e-3 < system < 0.45e-3  # paper: 0.31 ms
+
+    def test_mlp_verifies_on_board(self, reference_bundle):
+        # The paper uses the MLP as a verification/exploration vehicle
+        # and never reports its quantized accuracy; with 16 total bits
+        # its 260-wide dense accumulations keep only 2–3 fraction bits,
+        # so ≈0.9 within-0.20 accuracy is the honest expectation.
+        b = reference_bundle
+        ds = b.dataset
+        hm = convert(b.mlp, layer_based_config(b.mlp, ds.x_train[:200]))
+        flow = VerificationFlow(b.mlp, hm)
+        flow.run_all(ds.x_eval[:30], min_accuracy=0.85)
+        assert flow.passed, flow.report()

@@ -1,0 +1,330 @@
+"""Model graph, training loop, losses, optimizers, serialization, zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SGD,
+    Adam,
+    BinaryCrossentropy,
+    Concatenate,
+    Conv1D,
+    Dense,
+    Flatten,
+    Input,
+    MaxPooling1D,
+    MeanAbsoluteError,
+    MeanSquaredError,
+    Model,
+    ReLU,
+    Sigmoid,
+    UpSampling1D,
+    fit,
+    load_weights,
+    save_weights,
+)
+from repro.nn.zoo import (
+    REFERENCE_MLP_CONFIG,
+    REFERENCE_UNET_CONFIG,
+    MLPConfig,
+    UNetConfig,
+    build_mlp,
+    build_unet,
+)
+
+
+def tiny_skip_model(seed=0):
+    inp = Input((8, 1))
+    c1 = Conv1D(3, 3, seed=seed, name="c1")(inp)
+    r1 = ReLU(name="r1")(c1)
+    p1 = MaxPooling1D(2, name="p1")(r1)
+    c2 = Conv1D(4, 3, seed=seed + 1, name="c2")(p1)
+    u1 = UpSampling1D(2, name="u1")(c2)
+    cat = Concatenate(name="cat")(u1, r1)
+    d = Dense(2, seed=seed + 2, name="d")(cat)
+    s = Sigmoid(name="s")(d)
+    f = Flatten(name="f")(s)
+    return Model(inp, f, name="tiny_skip")
+
+
+class TestModelGraph:
+    def test_topological_order(self):
+        m = tiny_skip_model()
+        order = [l.name for l in m.layers]
+        assert order.index("c1") < order.index("cat")
+        assert order.index("u1") < order.index("cat")
+        assert order[-1] == "f"
+
+    def test_forward_shape(self):
+        m = tiny_skip_model()
+        out = m.forward(np.zeros((5, 8, 1)))
+        assert out.shape == (5, 16)
+
+    def test_get_layer(self):
+        m = tiny_skip_model()
+        assert m.get_layer("c2").name == "c2"
+        with pytest.raises(KeyError):
+            m.get_layer("nope")
+
+    def test_wrong_input_shape_rejected(self):
+        m = tiny_skip_model()
+        with pytest.raises(ValueError):
+            m.forward(np.zeros((5, 9, 1)))
+
+    def test_fanout_gradient_accumulation(self):
+        # r1 feeds both the pool path and the skip: its upstream conv
+        # gradient must accumulate both contributions.  Verified
+        # numerically.
+        rng = np.random.default_rng(0)
+        m = tiny_skip_model(seed=3)
+        x = rng.normal(size=(3, 8, 1))
+        y = rng.uniform(size=(3, 16))
+        loss = MeanSquaredError()
+        pred = m.forward(x, training=True)
+        m.backward(loss.grad(y, pred))
+        layer = m.get_layer("c1")
+        g = layer.grads["kernel"]
+        eps = 1e-6
+        idx = (1, 0, 1)
+        orig = layer.params["kernel"][idx]
+        layer.params["kernel"][idx] = orig + eps
+        lp = loss.value(y, m.forward(x, training=True))
+        layer.params["kernel"][idx] = orig - eps
+        lm = loss.value(y, m.forward(x, training=True))
+        layer.params["kernel"][idx] = orig
+        num = (lp - lm) / (2 * eps)
+        assert abs(num - g[idx]) / max(1e-8, abs(num)) < 1e-4
+
+    def test_input_gradient_returned(self):
+        m = tiny_skip_model()
+        x = np.random.default_rng(0).normal(size=(2, 8, 1))
+        pred = m.forward(x, training=True)
+        grads = m.backward(np.ones_like(pred))
+        assert len(grads) == 1
+        assert grads[0].shape == x.shape
+
+    def test_predict_batching_consistent(self):
+        m = tiny_skip_model()
+        x = np.random.default_rng(1).normal(size=(10, 8, 1))
+        full = m.predict(x)
+        batched = m.predict(x, batch_size=3)
+        np.testing.assert_allclose(full, batched)
+
+    def test_summary_mentions_layers(self):
+        s = tiny_skip_model().summary()
+        assert "c1" in s and "Total params" in s
+
+    def test_disconnected_input_rejected(self):
+        a = Input((3,))
+        b = Input((3,))
+        out = Dense(2, seed=0)(a)
+        with pytest.raises(ValueError):
+            Model([a, b], out)
+
+    def test_non_input_as_model_input_rejected(self):
+        a = Input((3,))
+        mid = ReLU()(a)
+        with pytest.raises(TypeError):
+            Model(mid, mid)
+
+
+class TestLosses:
+    y = np.array([[0.0, 1.0, 0.5]])
+    p = np.array([[0.2, 0.7, 0.5]])
+
+    def test_mse_value(self):
+        assert MeanSquaredError().value(self.y, self.p) == pytest.approx(
+            (0.04 + 0.09 + 0) / 3
+        )
+
+    def test_mae_value(self):
+        assert MeanAbsoluteError().value(self.y, self.p) == pytest.approx(
+            (0.2 + 0.3 + 0) / 3
+        )
+
+    def test_bce_matches_formula(self):
+        bce = BinaryCrossentropy()
+        expected = -(np.log(1 - 0.2) + np.log(0.7) + 0.5 * np.log(0.5)
+                     + 0.5 * np.log(0.5)) / 3
+        assert bce.value(self.y, self.p) == pytest.approx(expected)
+
+    @pytest.mark.parametrize("loss", [MeanSquaredError(),
+                                      BinaryCrossentropy()])
+    def test_grad_numerically(self, loss):
+        rng = np.random.default_rng(0)
+        y = rng.uniform(0.05, 0.95, size=(3, 4))
+        p = rng.uniform(0.05, 0.95, size=(3, 4))
+        g = loss.grad(y, p)
+        eps = 1e-7
+        for idx in [(0, 0), (1, 2), (2, 3)]:
+            pp = p.copy()
+            pp[idx] += eps
+            pm = p.copy()
+            pm[idx] -= eps
+            num = (loss.value(y, pp) - loss.value(y, pm)) / (2 * eps)
+            assert num == pytest.approx(g[idx], rel=1e-4)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            MeanSquaredError().value(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+class TestOptimizers:
+    def _quadratic_model(self):
+        inp = Input((4,))
+        out = Dense(1, seed=0)(inp)
+        return Model(inp, out)
+
+    @pytest.mark.parametrize("opt", [SGD(0.05), SGD(0.02, momentum=0.9),
+                                     Adam(0.05)])
+    def test_loss_decreases(self, opt):
+        rng = np.random.default_rng(0)
+        m = self._quadratic_model()
+        x = rng.normal(size=(64, 4))
+        w_true = np.array([[1.0], [-2.0], [0.5], [3.0]])
+        y = x @ w_true
+        h = fit(m, x, y, MeanSquaredError(), opt, epochs=30, batch_size=16)
+        assert h.loss[-1] < 0.05 * h.loss[0]
+
+    def test_adam_converges_to_solution(self):
+        rng = np.random.default_rng(0)
+        m = self._quadratic_model()
+        x = rng.normal(size=(128, 4))
+        w_true = np.array([[1.0], [-2.0], [0.5], [3.0]])
+        y = x @ w_true + 0.7
+        fit(m, x, y, MeanSquaredError(), Adam(0.05), epochs=120,
+            batch_size=32)
+        layer = m.trainable_layers()[0]
+        np.testing.assert_allclose(layer.params["kernel"], w_true, atol=0.05)
+        np.testing.assert_allclose(layer.params["bias"], [0.7], atol=0.05)
+
+    def test_step_without_backward_raises(self):
+        m = self._quadratic_model()
+        m.forward(np.zeros((2, 4)))
+        with pytest.raises(RuntimeError):
+            SGD(0.1).step(m)
+
+    def test_invalid_hyperparams(self):
+        with pytest.raises(ValueError):
+            SGD(-1.0)
+        with pytest.raises(ValueError):
+            SGD(0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            Adam(0.1, beta_1=1.0)
+
+
+class TestFit:
+    def test_deterministic_given_seed(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(32, 8, 1))
+        y = rng.uniform(size=(32, 16))
+
+        def train():
+            m = tiny_skip_model(seed=5)
+            fit(m, x, y, MeanSquaredError(), Adam(0.01), epochs=3,
+                batch_size=8, seed=9)
+            return m.forward(x)
+
+        np.testing.assert_array_equal(train(), train())
+
+    def test_validation_recorded(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(20, 8, 1))
+        y = rng.uniform(size=(20, 16))
+        m = tiny_skip_model(seed=1)
+        h = fit(m, x, y, MeanSquaredError(), Adam(0.01), epochs=2,
+                batch_size=10, validation_data=(x[:5], y[:5]))
+        assert len(h.val_loss) == 2
+
+    def test_callback_invoked(self):
+        calls = []
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(8, 8, 1))
+        y = rng.uniform(size=(8, 16))
+        fit(tiny_skip_model(seed=2), x, y, MeanSquaredError(), Adam(0.01),
+            epochs=3, batch_size=4,
+            callback=lambda e, logs: calls.append((e, logs["loss"])))
+        assert [c[0] for c in calls] == [0, 1, 2]
+
+    def test_mismatched_xy_rejected(self):
+        m = tiny_skip_model()
+        with pytest.raises(ValueError):
+            fit(m, np.zeros((4, 8, 1)), np.zeros((5, 16)),
+                MeanSquaredError(), Adam(), epochs=1)
+
+
+class TestSerialization:
+    def test_roundtrip(self, tmp_path):
+        m1 = tiny_skip_model(seed=1)
+        path = tmp_path / "w.npz"
+        save_weights(m1, path)
+        m2 = tiny_skip_model(seed=99)  # different init
+        load_weights(m2, path)
+        x = np.random.default_rng(0).normal(size=(3, 8, 1))
+        np.testing.assert_array_equal(m1.forward(x), m2.forward(x))
+
+    def test_strict_key_check(self, tmp_path):
+        m1 = tiny_skip_model(seed=1)
+        path = tmp_path / "w.npz"
+        save_weights(m1, path)
+        inp = Input((4,))
+        other = Model(inp, Dense(2, seed=0)(inp))
+        with pytest.raises(ValueError):
+            load_weights(other, path)
+
+
+class TestZoo:
+    def test_unet_param_count_exact(self):
+        assert build_unet().count_params() == 134_434
+
+    def test_mlp_param_count_exact(self):
+        assert build_mlp().count_params() == 100_102
+
+    def test_unet_shapes(self):
+        m = build_unet()
+        out = m.forward(np.zeros((2, 260, 1)))
+        assert out.shape == (2, 520)
+
+    def test_unet_output_is_probability(self):
+        m = build_unet()
+        out = m.forward(np.random.default_rng(0).normal(size=(2, 260, 1)))
+        assert (out >= 0).all() and (out <= 1).all()
+
+    def test_mlp_shapes(self):
+        out = build_mlp().forward(np.zeros((2, 260)))
+        assert out.shape == (2, 518)
+
+    def test_unet_batchnorm_variant(self):
+        m = build_unet(UNetConfig(batchnorm_standardizer=True))
+        assert any(l.name == "input_bn" for l in m.layers)
+        assert m.count_params() == 134_434 + 2  # + gamma/beta on 1 channel
+
+    def test_unet_custom_config(self):
+        cfg = UNetConfig(input_length=64, encoder_channels=(8, 16),
+                         bottleneck_channels=24)
+        m = build_unet(cfg)
+        assert m.forward(np.zeros((1, 64, 1))).shape == (1, 128)
+
+    def test_unet_bad_length_rejected(self):
+        with pytest.raises(ValueError):
+            UNetConfig(input_length=258)  # 258→129→64→128→256 ≠ 258
+
+    def test_unet_seed_changes_weights(self):
+        a = build_unet(seed=0).get_weights()["enc1_conv/kernel"]
+        b = build_unet(seed=1).get_weights()["enc1_conv/kernel"]
+        assert not np.allclose(a, b)
+
+    def test_unet_layer_weight_streams_independent(self):
+        w = build_unet(seed=0).get_weights()
+        assert not np.allclose(
+            w["enc1_conv/kernel"].ravel()[:50],
+            w["dec1_conv/kernel"].ravel()[:50],
+        )
+
+    def test_mlp_config_validation(self):
+        with pytest.raises(ValueError):
+            MLPConfig(input_size=0)
+
+    def test_reference_configs_frozen(self):
+        assert REFERENCE_UNET_CONFIG.input_length == 260
+        assert REFERENCE_MLP_CONFIG.hidden_units == 128

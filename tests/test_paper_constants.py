@@ -1,0 +1,62 @@
+"""The published-constants module must agree with what the library
+actually reproduces — these tests tie `repro.paper` to the code."""
+
+import pytest
+
+from repro import paper
+from repro.nn.zoo import build_mlp, build_unet
+from repro.verify.comparators import CLOSE_ENOUGH_THRESHOLD
+
+
+class TestConsistencyWithCode:
+    def test_param_counts_match_zoo(self):
+        assert build_unet().count_params() == paper.UNET["params"]
+        assert build_mlp().count_params() == paper.MLP["params"]
+
+    def test_mlp_layer_sizes(self):
+        from repro.nn.zoo.mlp import REFERENCE_MLP_CONFIG
+
+        assert REFERENCE_MLP_CONFIG.hidden_units == paper.MLP["hidden_units"]
+        assert REFERENCE_MLP_CONFIG.output_units == paper.MLP["output_units"]
+
+    def test_threshold_matches_comparators(self):
+        assert CLOSE_ENOUGH_THRESHOLD == paper.FIG5["close_enough_threshold"]
+
+    def test_reuse_factors_match_precision_module(self):
+        from repro.hls.precision import DEFAULT_REUSE, DENSE_SIGMOID_REUSE
+
+        assert DEFAULT_REUSE == paper.UNET["default_reuse_factor"]
+        assert DENSE_SIGMOID_REUSE == paper.UNET["dense_sigmoid_reuse_factor"]
+
+    def test_system_shape_constants(self):
+        from repro.beamloss.blm import DIGITIZER_PERIOD_S
+        from repro.beamloss.geometry import TunnelGeometry
+        from repro.beamloss.hubs import HubNetwork
+
+        assert DIGITIZER_PERIOD_S == paper.SYSTEM["deadline_s"]
+        assert TunnelGeometry().n_monitors == paper.SYSTEM["n_monitors"]
+        assert HubNetwork().n_hubs == paper.SYSTEM["n_hubs"]
+
+    def test_device_percentages_consistent(self):
+        """The device capacity table was back-solved from Table III; the
+        ratios must reproduce the printed percentages."""
+        from repro.hls.device import ARRIA10_660
+
+        t3 = paper.TABLE3
+        assert round(t3["logic_alms"] / ARRIA10_660.alms * 100) == t3["logic_pct"]
+        assert round(t3["ram_blocks"] / ARRIA10_660.m20k_blocks * 100) == t3["ram_pct"]
+        assert round(t3["dsp_blocks"] / ARRIA10_660.dsp_blocks * 100) == t3["dsp_pct"]
+        assert round(t3["pins"] / ARRIA10_660.pins * 100) == t3["pins_pct"]
+        assert round(t3["plls"] / ARRIA10_660.plls * 100) == t3["plls_pct"]
+
+    def test_table2_rows_match_experiment_anchors(self):
+        from repro.experiments.table2 import PAPER_VALUES
+
+        for row in paper.TABLE2:
+            anchor = PAPER_VALUES[row.strategy]
+            assert anchor == (row.accuracy_mi_pct, row.accuracy_rr_pct,
+                              row.alut_pct)
+
+    def test_immutability(self):
+        with pytest.raises(TypeError):
+            paper.SYSTEM["deadline_s"] = 1.0

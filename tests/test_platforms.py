@@ -1,0 +1,105 @@
+"""Tests for the CPU/GPU/FPGA platform models."""
+
+import numpy as np
+import pytest
+
+from repro.nn.zoo import build_mlp, build_unet
+from repro.platforms import (
+    CPUPlatform,
+    FPGAPlatform,
+    GPUPlatform,
+    compare_platforms,
+    gpu_batch_sweep,
+)
+from repro.platforms.base import model_flops, model_layers
+from repro.platforms.compare import comparison_table
+
+
+@pytest.fixture(scope="module")
+def unet():
+    return build_unet()
+
+
+@pytest.fixture(scope="module")
+def mlp():
+    return build_mlp()
+
+
+class TestCosts:
+    def test_mlp_flops(self, mlp):
+        # 2 × (260·128 + 128·518) MACs
+        assert model_flops(mlp) == 2 * (260 * 128 + 128 * 518)
+
+    def test_unet_flops_dominated_by_decoder(self, unet):
+        flops = model_flops(unet)
+        assert flops > 2 * 130 * 66816  # dec2 conv alone
+
+    def test_layer_count_positive(self, unet):
+        assert model_layers(unet) >= 10
+
+
+class TestCPU:
+    def test_overhead_floor(self, mlp):
+        cpu = CPUPlatform(framework_overhead_s=2e-3)
+        r = cpu.latency(mlp)
+        assert r.latency_s >= 2e-3
+
+    def test_flops_term_grows_with_batch(self, unet):
+        cpu = CPUPlatform()
+        r1 = cpu.latency(unet, 1)
+        r64 = cpu.latency(unet, 64)
+        assert r64.latency_s > r1.latency_s * 5
+
+    def test_unet_misses_deadline(self, unet):
+        assert CPUPlatform().latency(unet).latency_s > 3e-3
+
+
+class TestGPU:
+    def test_batch1_launch_dominated(self, unet):
+        gpu = GPUPlatform()
+        r = gpu.latency(unet, 1)
+        assert r.latency_s > model_layers(unet) * gpu.launch_overhead_s * 0.9
+
+    def test_amortization(self, unet):
+        gpu = GPUPlatform()
+        per1 = gpu.latency(unet, 1).per_frame_s
+        per4096 = gpu.latency(unet, 4096).per_frame_s
+        assert per4096 < per1 / 50
+        assert per4096 < 100e-6  # µs-range, per the paper
+
+    def test_batch_sweep_monotone(self, unet):
+        sweep = gpu_batch_sweep(unet, batch_sizes=(1, 16, 256, 4096))
+        per_frame = [r.per_frame_s for r in sweep]
+        assert all(a >= b for a, b in zip(per_frame, per_frame[1:]))
+
+
+class TestFPGA:
+    def test_close_to_cpu_gpu_shape(self, unet, mlp):
+        results = compare_platforms([mlp, unet], batch_size=1)
+        by_key = {(r.model_name, r.platform): r.latency_s for r in results}
+        fpga = FPGAPlatform.name
+        # FPGA beats both CPU and GPU for both models at batch 1.
+        for model in ("mlp", "unet"):
+            assert by_key[(model, fpga)] < by_key[(model, "CPU (Keras)")]
+            assert by_key[(model, fpga)] < by_key[(model, "GPU (Keras)")]
+
+    def test_unet_meets_requirement_only_on_fpga(self, unet):
+        results = compare_platforms([unet], batch_size=1)
+        ok = {r.platform: r.latency_s <= 3e-3 for r in results}
+        assert ok[FPGAPlatform.name]
+        assert not ok["CPU (Keras)"]
+
+    def test_linear_in_batch(self, mlp):
+        fpga = FPGAPlatform()
+        r1 = fpga.latency(mlp, 1)
+        r4 = fpga.latency(mlp, 4)
+        assert r4.latency_s == pytest.approx(4 * r1.latency_s)
+
+    def test_table_renders(self, mlp):
+        results = compare_platforms([mlp], batch_size=1)
+        text = comparison_table(results).render()
+        assert "mlp" in text and "CPU" in text
+
+    def test_invalid_batch(self, mlp):
+        with pytest.raises(ValueError):
+            CPUPlatform().latency(mlp, 0)

@@ -1,0 +1,189 @@
+"""Cross-module property-based tests (hypothesis).
+
+These fuzz the invariants that hold the reproduction together:
+
+* any model built from the supported layer vocabulary converts and
+  produces finite outputs of the right shape,
+* at generous precision the converted model tracks the float model,
+* the event simulator never goes back in time,
+* hub splitting is a partition for any (monitors, hubs) pair,
+* the trip controller's decision is permutation-consistent.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fixed import FixedPointFormat, Overflow
+from repro.hls import HLSConfig, convert
+from repro.hls.config import LayerConfig, WIDE_ACCUM
+from repro.hls.latency import estimate_latency
+from repro.hls.resources import estimate_resources
+from repro.nn import (
+    AveragePooling1D,
+    Conv1D,
+    Dense,
+    Flatten,
+    Input,
+    MaxPooling1D,
+    Model,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    UpSampling1D,
+)
+from repro.soc.event import Simulator
+
+
+def build_random_model(draw):
+    """Strategy helper: a random, valid conv/dense stack."""
+    length = draw(st.sampled_from([8, 12, 16, 20]))
+    inp = Input((length, 1))
+    x = inp
+    n_blocks = draw(st.integers(1, 3))
+    for i in range(n_blocks):
+        filters = draw(st.integers(1, 6))
+        kernel = draw(st.sampled_from([1, 3, 5]))
+        x = Conv1D(filters, kernel, seed=draw(st.integers(0, 100)))(x)
+        act = draw(st.sampled_from([ReLU, Tanh, Sigmoid]))
+        x = act()(x)
+        if draw(st.booleans()) and x.shape[0] >= 4:
+            pool = draw(st.sampled_from([MaxPooling1D, AveragePooling1D]))
+            x = pool(2)(x)
+        elif draw(st.booleans()):
+            x = UpSampling1D(2)(x)
+    x = Dense(draw(st.integers(1, 4)), seed=draw(st.integers(0, 100)))(x)
+    out = Flatten()(x)
+    return Model(inp, out)
+
+
+@st.composite
+def models(draw):
+    return build_random_model(draw)
+
+
+class TestConverterFuzz:
+    @settings(max_examples=25, deadline=None)
+    @given(models(), st.integers(0, 2**31 - 1))
+    def test_any_model_converts_and_runs(self, model, data_seed):
+        hm = convert(model, HLSConfig())
+        x = np.random.default_rng(data_seed).normal(size=(2,) + tuple(
+            model.inputs[0].shape))
+        out = hm.predict(x)
+        assert out.shape == (2,) + tuple(model.outputs[0].shape)
+        assert np.isfinite(out).all()
+
+    @settings(max_examples=15, deadline=None)
+    @given(models(), st.integers(0, 2**31 - 1))
+    def test_high_precision_tracks_float(self, model, data_seed):
+        wide = FixedPointFormat(40, 20, overflow=Overflow.SAT)
+        config = HLSConfig(default=LayerConfig(
+            weight=wide, result=wide, accum=WIDE_ACCUM, reuse_factor=8))
+        hm = convert(model, config)
+        x = np.random.default_rng(data_seed).normal(
+            size=(3,) + tuple(model.inputs[0].shape))
+        y_f = model.forward(x)
+        y_q = hm.predict(x)
+        # LUT activations bound the residual error.
+        assert np.abs(y_f - y_q).max() < 0.05
+
+    @settings(max_examples=15, deadline=None)
+    @given(models())
+    def test_estimators_always_positive(self, model):
+        hm = convert(model, HLSConfig())
+        lat = estimate_latency(hm)
+        assert lat.total_cycles > 0
+        res = estimate_resources(hm)
+        assert res.block_memory_bits > 0
+        assert res.registers >= 0
+
+    @settings(max_examples=10, deadline=None)
+    @given(models(), st.sampled_from([4, 16, 64]))
+    def test_latency_monotone_in_reuse(self, model, reuse):
+        lo = estimate_latency(convert(model, HLSConfig().with_reuse_factor(
+            reuse))).total_cycles
+        hi = estimate_latency(convert(model, HLSConfig().with_reuse_factor(
+            reuse * 2))).total_cycles
+        assert hi >= lo
+
+
+class TestSimulatorProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0.0, 100.0), min_size=1, max_size=30))
+    def test_time_monotone(self, delays):
+        sim = Simulator()
+        seen = []
+        for d in delays:
+            sim.schedule(d, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert sim.events_processed == len(delays)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(0.0, 10.0), min_size=1, max_size=10),
+           st.floats(0.0, 10.0))
+    def test_run_until_boundary(self, delays, until):
+        sim = Simulator()
+        fired = []
+        for d in delays:
+            sim.schedule(d, lambda d=d: fired.append(d))
+        sim.run(until=until)
+        assert all(d <= until for d in fired)
+        assert sim.now <= until or not delays
+
+
+class TestHubProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(2, 400), st.integers(1, 20))
+    def test_spans_partition(self, n_monitors, n_hubs):
+        from repro.beamloss.hubs import HubNetwork
+
+        if n_hubs > n_monitors:
+            return
+        net = HubNetwork(n_monitors=n_monitors, n_hubs=n_hubs)
+        spans = net.spans()
+        covered = []
+        for a, b in spans:
+            covered.extend(range(a, b))
+        assert covered == list(range(n_monitors))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 300), st.integers(1, 9),
+           st.integers(0, 2**31 - 1))
+    def test_split_assemble_identity(self, n_monitors, n_hubs, seed):
+        from repro.beamloss.hubs import HubNetwork
+
+        if n_hubs > n_monitors:
+            return
+        net = HubNetwork(n_monitors=n_monitors, n_hubs=n_hubs)
+        frame = np.random.default_rng(seed).normal(size=n_monitors)
+        packets = net.split_frame(frame)
+        np.testing.assert_array_equal(net.assemble(packets), frame)
+
+
+class TestControllerProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**31 - 1))
+    def test_machine_symmetry(self, seed):
+        """Swapping the two machine channels must swap the decision."""
+        from repro.beamloss.controller import TripController
+
+        rng = np.random.default_rng(seed)
+        probs = rng.uniform(size=(40, 2))
+        a = TripController(machine_names=("MI", "RR"), min_votes=1)
+        d1 = a.decide(probs.ravel())
+        b = TripController(machine_names=("RR", "MI"), min_votes=1)
+        d2 = b.decide(probs[:, ::-1].ravel())
+        assert d1.machine == d2.machine
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**31 - 1), st.floats(0.3, 0.9))
+    def test_score_nonnegative_and_bounded(self, seed, threshold):
+        from repro.beamloss.controller import TripController
+
+        rng = np.random.default_rng(seed)
+        probs = rng.uniform(size=(40, 2))
+        ctl = TripController(probability_threshold=threshold, min_votes=1)
+        d = ctl.decide(probs.ravel())
+        assert 0.0 <= d.score <= probs.size

@@ -1,0 +1,100 @@
+"""Additional coverage: build reports, figures edge cases, CLI paths,
+and the reference U-Net's optimized-conversion equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import ascii_histogram, ascii_series
+from repro.hls import HLSConfig, build_report, convert, convert_optimized
+from repro.nn import Conv1D, Dense, Flatten, Input, Model, ReLU
+
+
+def toy():
+    inp = Input((10, 1), name="in")
+    x = Conv1D(2, 3, seed=0, name="c")(inp)
+    x = ReLU(name="r")(x)
+    x = Dense(2, seed=1, name="d")(x)
+    out = Flatten(name="f")(x)
+    return Model(inp, out)
+
+
+class TestBuildReport:
+    def test_latency_resources_consistent(self):
+        hm = convert(toy(), HLSConfig())
+        rep = build_report(hm)
+        assert rep.latency.total_cycles == sum(
+            rep.latency.per_layer_cycles.values()
+        ) + rep.latency.transfer_cycles
+        assert rep.resources.device.name.startswith("Arria")
+
+    def test_table_has_all_rows(self):
+        hm = convert(toy(), HLSConfig())
+        text = build_report(hm).summary_table().render()
+        for row in ("Strategy", "FPGA IP Latency", "Total Registers",
+                    "Total RAM Blocks", "Device"):
+            assert row in text
+
+    def test_ip_latency_positive_ms(self):
+        hm = convert(toy(), HLSConfig())
+        assert 0 < build_report(hm).ip_latency_ms < 10
+
+
+class TestOptimizedConversionOnToy:
+    def test_no_op_when_nothing_to_fuse(self):
+        m = toy()
+        plain = convert(m, HLSConfig())
+        opt, log = convert_optimized(m, HLSConfig())
+        assert log == []
+        assert len(opt.kernels) == len(plain.kernels)
+        x = np.random.default_rng(0).normal(size=(3, 10, 1))
+        np.testing.assert_array_equal(plain.predict(x), opt.predict(x))
+
+
+class TestFiguresEdgeCases:
+    def test_series_all_zero(self):
+        out = ascii_series([1, 2], [0.0, 0.0])
+        assert "0" in out  # renders without dividing by zero
+
+    def test_series_single_point(self):
+        out = ascii_series([5], [3.0])
+        assert "3" in out
+
+    def test_histogram_single_value(self):
+        out = ascii_histogram([1.0, 1.0, 1.0], bins=4)
+        counts = [int(l.rsplit(" ", 1)[1]) for l in out.splitlines()]
+        assert sum(counts) == 3
+
+    def test_histogram_title(self):
+        out = ascii_histogram([1.0, 2.0], bins=2, title="T")
+        assert out.splitlines()[0] == "T"
+
+
+class TestCLIExtra:
+    def test_multiple_experiments_in_one_call(self, capsys):
+        from repro.experiments.cli import main as cli_main
+
+        assert cli_main(["ablation-interface", "ablation-buffers",
+                         "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("regenerated") == 2
+
+
+class TestLayerTable:
+    def test_layer_table_contents(self):
+        hm = convert(toy(), HLSConfig())
+        rep = build_report(hm)
+        text = rep.layer_table().render()
+        for name in ("in", "c", "r", "d", "f"):
+            assert name in text
+        assert "conv1d" in text and "dense" in text
+        assert "ac_fixed<16, 7, true>" in text
+
+    def test_layer_table_without_model(self):
+        from repro.hls.report import BuildReport
+
+        hm = convert(toy(), HLSConfig())
+        rep = build_report(hm)
+        bare = BuildReport(model_name=rep.model_name, strategy=rep.strategy,
+                           latency=rep.latency, resources=rep.resources)
+        text = bare.layer_table().render()  # degrades gracefully
+        assert "c" in text

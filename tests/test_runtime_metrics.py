@@ -1,0 +1,124 @@
+"""Tests for the central-node runtime and the decision-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.beamloss.controller import TripDecision
+from repro.beamloss.metrics import (
+    DecisionScore,
+    ground_truth_machines,
+    score_decisions,
+)
+from repro.hls import HLSConfig, convert
+from repro.soc.board import AchillesBoard
+from repro.soc.runtime import CentralNodeRuntime
+
+
+def decision(machine, idx=0, latency=1e-3):
+    return TripDecision(frame_index=idx, machine=machine, score=1.0,
+                        latency_s=latency, deadline_met=True)
+
+
+class TestGroundTruth:
+    def test_clear_mi_frame(self):
+        t = np.zeros((1, 10, 2))
+        t[0, 2:6, 0] = 0.9
+        assert ground_truth_machines(t, min_monitors=3) == ["MI"]
+
+    def test_healthy_frame(self):
+        t = np.full((1, 10, 2), 0.1)
+        assert ground_truth_machines(t) == [None]
+
+    def test_min_monitors_gate(self):
+        t = np.zeros((1, 10, 2))
+        t[0, 3, 1] = 0.95  # one strong monitor only
+        assert ground_truth_machines(t, min_monitors=3) == [None]
+
+    def test_shape_validated(self):
+        with pytest.raises(ValueError):
+            ground_truth_machines(np.zeros((2, 10)))
+
+
+class TestScoring:
+    def test_perfect_run(self):
+        truth = ["MI", "RR", None]
+        decisions = [decision("MI"), decision("RR"), decision(None)]
+        score = score_decisions(decisions, truth)
+        assert score.accuracy == 1.0
+        assert score.false_trip_rate == 0.0
+        assert score.precision["MI"] == 1.0
+        assert score.recall["RR"] == 1.0
+
+    def test_false_trip_counted(self):
+        truth = [None, None]
+        decisions = [decision("MI"), decision(None)]
+        score = score_decisions(decisions, truth)
+        assert score.false_trip_rate == pytest.approx(0.5)
+        assert score.precision["MI"] == 0.0
+
+    def test_missed_trip_hits_recall(self):
+        truth = ["RR", "RR"]
+        decisions = [decision("RR"), decision(None)]
+        score = score_decisions(decisions, truth)
+        assert score.recall["RR"] == pytest.approx(0.5)
+
+    def test_confusion_counts(self):
+        truth = ["MI", "MI", "RR"]
+        decisions = [decision("MI"), decision("RR"), decision("RR")]
+        score = score_decisions(decisions, truth)
+        assert score.confusion[("MI", "MI")] == 1
+        assert score.confusion[("MI", "RR")] == 1
+        assert score.confusion[("RR", "RR")] == 1
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            score_decisions([decision("MI")], ["MI", "RR"])
+
+    def test_summary_renders(self):
+        score = score_decisions([decision("MI")], ["MI"])
+        assert "accuracy" in score.summary()
+
+
+class TestRuntime:
+    @pytest.fixture()
+    def runtime(self, tiny_model):
+        hm = convert(tiny_model, HLSConfig())
+        board = AchillesBoard(hm)
+        from repro.beamloss.controller import TripController
+        from repro.beamloss.hubs import HubNetwork
+
+        return CentralNodeRuntime(
+            board=board,
+            hubs=HubNetwork(n_monitors=16, n_hubs=4),
+            controller=TripController(min_votes=1),
+        )
+
+    def test_run_produces_records(self, runtime):
+        frames = np.random.default_rng(0).normal(size=(5, 16))
+        records = runtime.run(frames, seed=1)
+        assert len(records) == 5
+        assert len(runtime.records) == 5
+        assert len(runtime.acnet) == 5
+
+    def test_latency_includes_hub_delay(self, runtime):
+        frames = np.zeros((2, 16))
+        records = runtime.run(frames, seed=1)
+        for r in records:
+            assert r.total_latency_s > r.node_latency_s
+            assert r.hub_delay_s > 0
+
+    def test_deadline_compliance(self, runtime):
+        frames = np.zeros((4, 16))
+        runtime.run(frames, seed=1)
+        # a 16-input toy is far inside 3 ms
+        assert runtime.deadline_compliance() == 1.0
+        assert runtime.deadline_compliance(deadline_s=1e-7) == 0.0
+
+    def test_consecutive_runs_extend_records(self, runtime):
+        runtime.run(np.zeros((2, 16)), seed=1)
+        runtime.run(np.zeros((3, 16)), seed=2)
+        assert [r.frame_index for r in runtime.records] == [0, 1, 2, 3, 4]
+
+    def test_bad_frames_rejected(self, runtime):
+        with pytest.raises(ValueError):
+            runtime.run(np.zeros((2, 16, 1)))

@@ -1,0 +1,40 @@
+"""Tests for the streaming-interface comparison model."""
+
+import pytest
+
+from repro.hls import HLSConfig, convert
+from repro.hls.latency import estimate_latency
+from repro.soc.streaming import StreamingInterfaceModel
+
+
+class TestStreamingInterface:
+    def test_latency_structure(self, tiny_model):
+        hm = convert(tiny_model, HLSConfig())
+        lat = estimate_latency(hm)
+        model = StreamingInterfaceModel()
+        total = model.system_latency_s(lat, 16, 32)
+        compute = lat.compute_cycles / lat.clock_hz
+        assert total > compute  # wrapper always adds cost
+        assert total == pytest.approx(
+            model.preprocess_s + 16 * model.word_push_s + compute
+            + model.poll_interval_s / 2 + 32 * model.word_pop_s
+            + model.postprocess_s
+        )
+
+    def test_word_count_scaling(self, tiny_model):
+        hm = convert(tiny_model, HLSConfig())
+        lat = estimate_latency(hm)
+        model = StreamingInterfaceModel()
+        small = model.system_latency_s(lat, 16, 32)
+        big = model.system_latency_s(lat, 160, 320)
+        assert big - small == pytest.approx(
+            144 * model.word_push_s + 288 * model.word_pop_s
+        )
+
+    def test_validation(self, tiny_model):
+        hm = convert(tiny_model, HLSConfig())
+        lat = estimate_latency(hm)
+        with pytest.raises(ValueError):
+            StreamingInterfaceModel().system_latency_s(lat, 0, 32)
+        with pytest.raises(ValueError):
+            StreamingInterfaceModel(word_push_s=-1.0)

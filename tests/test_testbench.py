@@ -1,0 +1,59 @@
+"""Tests for test-vector file management."""
+
+import numpy as np
+import pytest
+
+from repro.fixed import quantize
+from repro.hls import HLSConfig, convert
+from repro.verify.testbench import read_vector_file, write_test_vectors
+
+
+@pytest.fixture()
+def tiny_hls(tiny_model):
+    return convert(tiny_model, HLSConfig())
+
+
+class TestVectors:
+    def test_files_written(self, tiny_hls, tmp_path):
+        frames = np.random.default_rng(0).normal(size=(3, 16, 1))
+        inp, exp = write_test_vectors(tiny_hls, frames, tmp_path)
+        assert inp.exists() and exp.exists()
+
+    def test_input_roundtrip(self, tiny_hls, tmp_path):
+        frames = np.random.default_rng(0).normal(size=(3, 16, 1))
+        inp, _ = write_test_vectors(tiny_hls, frames, tmp_path)
+        fmt = tiny_hls.kernels[0].config.result
+        back = read_vector_file(inp, fmt=fmt)
+        expected = quantize(frames.reshape(3, -1), fmt)
+        np.testing.assert_array_equal(back, expected)
+
+    def test_expected_matches_prediction(self, tiny_hls, tmp_path):
+        frames = np.random.default_rng(1).normal(size=(2, 16, 1))
+        _, exp = write_test_vectors(tiny_hls, frames, tmp_path)
+        out_fmt = tiny_hls.kernels[-1].config.result
+        back = read_vector_file(exp, fmt=out_fmt)
+        pred = quantize(tiny_hls.predict(frames).reshape(2, -1), out_fmt)
+        np.testing.assert_array_equal(back, pred)
+
+    def test_raw_read_without_format(self, tiny_hls, tmp_path):
+        frames = np.zeros((2, 16, 1))
+        inp, _ = write_test_vectors(tiny_hls, frames, tmp_path)
+        raw = read_vector_file(inp)
+        assert raw.dtype == np.int64
+        assert raw.shape == (2, 16)
+
+    def test_shape_validated(self, tiny_hls, tmp_path):
+        with pytest.raises(ValueError):
+            write_test_vectors(tiny_hls, np.zeros((2, 9, 1)), tmp_path)
+
+    def test_ragged_file_rejected(self, tmp_path):
+        p = tmp_path / "bad.dat"
+        p.write_text("1 2 3\n1 2\n")
+        with pytest.raises(ValueError):
+            read_vector_file(p)
+
+    def test_empty_file_rejected(self, tmp_path):
+        p = tmp_path / "empty.dat"
+        p.write_text("\n")
+        with pytest.raises(ValueError):
+            read_vector_file(p)

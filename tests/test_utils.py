@@ -1,0 +1,110 @@
+"""Tests for repro.utils (rng, units, tables)."""
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    MHZ,
+    Table,
+    cycles_to_seconds,
+    default_rng,
+    fps_from_latency,
+    ms,
+    seconds_to_cycles,
+    spawn_rngs,
+    us,
+)
+
+
+class TestRng:
+    def test_same_seed_same_stream(self):
+        a = default_rng(42).normal(size=10)
+        b = default_rng(42).normal(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = default_rng(1).normal(size=10)
+        b = default_rng(2).normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert default_rng(gen) is gen
+
+    def test_spawn_independence(self):
+        g1, g2 = spawn_rngs(0, 2)
+        a = g1.normal(size=100)
+        b = g2.normal(size=100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.3
+
+    def test_spawn_deterministic(self):
+        a = spawn_rngs(5, 3)[2].normal(size=5)
+        b = spawn_rngs(5, 3)[2].normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_spawn_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(0), 4)
+        assert len(children) == 4
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_spawn_zero_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestUnits:
+    def test_cycles_roundtrip(self):
+        cycles = seconds_to_cycles(1.74e-3, 100 * MHZ)
+        assert cycles == 174_000
+        assert cycles_to_seconds(cycles, 100 * MHZ) == pytest.approx(1.74e-3)
+
+    def test_seconds_to_cycles_ceils(self):
+        assert seconds_to_cycles(1.5e-8, 100 * MHZ) == 2
+
+    def test_fps_from_latency(self):
+        assert fps_from_latency(1.74e-3) == pytest.approx(574.7, abs=0.1)
+
+    def test_helpers(self):
+        assert us(250) == pytest.approx(250e-6)
+        assert ms(3) == pytest.approx(3e-3)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            cycles_to_seconds(100, 0)
+        with pytest.raises(ValueError):
+            seconds_to_cycles(-1.0)
+        with pytest.raises(ValueError):
+            fps_from_latency(0.0)
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table(["A", "B"], title="T")
+        t.add_row(["x", 1])
+        out = t.render()
+        assert "T" in out and "A" in out and "x" in out and "1" in out
+
+    def test_row_length_checked(self):
+        t = Table(["A", "B"])
+        with pytest.raises(ValueError):
+            t.add_row(["only-one"])
+
+    def test_rows_copy(self):
+        t = Table(["A"])
+        t.add_row(["v"])
+        rows = t.rows
+        rows[0][0] = "mutated"
+        assert t.rows[0][0] == "v"
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_alignment_width(self):
+        t = Table(["col"])
+        t.add_row(["a-very-long-cell-value"])
+        lines = t.render().splitlines()
+        widths = {len(l) for l in lines if l.startswith(("|", "+"))}
+        assert len(widths) == 1  # all box lines equal width

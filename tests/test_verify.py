@@ -1,0 +1,135 @@
+"""Tests for the verification flow and its comparators."""
+
+import numpy as np
+import pytest
+
+from repro.fixed import FixedPointFormat, Overflow
+from repro.hls.config import HLSConfig, LayerConfig, WIDE_ACCUM
+from repro.hls.converter import convert
+from repro.soc.board import AchillesBoard
+from repro.soc.trace import SignalTrace
+from repro.verify import (
+    VerificationFlow,
+    close_enough_accuracy,
+    mean_abs_diff_per_machine,
+    outlier_count,
+    split_machine_channels,
+    verify_bridge_with_adder,
+    verify_control_ip,
+    verify_hls_against_float,
+    verify_interrupt_path,
+    verify_soc_subsystem,
+)
+
+
+class TestComparators:
+    def test_split_layout(self):
+        flat = np.array([[0.1, 0.9, 0.2, 0.8]])
+        split = split_machine_channels(flat)
+        assert split.shape == (1, 2, 2)
+        np.testing.assert_allclose(split[0, :, 0], [0.1, 0.2])  # MI
+        np.testing.assert_allclose(split[0, :, 1], [0.9, 0.8])  # RR
+
+    def test_split_width_check(self):
+        with pytest.raises(ValueError):
+            split_machine_channels(np.zeros((2, 5)))
+
+    def test_accuracy_within_threshold(self):
+        ref = np.zeros((1, 4))
+        test = np.array([[0.1, 0.3, 0.19, 0.21]])
+        acc = close_enough_accuracy(ref, test)
+        assert acc["MI"] == pytest.approx(1.0)  # 0.1 and 0.19 both ≤ 0.20
+        assert acc["RR"] == pytest.approx(0.0)  # 0.3 and 0.21 both > 0.20
+
+    def test_accuracy_perfect(self):
+        y = np.random.default_rng(0).uniform(size=(5, 520))
+        acc = close_enough_accuracy(y, y)
+        assert acc == {"MI": 1.0, "RR": 1.0}
+
+    def test_mean_abs_diff(self):
+        ref = np.zeros((1, 4))
+        test = np.array([[0.1, 0.2, 0.3, 0.4]])
+        mad = mean_abs_diff_per_machine(ref, test)
+        assert mad["MI"] == pytest.approx(0.2)
+        assert mad["RR"] == pytest.approx(0.3)
+
+    def test_outlier_count(self):
+        ref = np.zeros((1, 4))
+        test = np.array([[0.05, 0.25, 0.19, 0.5]])
+        assert outlier_count(ref, test) == 2
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            close_enough_accuracy(np.zeros((1, 4)), np.zeros((2, 4)))
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            close_enough_accuracy(np.zeros((1, 4)), np.zeros((1, 4)),
+                                  threshold=0.0)
+
+
+class TestStages:
+    def test_control_ip_stage_passes(self):
+        result = verify_control_ip()
+        assert result.passed, result
+
+    def test_bridge_adder_stage_passes(self):
+        result = verify_bridge_with_adder()
+        assert result.passed
+        assert result.details["sum"] == 10_000
+
+    def test_hls_vs_float_passes_high_precision(self, tiny_model):
+        wide = FixedPointFormat(40, 20, overflow=Overflow.SAT)
+        config = HLSConfig(default=LayerConfig(
+            weight=wide, result=wide, accum=WIDE_ACCUM, reuse_factor=32))
+        hm = convert(tiny_model, config)
+        x = np.random.default_rng(0).normal(size=(10, 16, 1))
+        result = verify_hls_against_float(tiny_model, hm, x)
+        assert result.passed, result
+
+    def test_hls_vs_float_fails_disastrous_precision(self, tiny_model):
+        # 4-bit weights destroy the model — the stage must notice.
+        awful = FixedPointFormat(4, 2, overflow=Overflow.WRAP)
+        config = HLSConfig(default=LayerConfig(
+            weight=awful, result=awful, accum=WIDE_ACCUM, reuse_factor=32))
+        hm = convert(tiny_model, config)
+        x = np.random.default_rng(0).normal(size=(10, 16, 1)) * 10
+        result = verify_hls_against_float(tiny_model, hm, x,
+                                          min_accuracy=0.999)
+        assert not result.passed
+
+    def test_soc_subsystem_bit_exact(self, tiny_model):
+        hm = convert(tiny_model, HLSConfig())
+        board = AchillesBoard(hm)
+        frames = np.random.default_rng(1).normal(size=(3, 16))
+        result = verify_soc_subsystem(board, hm, frames)
+        assert result.passed, result
+
+    def test_interrupt_path(self, tiny_model):
+        hm = convert(tiny_model, HLSConfig())
+        board = AchillesBoard(hm, trace=SignalTrace())
+        result = verify_interrupt_path(board)
+        assert result.passed
+
+
+class TestFlow:
+    def test_run_all_passes(self, tiny_model):
+        hm = convert(tiny_model, HLSConfig())
+        flow = VerificationFlow(tiny_model, hm)
+        x = np.random.default_rng(0).normal(size=(10, 16))
+        results = flow.run_all(x, min_accuracy=0.5)
+        assert len(results) == 6  # incl. the Cyclone V bring-up stage
+        assert flow.passed, flow.report()
+
+    def test_incremental_flow(self, tiny_model):
+        hm = convert(tiny_model, HLSConfig())
+        flow = VerificationFlow(tiny_model, hm)
+        x = np.random.default_rng(0).normal(size=(6, 16))
+        results = flow.verify_ip_update(x, min_accuracy=0.5)
+        assert len(results) == 2
+
+    def test_report_before_run(self, tiny_model):
+        hm = convert(tiny_model, HLSConfig())
+        flow = VerificationFlow(tiny_model, hm)
+        assert not flow.passed
+        assert "no stages" in flow.report()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Resource/latency model calibration report.
+
+Compares the current model constants against every published anchor
+(Table II ALUT percentages, Table III full-fit row, the measured IP and
+system latencies) and prints relative errors.  Run after touching
+``repro.hls.latency`` / ``repro.hls.resources`` constants or retraining
+the reference models.
+"""
+
+from repro.experiments.common import bundle, converted
+from repro.hls.latency import estimate_latency
+from repro.hls.resources import estimate_resources
+from repro.soc.board import AchillesBoard
+from repro.utils.tables import Table
+
+ANCHORS = [
+    # (label, paper value, getter)
+    ("uniform<16,7> ALUT %", 22.0,
+     lambda a: a["u16"].alut_fraction * 100),
+    ("layer-based ALUT %", 31.0,
+     lambda a: a["lb"].alut_fraction * 100),
+    ("uniform<18,10> ALUT %", 115.0,
+     lambda a: a["u18"].alut_fraction * 100),
+    ("ALMs (full fit)", 223_674.0, lambda a: a["lb"].alms),
+    ("registers", 406_123.0, lambda a: a["lb"].registers),
+    ("block memory bits", 25_275_808.0,
+     lambda a: a["lb"].block_memory_bits),
+    ("M20K blocks", 1_818.0, lambda a: a["lb"].m20k_blocks),
+    ("DSP blocks", 273.0, lambda a: a["lb"].dsp_blocks),
+    ("U-Net IP latency (ms)", 1.57, lambda a: a["ip_ms"]),
+    ("system latency (ms)", 1.74, lambda a: a["sys_ms"]),
+]
+
+
+def main() -> None:
+    bundle()  # ensure the trained reference exists
+    artefacts = {
+        "u16": estimate_resources(converted("Uniform Precision ac_fixed<16, 7>")),
+        "u18": estimate_resources(converted("Uniform Precision ac_fixed<18, 10>")),
+        "lb": estimate_resources(converted("Layer-based Precision ac_fixed<16, x>")),
+    }
+    lb_model = converted("Layer-based Precision ac_fixed<16, x>")
+    artefacts["ip_ms"] = estimate_latency(lb_model).latency_s * 1e3
+    board = AchillesBoard(lb_model)
+    artefacts["sys_ms"] = (board.deterministic_latency_s()
+                           + board.jitter.scale_s) * 1e3
+
+    t = Table(["Anchor", "Paper", "Model", "Rel. error"],
+              title="Calibration report (paper anchors vs current model)")
+    worst = 0.0
+    for label, target, getter in ANCHORS:
+        value = float(getter(artefacts))
+        rel = abs(value - target) / abs(target)
+        worst = max(worst, rel)
+        t.add_row([label, f"{target:,.10g}", f"{value:,.6g}", f"{rel:.1%}"])
+    print(t.render())
+    print(f"worst relative error: {worst:.1%}")
+
+
+if __name__ == "__main__":
+    main()

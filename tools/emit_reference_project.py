@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Emit the deployed U-Net's C++ project to ``build/unet_hls_project/``.
+
+Writes the full hls4ml-style artefact — parameters header, per-layer
+quantized weight tables (raw ``ac_fixed`` words), the Avalon-MM-host
+component and the co-simulation testbench — plus reference test vectors
+for ten evaluation frames.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.common import bundle, converted
+from repro.hls.codegen import write_project
+from repro.verify.testbench import write_test_vectors
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(
+        "build/unet_hls_project")
+    print(f"emitting the deployed U-Net project to {out}/ ...")
+    b = bundle()
+    hls_model = converted("Layer-based Precision ac_fixed<16, x>")
+    write_project(hls_model, out, include_weights=True)
+    frames = b.dataset.unet_inputs(b.dataset.x_eval[:10])
+    inp, exp = write_test_vectors(hls_model, frames, out / "tb_data")
+    n_files = sum(1 for _ in out.rglob("*") if _.is_file())
+    total = sum(p.stat().st_size for p in out.rglob("*") if p.is_file())
+    print(f"  {n_files} files, {total / 1e6:.1f} MB "
+          f"(weights are the dominant part)")
+    print(f"  test vectors: {inp.name}, {exp.name} (10 frames)")
+
+
+if __name__ == "__main__":
+    main()
