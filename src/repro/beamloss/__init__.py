@@ -32,7 +32,7 @@ from repro.beamloss.blm import BLMArray
 from repro.beamloss.hubs import HubNetwork
 from repro.beamloss.dataset import DeblendingDataset, Standardizer, make_dataset
 from repro.beamloss.controller import TripController, TripDecision
-from repro.beamloss.acnet import ACNETLog
+from repro.beamloss.acnet import ACNETLog, ACNETTransportError
 from repro.beamloss.metrics import DecisionScore, ground_truth_machines, score_decisions
 
 __all__ = [
@@ -52,6 +52,7 @@ __all__ = [
     "TripController",
     "TripDecision",
     "ACNETLog",
+    "ACNETTransportError",
     "DecisionScore",
     "ground_truth_machines",
     "score_decisions",

@@ -4,6 +4,18 @@ Step 9 in the paper's Fig 2 is "Ethernet communication off of the central
 node": decisions leave the SoC toward ACNET.  For the reproduction this
 is an in-memory log with transport timing, letting integration tests
 assert end-to-end ordering and timestamping without a network.
+
+Robustness semantics:
+
+* ``order_policy`` governs out-of-order publishes.  The default
+  ``"strict"`` raises (a plain runtime must never reorder); ``"drop"``
+  silently rejects the message and counts it in
+  :attr:`ACNETLog.dropped_out_of_order` — the right policy behind a
+  retrying/degraded runtime that can legitimately produce late
+  timestamps.
+* :meth:`ACNETLog.inject_failures` is the fault-injection hook: the next
+  *n* publish attempts raise :class:`ACNETTransportError`, exercising
+  the runtime's bounded-backoff retry and dead-letter accounting.
 """
 
 from __future__ import annotations
@@ -13,7 +25,14 @@ from typing import List, Optional
 
 from repro.beamloss.controller import TripDecision
 
-__all__ = ["ACNETLog"]
+__all__ = ["ACNETLog", "ACNETRecord", "ACNETTransportError"]
+
+#: Valid out-of-order policies.
+ORDER_POLICIES = ("strict", "drop")
+
+
+class ACNETTransportError(RuntimeError):
+    """Transient publish failure (the Ethernet uplink dropped the send)."""
 
 
 @dataclass(frozen=True)
@@ -33,18 +52,49 @@ class ACNETLog:
     ----------
     transport_latency_s:
         One-way Ethernet latency from the central node to ACNET.
+    order_policy:
+        ``"strict"`` (default): an out-of-order timestamp raises
+        ``ValueError``.  ``"drop"``: the message is rejected, counted in
+        :attr:`dropped_out_of_order`, and ``publish`` returns ``None``.
     """
 
     transport_latency_s: float = 150e-6
+    order_policy: str = "strict"
     records: List[ACNETRecord] = field(default_factory=list)
+    dropped_out_of_order: int = field(default=0, init=False)
+    _pending_failures: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self):
         if self.transport_latency_s < 0:
             raise ValueError("transport_latency_s must be >= 0")
+        if self.order_policy not in ORDER_POLICIES:
+            raise ValueError(
+                f"order_policy must be one of {ORDER_POLICIES}, "
+                f"got {self.order_policy!r}"
+            )
 
-    def publish(self, decision: TripDecision, sent_at_s: float) -> ACNETRecord:
-        """Deliver *decision*; returns the record with delivery time."""
+    def inject_failures(self, n: int) -> None:
+        """Fault-injection hook: fail the next *n* publish attempts."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self._pending_failures = int(n)
+
+    def publish(self, decision: TripDecision,
+                sent_at_s: float) -> Optional[ACNETRecord]:
+        """Deliver *decision*; returns the record with delivery time.
+
+        Raises :class:`ACNETTransportError` on an injected transient
+        failure (retryable).  Out-of-order timestamps follow
+        ``order_policy``: raise in ``"strict"`` mode, return ``None``
+        (and count) in ``"drop"`` mode.
+        """
+        if self._pending_failures > 0:
+            self._pending_failures -= 1
+            raise ACNETTransportError("transient uplink failure (injected)")
         if self.records and sent_at_s < self.records[-1].sent_at_s:
+            if self.order_policy == "drop":
+                self.dropped_out_of_order += 1
+                return None
             raise ValueError(
                 "messages must be published in non-decreasing time order"
             )

@@ -116,9 +116,36 @@ class TripController:
         self.decisions.append(decision)
         return decision
 
+    def abstain(self, frame_index: Optional[int] = None,
+                latency_s: float = 0.0) -> TripDecision:
+        """Record an explicit no-trip decision *without* voting.
+
+        The degraded runtime calls this when a frame cannot be trusted
+        (watchdog timeout, corrupted output, stale inputs): no machine is
+        tripped, but the frame still produces a decision record — faults
+        must never silently disappear from the decision stream.
+        """
+        decision = TripDecision(
+            frame_index=len(self.decisions) if frame_index is None else frame_index,
+            machine=None,
+            score=0.0,
+            latency_s=float(latency_s),
+            deadline_met=latency_s <= self.deadline_s,
+        )
+        self.decisions.append(decision)
+        return decision
+
     def decide_batch(self, outputs: np.ndarray,
-                     latencies_s: Optional[Sequence[float]] = None) -> List[TripDecision]:
-        """Run :meth:`decide` over a batch of frames."""
+                     latencies_s: Optional[Sequence[float]] = None,
+                     start_index: Optional[int] = None) -> List[TripDecision]:
+        """Run :meth:`decide` over a batch of frames.
+
+        ``start_index`` numbers the batch's frames ``start_index + i``;
+        without it each decision falls back to :meth:`decide`'s default
+        (the controller's running decision count), which keeps lone
+        batches compatible but misnumbers mixed batch/single-frame use —
+        pass an explicit start index in that case.
+        """
         outputs = np.asarray(outputs, dtype=np.float64)
         if outputs.ndim != 2:
             raise ValueError(f"outputs must be 2-D, got {outputs.shape}")
@@ -127,7 +154,11 @@ class TripController:
         if len(latencies_s) != outputs.shape[0]:
             raise ValueError("latencies length must match frame count")
         return [
-            self.decide(out, lat) for out, lat in zip(outputs, latencies_s)
+            self.decide(
+                out, lat,
+                frame_index=None if start_index is None else start_index + i,
+            )
+            for i, (out, lat) in enumerate(zip(outputs, latencies_s))
         ]
 
     # ------------------------------------------------------------------

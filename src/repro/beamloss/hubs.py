@@ -97,3 +97,38 @@ class HubNetwork:
     def frame_complete_times(self, n_frames: int, seed: SeedLike = 0) -> np.ndarray:
         """Time (s after the tick) when the last hub packet has arrived."""
         return self.arrival_times(n_frames, seed).max(axis=1)
+
+    # ------------------------------------------------------------------
+    # Fault-injection hook
+    # ------------------------------------------------------------------
+    def faulted_arrival_times(self, n_frames: int, seed: SeedLike = 0,
+                              *, extra_delay_s: np.ndarray = None,
+                              drop_mask: np.ndarray = None) -> np.ndarray:
+        """Per-hub arrivals under injected network faults.
+
+        The healthy arrival stream is drawn exactly as
+        :meth:`arrival_times` (same seed → same base jitter), then
+        ``extra_delay_s`` (per ``(frame, hub)`` seconds) is added and
+        hubs masked by ``drop_mask`` become ``+inf`` — the packet never
+        arrives.  Callers decide completion/staleness from the result;
+        :func:`numpy.isfinite` recovers the arrived-hub mask.
+        """
+        times = self.arrival_times(n_frames, seed)
+        if extra_delay_s is not None:
+            extra = np.asarray(extra_delay_s, dtype=np.float64)
+            if extra.shape != times.shape:
+                raise ValueError(
+                    f"extra_delay_s must have shape {times.shape}, "
+                    f"got {extra.shape}"
+                )
+            if extra.size and extra.min() < 0:
+                raise ValueError("extra_delay_s must be non-negative")
+            times = times + extra
+        if drop_mask is not None:
+            mask = np.asarray(drop_mask, dtype=bool)
+            if mask.shape != times.shape:
+                raise ValueError(
+                    f"drop_mask must have shape {times.shape}, got {mask.shape}"
+                )
+            times = np.where(mask, np.inf, times)
+        return times

@@ -4,7 +4,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.experiments import ablations, fig3, fig5, table1, table2, table3
+from repro.experiments import (ablations, fig3, fig5, robustness, table1,
+                               table2, table3)
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["REGISTRY", "get_experiment"]
@@ -26,6 +27,7 @@ REGISTRY: Dict[str, Harness] = {
     "ablation-interface-style": ablations.run_interface_style,
     "ablation-qat": ablations.run_qat_comparison,
     "ablation-pipelining": ablations.run_pipelining_comparison,
+    "robustness": robustness.run,
 }
 
 

@@ -19,7 +19,13 @@ pipeline:
   counters and SignalTap-style signal capture used for verification,
 * :mod:`~repro.soc.board` — the assembled Achilles board:
   ``AchillesBoard.run(frames)`` returns outputs plus per-step timing for
-  every frame.
+  every frame,
+* :mod:`~repro.soc.faults` — seeded, deterministic fault injection
+  (hub packet drop/delay, stuck/noisy monitors, IP hang, lost IRQ, RAM
+  SEUs, publish failures),
+* :mod:`~repro.soc.runtime` — the hardened central-node loop: watchdog,
+  last-known-good substitution, output guards, publish retry and the
+  U-Net→MLP degraded-mode fallback (see ``docs/robustness.md``).
 
 The functional path is real: input frames are quantized into the input
 buffer's 16-bit words, the IP computes on those words, and the HPS reads
@@ -36,9 +42,31 @@ from repro.soc.ip_core import NeuralIPCore
 from repro.soc.hps import HPSConfig, OSJitter
 from repro.soc.counters import PerformanceCounters
 from repro.soc.trace import SignalTrace
+from repro.soc.faults import (
+    ACNETFault,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    FaultSchedule,
+    FaultSpec,
+    FrameFaults,
+    FrameHangError,
+    HubDelayFault,
+    HubDropFault,
+    IPHangFault,
+    LostIRQFault,
+    NoisyMonitorFault,
+    SEUFault,
+    StuckMonitorFault,
+)
 from repro.soc.board import AchillesBoard, FrameTiming, SystemRunResult
 from repro.soc.dma import DMAEngine
-from repro.soc.runtime import CentralNodeRuntime, FrameRecord
+from repro.soc.runtime import (
+    CentralNodeRuntime,
+    DegradationPolicy,
+    FrameRecord,
+    HealthReport,
+)
 
 __all__ = [
     "Simulator",
@@ -56,4 +84,21 @@ __all__ = [
     "DMAEngine",
     "CentralNodeRuntime",
     "FrameRecord",
+    "DegradationPolicy",
+    "HealthReport",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultKind",
+    "FaultEvent",
+    "FrameFaults",
+    "FrameHangError",
+    "HubDropFault",
+    "HubDelayFault",
+    "StuckMonitorFault",
+    "NoisyMonitorFault",
+    "IPHangFault",
+    "LostIRQFault",
+    "SEUFault",
+    "ACNETFault",
 ]

@@ -38,9 +38,10 @@ import numpy as np
 
 from repro.hls.model import HLSModel
 from repro.soc.avalon import AvalonBridge, HPS2FPGA_BRIDGE, LIGHTWEIGHT_BRIDGE
-from repro.soc.control import ControlIP
+from repro.soc.control import ControlIP, ControlState
 from repro.soc.counters import PerformanceCounters
 from repro.soc.event import Simulator
+from repro.soc.faults import FrameFaults, FrameHangError, flip_bit
 from repro.soc.hps import HPSConfig, OSJitter
 from repro.soc.ip_core import NeuralIPCore
 from repro.soc.ocram import DualPortRAM
@@ -128,6 +129,7 @@ class AchillesBoard:
         self.output_ram = DualPortRAM(max(n_out, 512), 16, "output_buffer")
         self.ip = NeuralIPCore(hls_model, self.input_ram, self.output_ram)
         self._irq_time: Optional[float] = None
+        self._pending_faults: Optional[FrameFaults] = None
         self.control = ControlIP(
             start_ip=self._start_ip,
             raise_irq=self._on_irq,
@@ -138,7 +140,11 @@ class AchillesBoard:
     # ------------------------------------------------------------------
     def _start_ip(self) -> None:
         self._record("ip_busy", 1)
-        busy = self.ip.run()
+        faults = self._pending_faults
+        extra = faults.ip_extra_s if faults is not None else 0.0
+        # Plain call when no fault is pending so test doubles that stub
+        # `ip.run` with a zero-argument callable keep working.
+        busy = self.ip.run(extra_busy_s=extra) if extra else self.ip.run()
         self.sim.schedule(busy, self._ip_finished)
 
     def _ip_finished(self) -> None:
@@ -146,6 +152,12 @@ class AchillesBoard:
         self.control.ip_done()
 
     def _on_irq(self) -> None:
+        if self._pending_faults is not None and self._pending_faults.lost_irq:
+            # The control IP asserted the line but the HPS never saw it
+            # (injected LOST_IRQ fault): leave _irq_time unset so the
+            # frame surfaces as a hang, not stale data.
+            self._record("irq_lost", 1)
+            return
         self._record("irq", 1)
         self._irq_time = self.sim.now
 
@@ -160,13 +172,19 @@ class AchillesBoard:
         return math.ceil(samples / 2)
 
     def process_frame(self, frame: np.ndarray,
-                      jitter_s: float = 0.0) -> FrameTiming:
+                      jitter_s: float = 0.0,
+                      faults: Optional[FrameFaults] = None) -> FrameTiming:
         """Run one frame through steps 1–8; returns its timing breakdown.
 
         The frame's model output is left in the output RAM; read it with
-        :meth:`last_output`.
+        :meth:`last_output`.  ``faults`` is the injection hook: the
+        board-level faults (IP busy-time inflation, IRQ suppression, SEU
+        bit flips in the on-chip RAMs) active during this frame.  A
+        suppressed interrupt raises :class:`FrameHangError`; call
+        :meth:`recover` before processing further frames.
         """
         sim = self.sim
+        self._pending_faults = faults
         t_pre = self.hps.preprocess_s
         sim.advance(t_pre)
 
@@ -177,6 +195,7 @@ class AchillesBoard:
         t_write = self.data_bridge.write_time(self._bus_words(raw.size))
         sim.advance(t_write)
         self.counters.stop("step1_write_input", sim.now)
+        self._apply_seu("input")
 
         # Step 2: trigger through the CSR bridge.  The IP starts when the
         # write lands, i.e. after the bus access completes.
@@ -191,8 +210,12 @@ class AchillesBoard:
         self._irq_time = None
         sim.run()  # drains the queue; `now` lands on the IRQ event time
         if self._irq_time is None:
-            raise RuntimeError("IP never raised its interrupt")
+            self.counters.cancel("ip_compute")
+            raise FrameHangError(
+                "IP never raised its interrupt (frame hung)"
+            )
         t_ip = self.counters.stop("ip_compute", sim.now)
+        self._apply_seu("output")
 
         # Step 7: interrupt delivery + context switch.
         t_irq = self.hps.irq_latency_s
@@ -212,6 +235,7 @@ class AchillesBoard:
         sim.advance(t_post)
         if jitter_s:
             sim.advance(jitter_s)
+        self._pending_faults = None
 
         return FrameTiming(
             preprocess=t_pre,
@@ -223,6 +247,39 @@ class AchillesBoard:
             postprocess=t_post,
             jitter=jitter_s,
         )
+
+    def _apply_seu(self, ram_name: str) -> None:
+        """Flip the scheduled SEU bits in one of the on-chip RAMs.
+
+        Input-buffer upsets land after the HPS write (the IP computes on
+        corrupted words); output-buffer upsets land after the compute
+        (the HPS reads corrupted results).
+        """
+        if self._pending_faults is None:
+            return
+        ram = self.input_ram if ram_name == "input" else self.output_ram
+        span = self.ip.n_inputs if ram_name == "input" else self.ip.n_outputs
+        for e in self._pending_faults.seu:
+            if e.detail != ram_name:
+                continue
+            word_index = min(int(e.value * span), span - 1)
+            word = ram.peek(word_index)
+            ram.poke(word_index, flip_bit(word, e.target, ram.width_bits))
+            self._record(f"seu_{ram_name}", word_index)
+
+    def recover(self) -> None:
+        """Watchdog recovery after a hung frame (:class:`FrameHangError`).
+
+        Drains any in-flight fabric events, pulls the control IP's hard
+        reset line, clears the interrupt bookkeeping and drops pending
+        fault state, leaving the board ready for the next frame.
+        """
+        self.sim.run()
+        if self.control.state is not ControlState.IDLE:
+            self.control.reset()
+        self._irq_time = None
+        self._pending_faults = None
+        self.counters.cancel("ip_compute")
 
     def last_output(self) -> np.ndarray:
         """Dequantized model output of the most recent frame."""

@@ -91,6 +91,14 @@ class ControlIP:
             }[self.state]
         raise IndexError(f"{self.name}: no readable register at {offset:#x}")
 
+    def reset(self) -> None:
+        """Hard reset line: force the FSM back to IDLE from any state.
+
+        Pulled by the watchdog recovery path after a hung frame (e.g. a
+        lost interrupt left the block in DONE_IRQ with nobody to ack).
+        """
+        self.state = ControlState.IDLE
+
     # ------------------------------------------------------------------
     # Fabric side (what the U-Net IP sees)
     # ------------------------------------------------------------------

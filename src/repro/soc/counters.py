@@ -19,6 +19,10 @@ class PerformanceCounters:
     Counters are keyed by step name (e.g. ``"step1_write_input"``); each
     ``start``/``stop`` pair appends one measured interval.  ``clock_hz``
     converts to cycle counts like the hardware counters would report.
+
+    Besides intervals, the block carries plain *event counters*
+    (``increment``/``count``) — the health/fault tallies the hardened
+    runtime exposes through its :class:`~repro.soc.runtime.HealthReport`.
     """
 
     def __init__(self, clock_hz: float = 100e6):
@@ -27,6 +31,7 @@ class PerformanceCounters:
         self.clock_hz = clock_hz
         self._open: Dict[str, float] = {}
         self._intervals: Dict[str, List[Tuple[float, float]]] = {}
+        self._events: Dict[str, int] = {}
 
     def start(self, name: str, now: float) -> None:
         """Latch the start timestamp of counter *name*."""
@@ -43,6 +48,29 @@ class PerformanceCounters:
             raise ValueError(f"counter {name!r}: stop before start")
         self._intervals.setdefault(name, []).append((begin, now))
         return now - begin
+
+    def cancel(self, name: str) -> None:
+        """Discard an open interval (watchdog-abandoned frame); no-op if
+        the counter is not running."""
+        self._open.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Event counters
+    # ------------------------------------------------------------------
+    def increment(self, name: str, n: int = 1) -> int:
+        """Bump event counter *name* by *n*; returns the new count."""
+        if n < 0:
+            raise ValueError(f"n must be >= 0, got {n}")
+        self._events[name] = self._events.get(name, 0) + n
+        return self._events[name]
+
+    def count(self, name: str) -> int:
+        """Current value of event counter *name* (0 if never bumped)."""
+        return self._events.get(name, 0)
+
+    def counts(self) -> Dict[str, int]:
+        """All event counters (copy)."""
+        return dict(self._events)
 
     # ------------------------------------------------------------------
     def intervals(self, name: str) -> List[Tuple[float, float]]:
@@ -62,6 +90,7 @@ class PerformanceCounters:
         return sorted(self._intervals)
 
     def reset(self) -> None:
-        """Clear all state (counters and open intervals)."""
+        """Clear all state (intervals, open intervals, event counters)."""
         self._open.clear()
         self._intervals.clear()
+        self._events.clear()

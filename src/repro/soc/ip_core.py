@@ -77,12 +77,16 @@ class NeuralIPCore:
         """IP busy time per frame from the cycle model."""
         return self.latency.latency_s
 
-    def run(self) -> float:
+    def run(self, extra_busy_s: float = 0.0) -> float:
         """Execute one frame: buffer → network → buffer.
 
         Returns the IP busy time in seconds (the caller schedules the
-        done pulse after it).
+        done pulse after it).  ``extra_busy_s`` is the fault-injection
+        hook: an :class:`~repro.soc.faults.IPHangFault` inflates the busy
+        time past the watchdog budget without touching the datapath.
         """
+        if extra_busy_s < 0:
+            raise ValueError(f"extra_busy_s must be >= 0, got {extra_busy_s}")
         raw_in = self.input_ram.read(0, self._n_in)
         x = from_raw(raw_in, self.input_format)
         x = x.reshape((1,) + tuple(self.hls_model.input_shape))
@@ -90,7 +94,7 @@ class NeuralIPCore:
         raw_out = to_raw(y.ravel(), self.output_format)
         self.output_ram.write(0, raw_out)
         self.runs += 1
-        return self.compute_latency_s
+        return self.compute_latency_s + extra_busy_s
 
     # ------------------------------------------------------------------
     def quantize_input(self, frame: np.ndarray) -> np.ndarray:
