@@ -35,6 +35,33 @@ def test_fixed_unet_forward(benchmark, frames):
     assert out.shape == (32, 520)
 
 
+def test_fixed_unet_forward_per_frame(benchmark, frames):
+    """Frame-at-a-time baseline for the batched forward above."""
+    hls_model = converted("Layer-based Precision ac_fixed<16, x>")
+    out = benchmark.pedantic(
+        lambda: np.concatenate([hls_model.predict(frames[i:i + 1])
+                                for i in range(len(frames))]),
+        rounds=3, iterations=1)
+    assert out.shape == (32, 520)
+    # The speedup is only reportable because the bits agree.
+    assert np.array_equal(out, hls_model.predict(frames))
+
+
+def test_runtime_batched_block(benchmark):
+    """Fault-free control loop on the batched fast path (32 frames)."""
+    from repro.soc.runtime import CentralNodeRuntime
+
+    hls_model = converted("Layer-based Precision ac_fixed<16, x>")
+    frames = bundle().dataset.x_eval[:32]
+
+    def run_block():
+        rt = CentralNodeRuntime(board=AchillesBoard(hls_model))
+        return rt.run(frames, seed=7)
+
+    records = benchmark.pedantic(run_block, rounds=3, iterations=1)
+    assert len(records) == 32
+
+
 def test_latency_sampler(benchmark):
     hls_model = converted("Layer-based Precision ac_fixed<16, x>")
     board = AchillesBoard(hls_model)

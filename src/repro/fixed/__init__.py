@@ -20,7 +20,13 @@ per-element loops — per the repository's HPC ground rules.
 """
 
 from repro.fixed.format import FixedPointFormat, Overflow, Rounding
-from repro.fixed.quantize import from_raw, quantization_error, quantize, to_raw
+from repro.fixed.quantize import (
+    from_raw,
+    quantization_error,
+    quantize,
+    quantize_,
+    to_raw,
+)
 from repro.fixed.array import FixedArray
 
 __all__ = [
@@ -28,6 +34,7 @@ __all__ = [
     "Rounding",
     "Overflow",
     "quantize",
+    "quantize_",
     "to_raw",
     "from_raw",
     "quantization_error",

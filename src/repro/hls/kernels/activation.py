@@ -25,9 +25,15 @@ LUT_RANGE = 8.0
 
 
 class ReLUKernel(HLSKernel):
-    """``max(x, 0)`` then cast to the result format (exact comparator)."""
+    """``max(x, 0)`` then cast to the result format (exact comparator).
+
+    Grid-preserving: zero is representable in every format and positive
+    inputs pass through unchanged, so when the producer already emits
+    this layer's result grid the planner drops the cast.
+    """
 
     kind = "relu"
+    grid_preserving = True
 
     def __init__(self, name: str, config: LayerConfig, input_names,
                  input_shapes: Sequence[Shape]):
@@ -36,7 +42,7 @@ class ReLUKernel(HLSKernel):
 
     def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
         (x,) = inputs
-        return self._to_result(np.maximum(x, 0.0))
+        return self._cast_result_(np.maximum(x, 0.0))
 
 
 class _TableActivation(HLSKernel):
@@ -65,7 +71,10 @@ class _TableActivation(HLSKernel):
     def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
         (x,) = inputs
         scale = self.table_size / (2 * self.table_range)
-        idx = np.floor((x + self.table_range) * scale).astype(np.int64)
+        bins = x + self.table_range
+        bins *= scale
+        np.floor(bins, out=bins)
+        idx = bins.astype(np.int64)
         np.clip(idx, 0, self.table_size - 1, out=idx)
         return self.table[idx]
 
@@ -110,10 +119,14 @@ class SoftmaxKernel(HLSKernel):
         (x,) = inputs
         z = x - np.max(x, axis=-1, keepdims=True)
         scale = self.table_size / (2 * self.table_range)
-        idx = np.floor((z + self.table_range) * scale).astype(np.int64)
+        z += self.table_range
+        z *= scale
+        np.floor(z, out=z)
+        idx = z.astype(np.int64)
         np.clip(idx, 0, self.table_size - 1, out=idx)
         e = self.exp_table[idx]
-        return self._to_result(e / e.sum(axis=-1, keepdims=True))
+        e /= e.sum(axis=-1, keepdims=True)
+        return self._to_result_(e)
 
     @property
     def table_bits(self) -> int:

@@ -6,7 +6,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.fixed import quantize
+from repro.fixed import quantize, quantize_
 from repro.hls.config import LayerConfig
 
 __all__ = ["HLSKernel"]
@@ -40,6 +40,15 @@ class HLSKernel:
     #: short type tag used in reports and codegen ("dense", "conv1d", ...)
     kind = "kernel"
 
+    #: True when ``forward`` maps input-grid values to input-grid values
+    #: (pure routing / exact comparators).  The model's planning pass uses
+    #: it to drop the result cast when producer and result formats match.
+    grid_preserving = False
+
+    #: cleared by :meth:`HLSModel._plan_requantization` when the cast onto
+    #: the result grid is provably a no-op for this kernel's wiring.
+    requantize = True
+
     def __init__(self, name: str, config: LayerConfig,
                  input_names: Sequence[str],
                  input_shapes: Sequence[Shape], output_shape: Shape):
@@ -67,6 +76,34 @@ class HLSKernel:
     def _to_result(self, values: np.ndarray) -> np.ndarray:
         """Cast into the layer's result format (the stream datatype)."""
         return quantize(values, self.config.result)
+
+    def _to_accum_(self, values: np.ndarray) -> np.ndarray:
+        """In-place accumulator cast — only for arrays this kernel owns
+        (freshly computed, never an input stream)."""
+        return quantize_(values, self.config.accum)
+
+    def _to_result_(self, values: np.ndarray) -> np.ndarray:
+        """In-place result cast — only for arrays this kernel owns."""
+        return quantize_(values, self.config.result)
+
+    def _cast_result(self, values: np.ndarray) -> np.ndarray:
+        """Result cast honouring the model's requantization plan.
+
+        Routing kernels call this on (views of) their input streams: when
+        the planner proved the values are already on this kernel's result
+        grid the cast is skipped entirely, otherwise it quantizes into a
+        fresh array.
+        """
+        if not self.requantize:
+            return values
+        return quantize(values, self.config.result)
+
+    def _cast_result_(self, values: np.ndarray) -> np.ndarray:
+        """Like :meth:`_cast_result`, for arrays the kernel owns: the
+        cast (when still needed) runs in place instead of copying."""
+        if not self.requantize:
+            return values
+        return quantize_(values, self.config.result)
 
     def quantize_weight(self, key: str, values: np.ndarray) -> np.ndarray:
         """Quantize and register a parameter array under *key*."""

@@ -52,10 +52,12 @@ class DenseKernel(HLSKernel):
 
     def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
         (x,) = inputs
+        # acc is freshly allocated by the matmul, so the bias add and the
+        # two narrowing casts all run in place.
         acc = x @ self.weights["kernel"]
         if "bias" in self.weights:
-            acc = acc + self.weights["bias"]
-        return self._to_result(self._to_accum(acc))
+            acc += self.weights["bias"]
+        return self._to_result_(self._to_accum_(acc))
 
     @property
     def n_mult_per_position(self) -> int:
@@ -109,12 +111,17 @@ class Conv1DKernel(HLSKernel):
             total = k - 1
             left = total // 2
             x = np.pad(x, ((0, 0), (left, total - left), (0, 0)))
-        windows = sliding_window_view(x, k, axis=1)
-        acc = np.einsum("ntck,kcf->ntf", windows, self.weights["kernel"],
-                        optimize=True)
+        windows = sliding_window_view(x, k, axis=1)  # (n, t, c, k)
+        # im2col: flatten each tap window to a row and convolve as one
+        # GEMM.  Products and sums are exact in float64 (see module
+        # docstring), so the result is bit-identical to the einsum /
+        # per-tap formulation regardless of BLAS summation order.
+        n, t = windows.shape[0], windows.shape[1]
+        col = windows.transpose(0, 1, 3, 2).reshape(n, t, -1)
+        acc = col @ self.weights["kernel"].reshape(-1, self.output_shape[-1])
         if "bias" in self.weights:
-            acc = acc + self.weights["bias"]
-        return self._to_result(self._to_accum(acc))
+            acc += self.weights["bias"]
+        return self._to_result_(self._to_accum_(acc))
 
     @property
     def n_mult_per_position(self) -> int:
@@ -146,8 +153,9 @@ class BatchNormKernel(HLSKernel):
 
     def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
         (x,) = inputs
-        acc = x * self.weights["scale"] + self.weights["shift"]
-        return self._to_result(self._to_accum(acc))
+        acc = x * self.weights["scale"]
+        acc += self.weights["shift"]
+        return self._to_result_(self._to_accum_(acc))
 
     @property
     def n_mult_per_position(self) -> int:

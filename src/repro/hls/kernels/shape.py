@@ -46,6 +46,7 @@ class LinearKernel(HLSKernel):
     """Identity with a format cast (keras 'linear' activations)."""
 
     kind = "linear"
+    grid_preserving = True
 
     def __init__(self, name: str, config: LayerConfig, input_names,
                  input_shapes: Sequence[Shape]):
@@ -54,13 +55,14 @@ class LinearKernel(HLSKernel):
 
     def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
         (x,) = inputs
-        return self._to_result(x)
+        return self._cast_result(x)
 
 
 class MaxPoolKernel(HLSKernel):
     """Window maximum (exact comparators on grid values)."""
 
     kind = "maxpool"
+    grid_preserving = True
 
     def __init__(self, name: str, config: LayerConfig, input_names,
                  input_shapes: Sequence[Shape], pool_size: int = 2):
@@ -78,7 +80,7 @@ class MaxPoolKernel(HLSKernel):
         out_len = length // self.pool_size
         trimmed = x[:, : out_len * self.pool_size, :]
         pooled = trimmed.reshape(n, out_len, self.pool_size, c).max(axis=2)
-        return self._to_result(pooled)
+        return self._cast_result_(pooled)
 
 
 class AvgPoolKernel(HLSKernel):
@@ -103,13 +105,14 @@ class AvgPoolKernel(HLSKernel):
         out_len = length // self.pool_size
         trimmed = x[:, : out_len * self.pool_size, :]
         pooled = trimmed.reshape(n, out_len, self.pool_size, c).mean(axis=2)
-        return self._to_result(self._to_accum(pooled))
+        return self._to_result_(self._to_accum_(pooled))
 
 
 class UpSampleKernel(HLSKernel):
     """Nearest-neighbour repeat (pure routing)."""
 
     kind = "upsample"
+    grid_preserving = True
 
     def __init__(self, name: str, config: LayerConfig, input_names,
                  input_shapes: Sequence[Shape], size: int = 2):
@@ -122,7 +125,7 @@ class UpSampleKernel(HLSKernel):
 
     def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
         (x,) = inputs
-        return self._to_result(np.repeat(x, self.size, axis=1))
+        return self._cast_result_(np.repeat(x, self.size, axis=1))
 
 
 class ConcatKernel(HLSKernel):
@@ -130,6 +133,7 @@ class ConcatKernel(HLSKernel):
     this layer's stream format."""
 
     kind = "concat"
+    grid_preserving = True
 
     def __init__(self, name: str, config: LayerConfig, input_names,
                  input_shapes: Sequence[Shape]):
@@ -139,7 +143,7 @@ class ConcatKernel(HLSKernel):
                          tuple(head[:-1]) + (channels,))
 
     def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
-        return self._to_result(np.concatenate(inputs, axis=-1))
+        return self._cast_result_(np.concatenate(inputs, axis=-1))
 
 
 class FlattenKernel(HLSKernel):
@@ -147,6 +151,7 @@ class FlattenKernel(HLSKernel):
     cast keeps the output on the declared result grid)."""
 
     kind = "flatten"
+    grid_preserving = True
 
     def __init__(self, name: str, config: LayerConfig, input_names,
                  input_shapes: Sequence[Shape]):
@@ -156,13 +161,14 @@ class FlattenKernel(HLSKernel):
 
     def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
         (x,) = inputs
-        return self._to_result(x.reshape(x.shape[0], -1))
+        return self._cast_result(x.reshape(x.shape[0], -1))
 
 
 class ReshapeKernel(HLSKernel):
     """Static reshape."""
 
     kind = "reshape"
+    grid_preserving = True
 
     def __init__(self, name: str, config: LayerConfig, input_names,
                  input_shapes: Sequence[Shape], target_shape: Shape):
@@ -171,4 +177,4 @@ class ReshapeKernel(HLSKernel):
 
     def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
         (x,) = inputs
-        return self._to_result(x.reshape((x.shape[0],) + self.output_shape))
+        return self._cast_result(x.reshape((x.shape[0],) + self.output_shape))

@@ -5,10 +5,23 @@ IP core: an ordered DAG of :class:`~repro.hls.kernels.base.HLSKernel`
 objects.  ``predict`` runs a whole batch through the quantized datapath;
 ``trace`` additionally returns every intermediate stream (the hook used
 by the verification flow and the outlier analysis of Fig 5b).
+
+Execution is *liveness-planned*: at construction the model precomputes
+each kernel's last consumer, and ``predict`` frees every intermediate
+stream the moment its final reader has run.  Peak live memory is then
+bounded by the widest cut through the DAG (for the U-Net: the deepest
+stack of open skip connections) instead of the sum of all intermediate
+streams.  ``trace`` keeps the historical keep-everything semantics.
+
+The same planning pass removes redundant requantization: a routing
+kernel (flatten, reshape, concat, ...) whose producers already emit the
+kernel's own result grid performs no cast at all — quantization is
+idempotent on in-range grid values, so skipping it is bit-exact.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -16,7 +29,26 @@ import numpy as np
 from repro.hls.config import HLSConfig
 from repro.hls.kernels.base import HLSKernel
 
-__all__ = ["HLSModel"]
+__all__ = ["HLSModel", "RunStats"]
+
+#: Grid widths up to this stay exactly representable through the int64 /
+#: float64 round trip, making requantization provably idempotent; wider
+#: formats keep the defensive cast.
+_EXACT_GRID_WIDTH = 52
+
+
+@dataclass(frozen=True)
+class RunStats:
+    """Executor telemetry of the most recent forward pass.
+
+    ``peak_live`` counts the largest number of kernel output streams held
+    simultaneously (the model input is not counted); ``freed`` counts the
+    intermediates released before the pass returned.
+    """
+
+    peak_live: int
+    freed: int
+    retained_all: bool
 
 
 class HLSModel:
@@ -56,6 +88,65 @@ class HLSModel:
         self.config = config
         self.name = name
         self._by_name = {k.name: k for k in kernels}
+        #: stats of the most recent ``predict``/``trace`` call
+        self.last_run_stats: Optional[RunStats] = None
+        self._dies_after = self._plan_liveness()
+        self._plan_requantization()
+
+    # ------------------------------------------------------------------
+    # Execution planning
+    # ------------------------------------------------------------------
+    def _plan_liveness(self) -> List[List[str]]:
+        """Per-kernel list of producer streams whose last consumer it is.
+
+        ``_dies_after[i]`` names the intermediates that can be freed the
+        moment ``kernels[i]`` has produced its output.  The final
+        kernel's own stream is never listed (it is the model output).
+        """
+        last_consumer: Dict[str, int] = {}
+        for idx, kernel in enumerate(self.kernels):
+            for dep in kernel.input_names:
+                last_consumer[dep] = idx
+        dies_after: List[List[str]] = [[] for _ in self.kernels]
+        for dep, idx in last_consumer.items():
+            if dep != "__input__":
+                dies_after[idx].append(dep)
+        return dies_after
+
+    def _plan_requantization(self) -> None:
+        """Clear the result cast on grid-preserving kernels whose
+        producers already emit this kernel's exact result format.
+
+        Safe because quantization is idempotent: a value already on an
+        in-range fixed-point grid maps to itself.  Restricted to widths
+        whose raw values are exact in float64 (widths ≤ 52 bits); the
+        16/18-bit formats the paper uses are far inside that.
+        """
+        for kernel in self.kernels:
+            fmt = kernel.config.result
+            if not kernel.grid_preserving or fmt.width > _EXACT_GRID_WIDTH:
+                continue
+            producers = kernel.input_names
+            if "__input__" in producers:
+                continue  # raw float input always needs the entry cast
+            if all(self._by_name[dep].config.result == fmt
+                   for dep in producers):
+                kernel.requantize = False
+
+    def planned_peak_live(self) -> int:
+        """Peak simultaneously-live streams of the liveness plan.
+
+        Static mirror of the count ``predict`` reports through
+        :attr:`last_run_stats` — the regression tests pin both so the
+        keep-everything executor cannot silently return.
+        """
+        live = 0
+        peak = 0
+        for idx in range(len(self.kernels)):
+            live += 1
+            peak = max(peak, live)
+            live -= len(self._dies_after[idx])
+        return peak
 
     # ------------------------------------------------------------------
     def get_kernel(self, name: str) -> HLSKernel:
@@ -76,28 +167,47 @@ class HLSModel:
         return self.kernels[-1].output_shape
 
     # ------------------------------------------------------------------
-    def _run(self, x: np.ndarray) -> Dict[str, np.ndarray]:
+    def _run(self, x: np.ndarray,
+             retain_all: bool = False) -> Dict[str, np.ndarray]:
         x = np.asarray(x, dtype=np.float64)
         if x.shape[1:] != tuple(self.input_shape):
             raise ValueError(
                 f"expected input shape (n, {self.input_shape}), got {x.shape}"
             )
         values: Dict[str, np.ndarray] = {}
-        for kernel in self.kernels:
+        peak = 0
+        freed = 0
+        for idx, kernel in enumerate(self.kernels):
             ins = [
                 x if dep == "__input__" else values[dep]
                 for dep in kernel.input_names
             ]
             values[kernel.name] = kernel.forward(ins)
+            if len(values) > peak:
+                peak = len(values)
+            if not retain_all:
+                for dep in self._dies_after[idx]:
+                    del values[dep]
+                    freed += 1
+        self.last_run_stats = RunStats(peak_live=peak, freed=freed,
+                                       retained_all=retain_all)
         return values
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        """Quantized inference over a batch ``(n, *input_shape)``."""
+        """Quantized inference over a batch ``(n, *input_shape)``.
+
+        Intermediate streams are freed as soon as their last consumer has
+        run, so peak memory is the plan's peak cut, not the whole DAG.
+        """
         return self._run(x)[self.kernels[-1].name]
 
     def trace(self, x: np.ndarray) -> Dict[str, np.ndarray]:
-        """Per-kernel output streams (keyed by layer name)."""
-        return self._run(x)
+        """Per-kernel output streams (keyed by layer name).
+
+        Keeps every intermediate alive (the verification hook needs all
+        of them); use :meth:`predict` for the memory-planned fast path.
+        """
+        return self._run(x, retain_all=True)
 
     # ------------------------------------------------------------------
     def count_weights(self) -> int:

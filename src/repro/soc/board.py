@@ -130,6 +130,7 @@ class AchillesBoard:
         self.ip = NeuralIPCore(hls_model, self.input_ram, self.output_ram)
         self._irq_time: Optional[float] = None
         self._pending_faults: Optional[FrameFaults] = None
+        self._pending_precomputed: Optional[np.ndarray] = None
         self.control = ControlIP(
             start_ip=self._start_ip,
             raise_irq=self._on_irq,
@@ -142,9 +143,15 @@ class AchillesBoard:
         self._record("ip_busy", 1)
         faults = self._pending_faults
         extra = faults.ip_extra_s if faults is not None else 0.0
-        # Plain call when no fault is pending so test doubles that stub
-        # `ip.run` with a zero-argument callable keep working.
-        busy = self.ip.run(extra_busy_s=extra) if extra else self.ip.run()
+        pre = self._pending_precomputed
+        # Plain call when nothing special is pending so test doubles that
+        # stub `ip.run` with a zero-argument callable keep working.
+        if pre is not None:
+            busy = self.ip.run(extra_busy_s=extra, precomputed_raw=pre)
+        elif extra:
+            busy = self.ip.run(extra_busy_s=extra)
+        else:
+            busy = self.ip.run()
         self.sim.schedule(busy, self._ip_finished)
 
     def _ip_finished(self) -> None:
@@ -173,7 +180,9 @@ class AchillesBoard:
 
     def process_frame(self, frame: np.ndarray,
                       jitter_s: float = 0.0,
-                      faults: Optional[FrameFaults] = None) -> FrameTiming:
+                      faults: Optional[FrameFaults] = None,
+                      precomputed_raw: Optional[np.ndarray] = None
+                      ) -> FrameTiming:
         """Run one frame through steps 1–8; returns its timing breakdown.
 
         The frame's model output is left in the output RAM; read it with
@@ -182,9 +191,17 @@ class AchillesBoard:
         bit flips in the on-chip RAMs) active during this frame.  A
         suppressed interrupt raises :class:`FrameHangError`; call
         :meth:`recover` before processing further frames.
+
+        ``precomputed_raw`` hands the IP this frame's raw output words
+        from a batched :meth:`NeuralIPCore.precompute_raw_outputs` call:
+        the event-driven timing simulation runs unchanged (bridge
+        transfers, trigger, IRQ, reads), only the in-line forward pass is
+        skipped.  Never combine it with datapath faults — the runtime
+        falls back to in-line compute whenever faults are injected.
         """
         sim = self.sim
         self._pending_faults = faults
+        self._pending_precomputed = precomputed_raw
         t_pre = self.hps.preprocess_s
         sim.advance(t_pre)
 
@@ -236,6 +253,7 @@ class AchillesBoard:
         if jitter_s:
             sim.advance(jitter_s)
         self._pending_faults = None
+        self._pending_precomputed = None
 
         return FrameTiming(
             preprocess=t_pre,
@@ -279,6 +297,7 @@ class AchillesBoard:
             self.control.reset()
         self._irq_time = None
         self._pending_faults = None
+        self._pending_precomputed = None
         self.counters.cancel("ip_compute")
 
     def last_output(self) -> np.ndarray:

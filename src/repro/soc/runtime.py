@@ -57,6 +57,7 @@ __all__ = [
     "FrameRecord",
     "DegradationPolicy",
     "HealthReport",
+    "derive_stream_seeds",
     "ENGINE_PRIMARY",
     "ENGINE_FALLBACK",
     "STATUS_OK",
@@ -69,6 +70,34 @@ __all__ = [
 #: Engine labels for :attr:`FrameRecord.engine`.
 ENGINE_PRIMARY = "primary"
 ENGINE_FALLBACK = "fallback"
+
+
+def derive_stream_seeds(seed: SeedLike, start: int) -> Tuple[int, int]:
+    """Derive the per-run ``(hub_seed, board_seed)`` pair.
+
+    The starting frame index is folded into the derivation via a
+    :class:`numpy.random.SeedSequence` spawn key, so two successive
+    ``run()`` calls on one runtime (different ``start``) draw
+    uncorrelated jitter/arrival streams, while re-running the same frame
+    range with the same seed stays bit-reproducible.  (Before this
+    existed the seeds came from ``seed`` alone and back-to-back calls
+    replayed identical streams for different frame ranges.)
+
+    A ``Generator`` is consumed directly — its state already advances
+    across calls, which is exactly the caller-managed contract.
+    """
+    if isinstance(seed, np.random.Generator):
+        rng = seed
+    else:
+        if isinstance(seed, np.random.SeedSequence):
+            child = np.random.SeedSequence(
+                entropy=seed.entropy,
+                spawn_key=tuple(seed.spawn_key) + (start,))
+        else:
+            # seed may be None (entropy-seeded): SeedSequence handles it.
+            child = np.random.SeedSequence(entropy=seed, spawn_key=(start,))
+        rng = default_rng(child)
+    return int(rng.integers(0, 2**62)), int(rng.integers(0, 2**62))
 
 #: Frame statuses, ordered from healthy to most degraded.
 STATUS_OK = "ok"
@@ -243,6 +272,12 @@ class CentralNodeRuntime:
     injector: Optional[FaultInjector] = None
     policy: DegradationPolicy = field(default_factory=DegradationPolicy)
     counters: PerformanceCounters = field(default_factory=PerformanceCounters)
+    #: Batched-inference fast path: with no injector attached and the
+    #: primary engine active, the whole frame block runs through one
+    #: batched ``predict`` and the per-frame ladder consumes precomputed
+    #: output words (bit-identical; see docs/performance.md).  Disable to
+    #: force the historical frame-at-a-time compute.
+    batch_inference: bool = True
 
     # Degradation state (persists across run() calls).
     engine: str = field(default=ENGINE_PRIMARY, init=False)
@@ -319,9 +354,7 @@ class CentralNodeRuntime:
             raise ValueError(f"frames must be 2-D, got {frames.shape}")
         n = frames.shape[0]
         start = len(self.records)
-        rng = default_rng(seed)
-        hub_seed = int(rng.integers(0, 2**62))
-        board_seed = int(rng.integers(0, 2**62))
+        hub_seed, board_seed = derive_stream_seeds(seed, start)
 
         schedule = (self.injector.plan(start, n)
                     if self.injector is not None else None)
@@ -346,6 +379,18 @@ class CentralNodeRuntime:
         # board runs in this call (matches AchillesBoard.run(paced=True)).
         anchors: Dict[int, float] = {}
 
+        # Batched fast path: with no fault schedule and the primary
+        # engine active, one batched predict covers the whole block; the
+        # per-frame ladder below then consumes precomputed output words.
+        # Frames that land on the fallback engine (hysteresis can engage
+        # mid-block even fault-free, e.g. on jitter-spike deadline
+        # misses) drop back to in-line compute frame by frame.
+        precomputed: Optional[np.ndarray] = None
+        if (self.batch_inference and schedule is None and n > 0
+                and (self.fallback_board is None
+                     or self.engine == ENGINE_PRIMARY)):
+            precomputed = self.board.ip.precompute_raw_outputs(frames)
+
         new_records = []
         for i in range(n):
             fi = start + i
@@ -354,9 +399,15 @@ class CentralNodeRuntime:
                 self.counters.increment(f"fault.{e.kind.value}")
             fault_kinds = tuple(sorted({e.kind.value for e in events}))
 
+            use_batched = (precomputed is not None and not events
+                           and (self.fallback_board is None
+                                or self.engine == ENGINE_PRIMARY))
+            if use_batched:
+                self.counters.increment("frame.batched")
             record = self._process_one(
                 fi, i, frames[i], arrivals[i], float(jitters[i]),
                 events, fault_kinds, spans, anchors,
+                precomputed_raw=precomputed[i] if use_batched else None,
             )
             new_records.append(record)
             self.counters.increment(f"frame.{record.status}")
@@ -368,7 +419,9 @@ class CentralNodeRuntime:
                      arrival_row: np.ndarray, jitter_s: float,
                      events: Tuple[FaultEvent, ...],
                      fault_kinds: Tuple[str, ...],
-                     spans, anchors: Dict[int, float]) -> FrameRecord:
+                     spans, anchors: Dict[int, float],
+                     precomputed_raw: Optional[np.ndarray] = None
+                     ) -> FrameRecord:
         """One frame through the full degradation ladder."""
         policy = self.policy
         arrived = np.isfinite(arrival_row)
@@ -443,7 +496,8 @@ class CentralNodeRuntime:
         output: Optional[np.ndarray] = None
         try:
             timing = board.process_frame(fvec, jitter_s=jitter_s,
-                                         faults=frame_faults)
+                                         faults=frame_faults,
+                                         precomputed_raw=precomputed_raw)
             node_latency = float(timing.total)
             if node_latency > self.watchdog_s:
                 # Over-budget frame: the watchdog abandons it at the

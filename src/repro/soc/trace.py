@@ -36,24 +36,44 @@ class SignalTrace:
         analyser's sample memory).
     trigger:
         Optional predicate ``(signal, value) -> bool``; capture only
-        starts once it fires (pre-trigger samples are discarded).
+        starts once it fires.
+    pre_trigger:
+        Number of samples from *before* the trigger fires to keep — the
+        real SignalTap analyser's pre-trigger window.  Samples seen while
+        un-armed circulate in a ring of this size and are promoted into
+        the capture buffer (oldest first, ahead of the triggering sample)
+        when the trigger fires.  The default of 0 keeps the historical
+        discard-everything behaviour.
     """
 
     def __init__(self, depth: int = 4096,
-                 trigger: Optional[Callable[[str, object], bool]] = None):
+                 trigger: Optional[Callable[[str, object], bool]] = None,
+                 pre_trigger: int = 0):
         if depth <= 0:
             raise ValueError(f"depth must be positive, got {depth}")
+        if pre_trigger < 0:
+            raise ValueError(f"pre_trigger must be >= 0, got {pre_trigger}")
         self.depth = depth
         self.trigger = trigger
+        self.pre_trigger = int(pre_trigger)
         self.armed = trigger is None
         self._samples: Deque[Sample] = deque(maxlen=depth)
+        self._pre: Optional[Deque[Sample]] = (
+            deque(maxlen=self.pre_trigger)
+            if trigger is not None and self.pre_trigger else None
+        )
 
     def record(self, time: float, signal: str, value: object) -> None:
         """Capture one transition (subject to trigger arming)."""
         if not self.armed and self.trigger is not None:
             if self.trigger(signal, value):
                 self.armed = True
+                if self._pre:
+                    self._samples.extend(self._pre)
+                    self._pre.clear()
             else:
+                if self._pre is not None:
+                    self._pre.append(Sample(time, signal, value))
                 return
         self._samples.append(Sample(time, signal, value))
 
@@ -85,6 +105,8 @@ class SignalTrace:
     def clear(self) -> None:
         """Drop all captured samples and re-arm the trigger."""
         self._samples.clear()
+        if self._pre is not None:
+            self._pre.clear()
         self.armed = self.trigger is None
 
     def __len__(self) -> int:

@@ -72,10 +72,8 @@ class TestFaultFreeEquivalence:
         records = runtime.run(frames[:n], seed=5)
 
         # Reconstruct the unhardened pipeline with the same seed stream.
-        from repro.utils.rng import default_rng
-        rng = default_rng(5)
-        hub_seed = int(rng.integers(0, 2**62))
-        board_seed = int(rng.integers(0, 2**62))
+        from repro.soc.runtime import derive_stream_seeds
+        hub_seed, board_seed = derive_stream_seeds(5, 0)
         hubs = HubNetwork(n_monitors=N_MONITORS, n_hubs=N_HUBS)
         arrivals = hubs.arrival_times(n, seed=hub_seed)
         board = AchillesBoard(tiny_hls)

@@ -1,0 +1,196 @@
+"""Inference-throughput benchmark report.
+
+Measures the simulation's frame throughput on the reference U-Net design
+in four configurations — model-level ``HLSModel.predict`` (per-frame loop
+vs one batched call) and the full ``CentralNodeRuntime`` control loop
+(``batch_inference`` off vs on) — and writes the results to
+``BENCH_inference.json``:
+
+* ``fps`` — frames per second (wall clock, best of ``rounds``),
+* ``latency_p50_ms`` / ``latency_p99_ms`` — per-frame wall-clock latency
+  percentiles (individually timed frames for the sequential predict;
+  per-round amortized block time elsewhere),
+* ``peak_rss_kib`` — the process peak resident set,
+* ``speedups`` — batched-over-sequential ratios.
+
+The batched and sequential paths are asserted bit-identical before any
+timing, so the report can never quote a speedup for a path that diverged.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_report.py [--quick]
+        [--out BENCH_inference.json] [--baseline benchmarks/BENCH_baseline.json]
+
+With ``--baseline`` the run exits non-zero if the fault-free batched
+runtime fps regressed more than 20 % below the committed baseline (CI
+uses this as a performance smoke test; absolute numbers are machine-
+dependent, see docs/performance.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+import numpy as np
+
+#: Fractional fps floor relative to the baseline before the run fails.
+REGRESSION_FLOOR = 0.8
+
+#: The design every number in the report refers to.
+STRATEGY = "Layer-based Precision ac_fixed<16, x>"
+
+
+def _percentiles_ms(latencies_s: List[float]) -> Dict[str, float]:
+    lat = np.asarray(latencies_s)
+    return {
+        "latency_p50_ms": float(np.percentile(lat, 50) * 1e3),
+        "latency_p99_ms": float(np.percentile(lat, 99) * 1e3),
+    }
+
+
+def _bench(run_round: Callable[[], List[float]], rounds: int,
+           n_frames: int) -> Dict[str, float]:
+    """Time ``rounds`` repetitions; each returns per-frame latencies."""
+    walls: List[float] = []
+    samples: List[float] = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        samples.extend(run_round())
+        walls.append(time.perf_counter() - t0)
+    best = min(walls)
+    out = {"fps": n_frames / best, "wall_s": best, "frames": n_frames,
+           "rounds": rounds}
+    out.update(_percentiles_ms(samples))
+    return out
+
+
+def build_report(quick: bool = False) -> Dict[str, object]:
+    from repro.experiments.common import bundle, converted
+    from repro.soc.board import AchillesBoard
+    from repro.soc.runtime import CentralNodeRuntime
+
+    n_frames = 64 if quick else 256
+    rounds = 2 if quick else 3
+
+    b = bundle()
+    model = converted(STRATEGY)
+    frames = b.dataset.x_eval[:n_frames]
+    if frames.shape[0] < n_frames:  # pragma: no cover - tiny eval splits
+        n_frames = frames.shape[0]
+    unet_in = b.dataset.unet_inputs(frames)
+
+    # Correctness gate: the fast paths must be bit-identical before any
+    # of their timings are worth reporting.
+    batched = model.predict(unet_in)
+    stacked = np.concatenate([model.predict(unet_in[i:i + 1])
+                              for i in range(n_frames)])
+    if not np.array_equal(batched, stacked):
+        raise AssertionError("batched predict diverged from per-frame loop")
+
+    def predict_sequential() -> List[float]:
+        lats = []
+        for i in range(n_frames):
+            t0 = time.perf_counter()
+            model.predict(unet_in[i:i + 1])
+            lats.append(time.perf_counter() - t0)
+        return lats
+
+    def predict_batched() -> List[float]:
+        # Same cache-friendly chunking the runtime fast path uses.
+        from repro.soc.ip_core import BATCH_BLOCK_FRAMES
+        t0 = time.perf_counter()
+        for i in range(0, n_frames, BATCH_BLOCK_FRAMES):
+            model.predict(unet_in[i:i + BATCH_BLOCK_FRAMES])
+        return [(time.perf_counter() - t0) / n_frames]
+
+    def runtime_round(batch: bool) -> List[float]:
+        rt = CentralNodeRuntime(board=AchillesBoard(model),
+                                batch_inference=batch)
+        t0 = time.perf_counter()
+        rt.run(frames, seed=7)
+        return [(time.perf_counter() - t0) / n_frames]
+
+    benchmarks = {
+        "predict_sequential": _bench(predict_sequential, rounds, n_frames),
+        "predict_batched": _bench(predict_batched, rounds, n_frames),
+        "runtime_sequential": _bench(lambda: runtime_round(False), rounds,
+                                     n_frames),
+        "runtime_batched": _bench(lambda: runtime_round(True), rounds,
+                                  n_frames),
+    }
+    return {
+        "meta": {
+            "strategy": STRATEGY,
+            "quick": quick,
+            "n_frames": n_frames,
+            "rounds": rounds,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "benchmarks": benchmarks,
+        "speedups": {
+            "predict": (benchmarks["predict_batched"]["fps"]
+                        / benchmarks["predict_sequential"]["fps"]),
+            "runtime": (benchmarks["runtime_batched"]["fps"]
+                        / benchmarks["runtime_sequential"]["fps"]),
+        },
+    }
+
+
+def check_baseline(report: Dict[str, object], baseline_path: Path) -> bool:
+    """True if the fault-free batched fps held within the floor."""
+    baseline = json.loads(baseline_path.read_text())
+    base_fps = baseline["benchmarks"]["runtime_batched"]["fps"]
+    fps = report["benchmarks"]["runtime_batched"]["fps"]
+    ratio = fps / base_fps
+    print(f"runtime_batched fps: {fps:.1f} vs baseline {base_fps:.1f} "
+          f"({ratio:.2f}x, floor {REGRESSION_FLOOR:.2f}x)")
+    return ratio >= REGRESSION_FLOOR
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller frame block / fewer rounds (CI)")
+    parser.add_argument("--out", type=Path,
+                        default=Path("BENCH_inference.json"))
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="committed report to compare against; exits "
+                             "1 on a >20%% fps regression")
+    args = parser.parse_args(argv)
+
+    report = build_report(quick=args.quick)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    bm = report["benchmarks"]
+    print(f"wrote {args.out}")
+    for name in ("predict_sequential", "predict_batched",
+                 "runtime_sequential", "runtime_batched"):
+        r = bm[name]
+        print(f"  {name:20s} {r['fps']:8.1f} fps  "
+              f"p50 {r['latency_p50_ms']:.3f} ms  "
+              f"p99 {r['latency_p99_ms']:.3f} ms")
+    print(f"  speedups: predict {report['speedups']['predict']:.2f}x, "
+          f"runtime {report['speedups']['runtime']:.2f}x; "
+          f"peak RSS {report['peak_rss_kib']} KiB")
+
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            print(f"baseline {args.baseline} missing", file=sys.stderr)
+            return 1
+        if not check_baseline(report, args.baseline):
+            print("performance regression beyond the floor", file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
