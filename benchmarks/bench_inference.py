@@ -5,13 +5,14 @@ rounds — they track the performance of the reproduction's own kernels:
 
 * float U-Net forward (the numpy framework),
 * fixed-point U-Net forward (the bit-accurate HLS twin),
+* the graph-compiled fixed-point forward and control loop,
 * the vectorised SoC latency sampler.
 """
 
 import numpy as np
 import pytest
 
-from repro.experiments.common import bundle, converted
+from repro.experiments.common import bundle, converted, reference_configs
 from repro.soc.board import AchillesBoard
 
 
@@ -19,6 +20,18 @@ from repro.soc.board import AchillesBoard
 def frames():
     b = bundle()
     return b.dataset.unet_inputs(b.dataset.x_eval[:32])
+
+
+@pytest.fixture(scope="module")
+def compiled_unet():
+    """Fresh conversion with the level-2 compiled plan installed — the
+    shared ``converted`` cache must stay on the naive executor."""
+    from repro.hls.converter import convert
+
+    model = convert(bundle().unet,
+                    reference_configs()["Layer-based Precision ac_fixed<16, x>"])
+    model.compile(level=2)
+    return model
 
 
 def test_float_unet_forward(benchmark, frames):
@@ -47,6 +60,15 @@ def test_fixed_unet_forward_per_frame(benchmark, frames):
     assert np.array_equal(out, hls_model.predict(frames))
 
 
+def test_compiled_unet_forward(benchmark, frames, compiled_unet):
+    """Batched forward on the level-2 compiled plan."""
+    out = benchmark.pedantic(lambda: compiled_unet.predict(frames),
+                             rounds=3, iterations=1)
+    assert out.shape == (32, 520)
+    # The speedup is only reportable because the bits agree.
+    assert np.array_equal(out, compiled_unet.predict(frames, compiled=False))
+
+
 def test_runtime_batched_block(benchmark):
     """Fault-free control loop on the batched fast path (32 frames)."""
     from repro.soc.runtime import CentralNodeRuntime
@@ -56,6 +78,20 @@ def test_runtime_batched_block(benchmark):
 
     def run_block():
         rt = CentralNodeRuntime(board=AchillesBoard(hls_model))
+        return rt.run(frames, seed=7)
+
+    records = benchmark.pedantic(run_block, rounds=3, iterations=1)
+    assert len(records) == 32
+
+
+def test_runtime_compiled_block(benchmark, compiled_unet):
+    """Fault-free control loop on the compiled plan (32 frames)."""
+    from repro.soc.runtime import CentralNodeRuntime
+
+    frames = bundle().dataset.x_eval[:32]
+
+    def run_block():
+        rt = CentralNodeRuntime(board=AchillesBoard(compiled_unet))
         return rt.run(frames, seed=7)
 
     records = benchmark.pedantic(run_block, rounds=3, iterations=1)

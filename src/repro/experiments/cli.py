@@ -26,6 +26,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              f"choices: {', '.join(sorted(REGISTRY))}")
     parser.add_argument("--fast", action="store_true",
                         help="reduced frame populations (CI mode)")
+    parser.add_argument("--compile-level", type=int, choices=(0, 1, 2),
+                        default=0, metavar="{0,1,2}",
+                        help="graph-compiler level for the reference "
+                             "designs (0=naive executor, 1=LUT/fusion "
+                             "rewrites, 2=+folding and arena planning); "
+                             "bit-identical at every level")
     parser.add_argument("--list", action="store_true",
                         help="list available experiments and exit")
     args = parser.parse_args(argv)
@@ -35,6 +41,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(name)
         return 0
 
+    from repro.experiments.common import set_compile_level
+
+    set_compile_level(args.compile_level)
     names = args.names or sorted(REGISTRY)
     for name in names:
         try:

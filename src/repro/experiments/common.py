@@ -28,6 +28,8 @@ __all__ = [
     "unet_profiles",
     "reference_configs",
     "converted",
+    "set_compile_level",
+    "get_compile_level",
     "eval_inputs",
 ]
 
@@ -81,13 +83,46 @@ def reference_configs() -> Dict[str, HLSConfig]:
     }
 
 
+#: Process-wide compile level for the cached reference designs.  The
+#: CLI's ``--compile-level`` flag sets it before any harness runs; every
+#: level gets its own cache slot so switching levels mid-process never
+#: mutates a model another caller already holds.
+_compile_level = 0
+
+
+def set_compile_level(level: int) -> None:
+    """Select the graph-compiler level (0/1/2) used by :func:`converted`.
+
+    Level 0 (the default) keeps the naive liveness executor — compiled
+    plans are bit-identical by construction, so any level reproduces the
+    same tables, just at different speed.
+    """
+    if level not in (0, 1, 2):
+        raise ValueError(f"compile level must be 0, 1 or 2, got {level}")
+    global _compile_level
+    _compile_level = level
+
+
+def get_compile_level() -> int:
+    """The compile level :func:`converted` currently applies."""
+    return _compile_level
+
+
 @lru_cache(maxsize=16)
-def converted(strategy: str) -> HLSModel:
-    """Cached conversion of the reference U-Net under one strategy."""
+def _converted_at(strategy: str, level: int) -> HLSModel:
     configs = reference_configs()
     if strategy not in configs:
         raise KeyError(f"unknown strategy {strategy!r}; have {sorted(configs)}")
-    return convert(bundle().unet, configs[strategy])
+    model = convert(bundle().unet, configs[strategy])
+    if level:
+        model.compile(level=level)
+    return model
+
+
+def converted(strategy: str) -> HLSModel:
+    """Cached conversion of the reference U-Net under one strategy,
+    compiled at the process-wide level (see :func:`set_compile_level`)."""
+    return _converted_at(strategy, _compile_level)
 
 
 def eval_inputs(fast: bool = False) -> np.ndarray:

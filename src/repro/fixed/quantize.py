@@ -148,13 +148,19 @@ def quantize(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
     return quantize_(np.array(values, dtype=np.float64), fmt)
 
 
-def quantize_(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
+def quantize_(values: np.ndarray, fmt: FixedPointFormat,
+              raw_out: Optional[np.ndarray] = None) -> np.ndarray:
     """In-place :func:`quantize`: mutates and returns *values*.
 
     *values* must be a writeable ``float64`` ndarray the caller owns —
     the kernels use this on freshly-computed accumulators so the cast
     onto the result grid allocates a single int64 scratch array instead
     of a full float temporary per stage.
+
+    ``raw_out`` optionally supplies that int64 scratch (same shape as
+    *values*): the compiled executor reuses one persistent buffer per
+    step so the steady-state path performs no allocation at all.  It is
+    ignored on the float-clip fast path, which needs no integer detour.
     """
     if not isinstance(values, np.ndarray) or values.dtype != np.float64:
         raise TypeError("quantize_ needs a float64 ndarray "
@@ -175,7 +181,18 @@ def quantize_(values: np.ndarray, fmt: FixedPointFormat) -> np.ndarray:
         np.multiply(values, fmt.lsb, out=values)
         return values
     _scale_guard_round_inplace(values, fmt)
-    raw = values.astype(np.int64)
+    if raw_out is None:
+        raw = values.astype(np.int64)
+    else:
+        if raw_out.shape != values.shape or raw_out.dtype != np.int64:
+            raise ValueError(
+                f"raw_out must be int64 with shape {values.shape}, "
+                f"got {raw_out.dtype} {raw_out.shape}"
+            )
+        # copyto(unsafe) is the same C-level float→int64 cast astype
+        # performs (pinned by the golden-vector tests).
+        np.copyto(raw_out, values, casting="unsafe")
+        raw = raw_out
     _overflow_inplace(raw, fmt)
     np.multiply(raw, fmt.lsb, out=values)
     return values

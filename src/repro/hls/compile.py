@@ -1,0 +1,1197 @@
+"""Bit-exact graph compiler for :class:`~repro.hls.model.HLSModel`.
+
+The hls4ml flow never executes the network as written: activations become
+on-fabric lookup tables, batch-norm folds into the preceding Dense/Conv,
+and each layer synthesises to one fused multiply–accumulate–requantize
+pipeline.  This module applies the same rewrites to the C-simulation
+twin — but only where the rewrite is *provably* bit-identical to the
+naive kernel-by-kernel execution:
+
+* **Activation LUTs** — a kernel input stream on an ``ac_fixed<W, I>``
+  grid with ``W ≤ 16`` carries at most 65,536 distinct raw words, so
+  ``quantize(act(dequantize(raw)))`` is enumerated exhaustively by
+  running the *original kernel* over every representable input value.
+  The gather is then bit-exact by construction — the same argument
+  hls4ml uses for its on-chip tables.
+
+* **Fused MAC + requantize** — when the accumulator cast is provably a
+  no-op (grid fine enough and range wide enough for every achievable
+  accumulator, or a truncation that cannot move a value across a result
+  rounding boundary), the GEMM runs against weights pre-scaled by the
+  result format's ``1/lsb`` and emits raw result words in a single
+  rounding pass; a following activation LUT gathers straight from those
+  words, so the intermediate stream never materialises.
+
+* **Batch-norm folding** — ``scale``/``shift`` fold into the preceding
+  Dense/Conv weights when the producer's casts are provably identity on
+  every achievable accumulator *and* the folded operands stay exact in
+  float64.  Anything unprovable falls back to the unfused kernels
+  (recorded in the report) — at 16-bit stream widths the fallback is the
+  normal case, exactly like hls4ml refusing an unsafe optimization.
+
+* **Static arena planner** — extends the model's liveness plan into
+  first-fit offset assignment inside one preallocated float64 arena:
+  every lowered step writes into a precomputed view, and per-step
+  integer/pad scratch buffers persist across calls, so the steady-state
+  path (repeated calls at one batch size) performs no numpy array
+  allocation.  (BLAS-internal workspace is outside our control.)
+
+Every rewrite either carries a proof obligation checked at compile time
+or is exact by construction; when a check fails the kernel keeps its
+naive ``forward`` (a :class:`_KernelStep`), so ``compile`` can never
+change an output bit.  ``tests/test_compile.py`` pins the equivalences
+with ``np.array_equal`` — including exhaustively over all raw words of
+every LUT.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fixed.format import FixedPointFormat, Overflow, Rounding
+from repro.fixed.quantize import _round_inplace, quantize, quantize_
+from repro.hls.kernels.activation import SoftmaxKernel
+from repro.hls.kernels.base import HLSKernel
+from repro.hls.kernels.linalg import (BatchNormKernel, Conv1DKernel,
+                                      DenseKernel)
+from repro.hls.kernels.shape import (ConcatKernel, FlattenKernel,
+                                     InputKernel, LinearKernel,
+                                     MaxPoolKernel, ReshapeKernel,
+                                     UpSampleKernel)
+
+__all__ = ["CompileReport", "CompiledPlan", "compile_model",
+           "MAX_LUT_BITS"]
+
+#: Largest input-stream width an exhaustive lookup table is built for
+#: (2**16 = 65,536 float64 entries = 512 KiB per table).
+MAX_LUT_BITS = 16
+
+#: Exact-summation ceiling: sums of grid values are exact in float64 as
+#: long as |sum| / grid_lsb stays within the 53-bit mantissa.  Every
+#: formulation switch and fold is gated on this bound.
+_EXACT_SUM_LIMIT = float(2**53)
+
+#: int64-cast guard for raw-domain emits (one bit of headroom, matching
+#: ``repro.fixed.quantize._INT64_LIMIT``).
+_RAW_GUARD = float(2**62)
+
+#: Grid widths whose raw values round-trip exactly through float64 —
+#: the idempotent-requantization window (same constant as the model's
+#: planning pass).
+_EXACT_GRID_WIDTH = 52
+
+#: Convolutions with at least this many input channels default to the
+#: taps-as-one-flat-GEMM formulation before auto-tuning (one large 2-D
+#: contiguous GEMM over the padded buffer plus k shifted adds); below it
+#: the im2col GEMM wins (tiny contraction dimension).  Formulation choice
+#: cannot affect bits: exact sums are associative — which is also what
+#: makes timing-based tuning safe.
+_TAPFLAT_MIN_CHANNELS = 8
+
+#: Synthetic batch size / repetitions the conv-formulation auto-tuner
+#: times each candidate with at compile time.
+_TUNE_BATCH = 16
+_TUNE_REPS = 2
+
+
+# ----------------------------------------------------------------------
+# Proof helpers
+# ----------------------------------------------------------------------
+def _max_abs(fmt: FixedPointFormat) -> float:
+    """Largest |value| an in-range stream on *fmt*'s grid can carry."""
+    return max(abs(fmt.min_value), abs(fmt.max_value))
+
+
+def _mac_bound(w2: np.ndarray, bias: Optional[np.ndarray],
+               in_max: float) -> float:
+    """Worst-case |accumulator| of ``x @ w2 + bias`` over in-range x.
+
+    ``max_j ( Σ_i |W_ij| · in_max + |b_j| )`` — the classic interval
+    bound; padding zeros in convolutions only shrink it.
+    """
+    col = np.abs(w2).sum(axis=0) * in_max
+    if bias is not None:
+        col = col + np.abs(bias)
+    return float(col.max()) if col.size else 0.0
+
+
+def _cast_identity(fmt: FixedPointFormat, prod_frac: int,
+                   bound: float) -> bool:
+    """True when quantizing exact sums on the ``2**-prod_frac`` grid with
+    ``|value| ≤ bound`` into *fmt* provably changes nothing: the target
+    grid is at least as fine and the range covers the bound (so neither
+    rounding nor overflow can act)."""
+    if fmt.fractional < prod_frac:
+        return False
+    return bound <= fmt.max_value and -bound >= fmt.min_value
+
+
+def _accum_cast_skippable(accum: FixedPointFormat, result: FixedPointFormat,
+                          prod_frac: int, bound: float) -> bool:
+    """True when the accumulator cast cannot change the *result* cast's
+    outcome and may be elided.
+
+    Two provable cases:
+
+    * identity — the accumulator grid is finer than the product grid and
+      wide enough for the bound (no rounding, no overflow);
+    * harmless truncation — the accumulator rounds ``TRN`` (truncate
+      toward −∞) without saturating, and its grid contains every decision
+      boundary of the result rounding.  Truncating onto a grid that
+      contains the boundaries can never move a value across one, and a
+      value landing exactly *on* a boundary resolves the same way the
+      un-truncated value did for ``RND`` (ties toward +∞) and ``TRN``
+      boundaries.  ``RND_CONV``/``RND_ZERO`` ties break non-monotonically,
+      so only the identity case applies to them.
+    """
+    if _cast_identity(accum, prod_frac, bound):
+        return True
+    if accum.rounding is not Rounding.TRN:
+        return False
+    if not (bound <= accum.max_value and -bound >= accum.min_value):
+        return False  # the truncation would also saturate / wrap
+    if bound / accum.lsb > _EXACT_SUM_LIMIT:
+        return False  # truncated values would leave the exact window
+    if result.rounding is Rounding.RND:
+        return accum.fractional >= result.fractional + 1
+    if result.rounding is Rounding.TRN:
+        return accum.fractional >= result.fractional
+    return False
+
+
+def _build_lut(kernel: HLSKernel, in_fmt: FixedPointFormat) -> np.ndarray:
+    """Exhaustive output table of an element-wise kernel, indexed by
+    ``raw - in_fmt.raw_min``.
+
+    Built by running the *original* ``forward`` (honouring its planned
+    ``requantize`` flag) over every representable input value, so the
+    gather is bit-exact by construction.
+    """
+    raw = np.arange(in_fmt.raw_min, in_fmt.raw_max + 1, dtype=np.int64)
+    values = raw.astype(np.float64) * in_fmt.lsb
+    table = kernel.forward([values[np.newaxis, :]])
+    return np.ascontiguousarray(table[0], dtype=np.float64)
+
+
+def _lut_span_ok(fmt: FixedPointFormat) -> bool:
+    return (fmt.raw_max - fmt.raw_min + 1) <= (1 << MAX_LUT_BITS)
+
+
+def _overflow_free(in_fmt: FixedPointFormat,
+                   out_fmt: FixedPointFormat) -> bool:
+    """True when casting any in-range *in_fmt* grid value into *out_fmt*
+    provably cannot overflow, so the cast's int64 detour (whose only job
+    is the overflow arithmetic) may be replaced by pure float
+    scale-round-unscale.
+
+    Every rounding mode moves the scaled value by strictly less than one
+    raw unit, so ``±1`` of slack on the scaled range bounds covers all of
+    them.  Restricted to widths whose raw values are exact in float64.
+    """
+    if (in_fmt.width > _EXACT_GRID_WIDTH
+            or out_fmt.width > _EXACT_GRID_WIDTH):
+        return False
+    return (in_fmt.max_value / out_fmt.lsb + 1.0 <= out_fmt.raw_max
+            and in_fmt.min_value / out_fmt.lsb - 1.0 >= out_fmt.raw_min)
+
+
+# ----------------------------------------------------------------------
+# Report
+# ----------------------------------------------------------------------
+@dataclass
+class CompileReport:
+    """What the compiler did — and what it refused to do, with reasons."""
+
+    level: int
+    luts: List[str] = field(default_factory=list)
+    fused: List[str] = field(default_factory=list)
+    folded: List[str] = field(default_factory=list)
+    fallbacks: Dict[str, str] = field(default_factory=dict)
+    #: per-frame float64 words of the static arena (0 below level 2)
+    arena_words: int = 0
+
+    def describe(self) -> str:
+        lines = [f"compile level {self.level}: "
+                 f"{len(self.luts)} LUTs, {len(self.fused)} fused MACs, "
+                 f"{len(self.folded)} folded batch-norms, "
+                 f"arena {self.arena_words} words/frame"]
+        for name, reason in sorted(self.fallbacks.items()):
+            lines.append(f"  fallback {name}: {reason}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Steps
+# ----------------------------------------------------------------------
+class _Step:
+    """One node of the compiled plan.
+
+    ``run(ins, out)`` consumes producer streams and returns the output
+    array; when the arena planner assigned this step a slot, ``out`` is a
+    preallocated contiguous view the step must write into (and return).
+    """
+
+    #: True when the output is a view of the input (shares its slot)
+    aliases_input = False
+    #: True when the step allocates its own output (no arena slot)
+    heap_output = False
+
+    def __init__(self, name: str, inputs: Sequence[str],
+                 out_shape: Tuple[int, ...]):
+        self.name = name
+        self.inputs = list(inputs)
+        self.out_shape = tuple(int(d) for d in out_shape)
+        #: naive kernel names this step replaces (fused steps list every
+        #: kernel they absorbed) — lets profiling reports line compiled
+        #: step times up against the naive per-kernel times.
+        self.covers = [name]
+        self._scr: Dict[tuple, np.ndarray] = {}
+
+    @property
+    def out_words(self) -> int:
+        return int(np.prod(self.out_shape)) if self.out_shape else 1
+
+    def _scratch(self, tag: str, shape: Tuple[int, ...],
+                 dtype=np.float64) -> np.ndarray:
+        key = (tag, shape, np.dtype(dtype).char)
+        buf = self._scr.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype)
+            self._scr[key] = buf
+        return buf
+
+    def _out(self, n: int, out: Optional[np.ndarray]) -> np.ndarray:
+        if out is None:
+            return np.empty((n,) + self.out_shape)
+        return out
+
+    def _cast(self, dst: np.ndarray, fmt: FixedPointFormat, fast: bool,
+              tag: str = "raw") -> None:
+        """In-place requantization of *dst* onto *fmt*.
+
+        ``fast`` was proven at compile time (:func:`_overflow_free`):
+        overflow cannot act, so scale → round → unscale in pure float64
+        is bit-identical to the full quantizer — the int64 round trip is
+        the identity on integral in-range values, and the overflow stage
+        it exists to feed is a no-op.  This matters on strided views
+        (concat slices), where the integer detour's modulo is the single
+        most expensive pass of the naive cast.
+        """
+        if fast:
+            np.multiply(dst, 1.0 / fmt.lsb, out=dst)
+            _round_inplace(dst, fmt.rounding)
+            np.multiply(dst, fmt.lsb, out=dst)
+        else:
+            raw = self._scratch(tag, dst.shape, np.int64)
+            quantize_(dst, fmt, raw_out=raw)
+
+    def run(self, ins: List[np.ndarray],
+            out: Optional[np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+
+class _KernelStep(_Step):
+    """Unlowered kernel: the naive ``forward`` (always heap-allocated)."""
+
+    heap_output = True
+
+    def __init__(self, kernel: HLSKernel):
+        super().__init__(kernel.name, kernel.input_names, kernel.output_shape)
+        self.kernel = kernel
+
+    def run(self, ins, out):
+        return self.kernel.forward(ins)
+
+
+class _InputStep(_Step):
+    """Entry quantization onto the input-stream grid, into the arena."""
+
+    def __init__(self, kernel: InputKernel):
+        super().__init__(kernel.name, kernel.input_names, kernel.output_shape)
+        self.fmt = kernel.config.result
+
+    def run(self, ins, out):
+        (x,) = ins
+        out = self._out(x.shape[0], out)
+        np.copyto(out, x)
+        raw = self._scratch("raw", out.shape, np.int64)
+        quantize_(out, self.fmt, raw_out=raw)
+        return out
+
+
+class _LUTStep(_Step):
+    """Element-wise activation as an O(1) integer-indexed gather."""
+
+    def __init__(self, kernel: HLSKernel, in_fmt: FixedPointFormat,
+                 table: np.ndarray):
+        super().__init__(kernel.name, kernel.input_names, kernel.output_shape)
+        self.table = table
+        self.raw_min = in_fmt.raw_min
+        self.inv_lsb = 1.0 / in_fmt.lsb
+
+    def absorb_cast(self, cast: tuple) -> bool:
+        """Requantize the table itself: the consumer's operand cast then
+        costs nothing at run time (exact by construction — the cast is
+        applied to every value the gather can ever emit)."""
+        self.table = quantize(self.table, cast[0])
+        return True
+
+    def run(self, ins, out):
+        (x,) = ins
+        # x sits exactly on the producer grid, so x/lsb is an exact
+        # integer-valued float and the truncating cast recovers the raw
+        # word losslessly.  Raw words of a <=16-bit format always fit
+        # int32; the narrower index halves the gather's memory traffic.
+        tmp = self._scratch("tmp", x.shape)
+        idx = self._scratch("idx", x.shape, np.int32)
+        np.multiply(x, self.inv_lsb, out=tmp)
+        np.copyto(idx, tmp, casting="unsafe")
+        idx -= self.raw_min
+        if out is None:
+            return self.table[idx]
+        np.take(self.table, idx, out=out)
+        return out
+
+
+class _SoftmaxStep(_Step):
+    """Softmax with the exp-binning composed into one raw-indexed table.
+
+    ``z = x − max(x)`` is an exact difference of grid values, so its raw
+    word indexes a table holding ``exp_table[bin(z)]`` for every
+    representable ``z ≤ 0``; the normalising division and the result cast
+    run the identical float ops the naive kernel performs.
+    """
+
+    def __init__(self, kernel: SoftmaxKernel, in_fmt: FixedPointFormat):
+        super().__init__(kernel.name, kernel.input_names, kernel.output_shape)
+        self.kernel = kernel
+        self.inv_lsb = 1.0 / in_fmt.lsb
+        self.zmin = in_fmt.raw_min - in_fmt.raw_max
+        zraw = np.arange(self.zmin, 1, dtype=np.int64)
+        z = zraw.astype(np.float64) * in_fmt.lsb
+        # Replicate the naive binning expression op for op.
+        scale = kernel.table_size / (2 * kernel.table_range)
+        z += kernel.table_range
+        z *= scale
+        np.floor(z, out=z)
+        idx = z.astype(np.int64)
+        np.clip(idx, 0, kernel.table_size - 1, out=idx)
+        self.table = np.ascontiguousarray(kernel.exp_table[idx])
+
+    def run(self, ins, out):
+        (x,) = ins
+        out = self._out(x.shape[0], out)
+        z = self._scratch("z", x.shape)
+        idx = self._scratch("idx", x.shape, np.int64)
+        np.subtract(x, np.max(x, axis=-1, keepdims=True), out=z)
+        np.multiply(z, self.inv_lsb, out=z)
+        np.copyto(idx, z, casting="unsafe")
+        idx -= self.zmin
+        np.take(self.table, idx, out=out)
+        out /= out.sum(axis=-1, keepdims=True)
+        raw = self._scratch("raw", out.shape, np.int64)
+        quantize_(out, self.kernel.config.result, raw_out=raw)
+        return out
+
+
+class _MACStep(_Step):
+    """Fused matmul/im2col + bias + requantize (+ activation gather).
+
+    ``mode='raw'``: the accumulator cast was proven elidable, so the GEMM
+    contracts weights pre-scaled by ``1/lsb(result)`` (an exact power-of-2
+    scaling) and one rounding pass yields the raw result words directly;
+    a fused activation table gathers from those words, otherwise a single
+    multiply by ``lsb`` emits the value-domain stream.
+
+    ``mode='naive'``: the classic accum-cast → result-cast pipeline (with
+    persistent int64 scratch), still benefiting from the formulation
+    choice and the arena.
+    """
+
+    def __init__(self, *, name: str, inputs: Sequence[str],
+                 out_shape: Tuple[int, ...], mac_shape: Tuple[int, ...],
+                 weight: np.ndarray, bias: Optional[np.ndarray],
+                 accum: FixedPointFormat, result: FixedPointFormat,
+                 mode: str, conv: Optional[dict] = None,
+                 act_table: Optional[np.ndarray] = None):
+        super().__init__(name, inputs, out_shape)
+        self.mac_shape = tuple(mac_shape)  # per-frame shape of the MAC output
+        self.mode = mode
+        self.result = result
+        self.accum = accum
+        self.conv = conv  # {'k', 'pad_left', 'in_len', 'in_ch', 'same',
+        #                   'formulation'}
+        self.act_table = act_table
+
+        if mode == "raw":
+            scale = 1.0 / result.lsb  # exact power of two
+            self.round_op = ("rint" if result.rounding is Rounding.RND_CONV
+                             else "floor")
+            offset = 0.5 if result.rounding is Rounding.RND else 0.0
+            # For floor-rounded fused gathers the table-index origin
+            # (−raw_min, an exact integer) folds straight into the bias
+            # add: floor(x − lo) == floor(x) − lo.  rint's half-to-even
+            # ties are not shift-invariant, so RND_CONV keeps the
+            # separate subtraction.
+            self.idx_folded = (act_table is not None
+                              and self.round_op == "floor")
+            if self.idx_folded:
+                offset -= result.raw_min
+            self.w_eff = np.ascontiguousarray(weight * scale)
+            if bias is not None:
+                self.badd = np.ascontiguousarray(bias * scale + offset)
+            else:
+                self.badd = offset if offset else None
+        else:
+            self.w_eff = np.ascontiguousarray(weight)
+            self.badd = None if bias is None else np.ascontiguousarray(bias)
+            self.round_op = None
+            self.idx_folded = False
+        self.w2_eff = (self.w_eff.reshape(-1, self.w_eff.shape[-1])
+                       if self.w_eff.ndim == 3 else self.w_eff)
+        if conv is not None:
+            k = conv["k"]
+            taps = self.w_eff.reshape(k, -1, self.w_eff.shape[-1])
+            self.w_taps = np.ascontiguousarray(taps)
+            self.w_flat = np.ascontiguousarray(
+                np.concatenate([taps[j] for j in range(k)], axis=1))
+        #: overflow op on the raw words (None when the bound proves the
+        #: words in range)
+        self.overflow: Optional[Overflow] = None
+        #: index/raw scratch dtype — _build_mac_step narrows it to int32
+        #: when the accumulator bound provably fits
+        self.idx_dtype = np.int64
+        #: set by _build_mac_step when the truncating int cast provably
+        #: equals the floor (non-negative folded index, or a saturating
+        #: clamp that absorbs the off-by-one on negative non-integers)
+        self.trunc_ok = False
+
+    def absorb_cast(self, cast: tuple) -> bool:
+        """Fold a consumer's operand cast into the fused activation
+        table (exact: the cast is applied to every value the gather can
+        emit).  Refused without a table — the raw emit path would need a
+        second rounding pass."""
+        if self.act_table is None:
+            return False
+        self.act_table = quantize(self.act_table, cast[0])
+        return True
+
+    def _padded(self, x: np.ndarray) -> np.ndarray:
+        """Persistent zero-edged padding buffer ('same') or a contiguous
+        view/copy of the input ('valid')."""
+        n = x.shape[0]
+        k = self.conv["k"]
+        left = self.conv["pad_left"]
+        in_len, in_ch = self.conv["in_len"], self.conv["in_ch"]
+        if not self.conv["same"]:
+            if x.flags.c_contiguous:
+                return x
+            xp = self._scratch("pad", x.shape)
+            np.copyto(xp, x)
+            return xp
+        shape = (n, in_len + k - 1, in_ch)
+        fresh = ("pad", shape, np.dtype(np.float64).char) not in self._scr
+        xp = self._scratch("pad", shape)
+        if fresh:
+            xp[:] = 0.0  # the edges stay zero forever after
+        xp[:, left:left + in_len, :] = x
+        return xp
+
+    # -- GEMM ----------------------------------------------------------
+    def _accumulate(self, x: np.ndarray, acc: np.ndarray) -> None:
+        n = x.shape[0]
+        if self.conv is None:
+            if x.ndim > 2 and x.flags.c_contiguous:
+                np.matmul(x.reshape(-1, x.shape[-1]), self.w2_eff,
+                          out=acc.reshape(-1, acc.shape[-1]))
+            else:
+                np.matmul(x, self.w2_eff, out=acc)
+            return
+        k = self.conv["k"]
+        in_ch = self.conv["in_ch"]
+        t = self.mac_shape[0]
+        f = self.mac_shape[-1]
+        xp = self._padded(x)
+        pad_len = xp.shape[1]
+        form = self.conv["formulation"]
+        if form == "tapflat":
+            y = self._scratch("taps", (n * pad_len, k * f))
+            np.matmul(xp.reshape(n * pad_len, in_ch), self.w_flat, out=y)
+            yv = y.reshape(n, pad_len, k, f)
+            np.copyto(acc, yv[:, 0:t, 0])
+            for j in range(1, k):
+                acc += yv[:, j:j + t, j]
+        elif form == "tap3d":
+            tap = self._scratch("tap", (n, t, f))
+            np.matmul(xp[:, 0:t], self.w_taps[0], out=acc)
+            for j in range(1, k):
+                np.matmul(xp[:, j:j + t], self.w_taps[j], out=tap)
+                acc += tap
+        else:  # im2col
+            from numpy.lib.stride_tricks import sliding_window_view
+            windows = sliding_window_view(xp, k, axis=1)
+            col = windows.transpose(0, 1, 3, 2).reshape(n, t, -1)
+            np.matmul(col, self.w2_eff, out=acc)
+
+    def tune(self) -> None:
+        """Time each conv formulation on a synthetic batch and keep the
+        fastest.  Safe because the formulations are bit-identical (exact
+        sums are associative) — only wall time differs, and the best
+        choice varies with layer shape and BLAS behaviour in ways no
+        static heuristic captures.
+        """
+        if self.conv is None:
+            return
+        n = _TUNE_BATCH
+        x = np.full((n, self.conv["in_len"], self.conv["in_ch"]), 0.5)
+        acc = np.empty((n,) + self.mac_shape)
+        best = None
+        best_dt = None
+        for form in ("im2col", "tapflat", "tap3d"):
+            self.conv["formulation"] = form
+            self._accumulate(x, acc)  # warm-up (and scratch allocation)
+            t0 = time.perf_counter()
+            for _ in range(_TUNE_REPS):
+                self._accumulate(x, acc)
+            dt = time.perf_counter() - t0
+            if best_dt is None or dt < best_dt:
+                best, best_dt = form, dt
+        self.conv["formulation"] = best
+        self._scr.clear()  # drop the tuning-batch-sized scratch buffers
+
+    # -- full pipeline -------------------------------------------------
+    def run(self, ins, out):
+        (x,) = ins
+        n = x.shape[0]
+        fused = self.act_table is not None
+        if fused:
+            acc = self._scratch("acc", (n,) + self.mac_shape)
+        elif out is None:
+            # no arena slot: the output escapes to consumers, so it must
+            # be a fresh array (a persistent scratch would be clobbered
+            # by the next call).
+            acc = np.empty((n,) + self.mac_shape)
+        else:
+            acc = out
+        self._accumulate(x, acc)
+        if self.badd is not None:
+            acc += self.badd
+
+        if self.mode == "naive":
+            raw = self._scratch("raw", acc.shape, np.int64)
+            quantize_(acc, self.accum, raw_out=raw)
+            quantize_(acc, self.result, raw_out=raw)
+            return acc
+
+        # raw emit: acc already holds value/lsb; one rounding pass.
+        fmt = self.result
+        if self.round_op == "rint":
+            np.rint(acc, out=acc)
+        elif not (fused and self.trunc_ok):
+            np.floor(acc, out=acc)
+        # else: proven at build time that the truncating int cast below
+        # gives the same index the floor would.
+        if fused:
+            # acc already holds the gather index when the origin shift
+            # was folded into the bias add; otherwise shift here.
+            ri = self._scratch("ri", acc.shape, self.idx_dtype)
+            np.copyto(ri, acc, casting="unsafe")
+            if not self.idx_folded:
+                ri -= fmt.raw_min
+            if self.overflow is Overflow.WRAP:
+                # Power-of-2 span: the AND on the origin-shifted word is
+                # the wrap *and* the index clamp in one pass.
+                ri &= (1 << fmt.width) - 1
+            elif self.overflow is not None:
+                np.clip(ri, 0, fmt.raw_max - fmt.raw_min, out=ri)
+            if out is None:
+                return self.act_table[ri]
+            np.take(self.act_table, ri, out=out)
+            return out
+        if self.overflow is None:
+            np.multiply(acc, fmt.lsb, out=acc)
+            return acc
+        ri = self._scratch("ri", acc.shape, np.int64)
+        np.copyto(ri, acc, casting="unsafe")
+        self._apply_overflow(ri, fmt)
+        np.multiply(ri, fmt.lsb, out=acc)
+        return acc
+
+    def _apply_overflow(self, ri: np.ndarray, fmt: FixedPointFormat) -> None:
+        if self.overflow is Overflow.WRAP:
+            # Power-of-2 span: two's-complement AND == the mod, including
+            # for negatives.
+            ri -= fmt.raw_min
+            ri &= (1 << fmt.width) - 1
+            ri += fmt.raw_min
+        else:
+            np.clip(ri, fmt.raw_min, fmt.raw_max, out=ri)
+
+
+class _ConcatStep(_Step):
+    """Concat with per-operand casts: only operands whose grid differs
+    from the result grid pay the quantization pass (quantization is
+    element-wise, so casting slice-by-slice is bit-identical to casting
+    the naive concatenation)."""
+
+    def __init__(self, kernel: ConcatKernel,
+                 in_fmts: List[FixedPointFormat]):
+        super().__init__(kernel.name, kernel.input_names, kernel.output_shape)
+        fmt = kernel.config.result
+        self.parts = []
+        for (a, b), in_fmt in zip(kernel.channel_slices(), in_fmts):
+            if not kernel.requantize:
+                cast = None
+            elif in_fmt == fmt and fmt.width <= _EXACT_GRID_WIDTH:
+                cast = None  # idempotent — same proof as the planner
+            else:
+                cast = (fmt, _overflow_free(in_fmt, fmt))
+            self.parts.append((a, b, cast))
+
+    def run(self, ins, out):
+        out = self._out(ins[0].shape[0], out)
+        for x, (a, b, cast) in zip(ins, self.parts):
+            dst = out[..., a:b]
+            np.copyto(dst, x)
+            if cast is not None:
+                self._cast(dst, cast[0], cast[1], tag=f"raw{a}")
+        return out
+
+
+class _CastOutMixin:
+    """Steps that write a fresh output stream and can take over a
+    sole consumer's operand cast (running it on their own contiguous
+    output instead of the consumer's strided slice).  Bit-identical:
+    quantization is element-wise, so casting before or after the copy
+    into the concat slice is the same map."""
+
+    def absorb_cast(self, cast: tuple) -> bool:
+        if self.cast is not None:
+            return False  # composing two casts is not a single cast
+        self.cast = cast
+        return True
+
+
+class _MaxPoolStep(_CastOutMixin, _Step):
+    def __init__(self, kernel: MaxPoolKernel, in_fmt: FixedPointFormat):
+        super().__init__(kernel.name, kernel.input_names, kernel.output_shape)
+        self.pool = kernel.pool_size
+        fmt = kernel.config.result
+        self.cast = ((fmt, _overflow_free(in_fmt, fmt))
+                     if kernel.requantize else None)
+
+    def run(self, ins, out):
+        (x,) = ins
+        n = x.shape[0]
+        out = self._out(n, out)
+        t, c = self.out_shape
+        v = x[:, : t * self.pool, :].reshape(n, t, self.pool, c)
+        np.max(v, axis=2, out=out)
+        if self.cast is not None:
+            self._cast(out, self.cast[0], self.cast[1])
+        return out
+
+
+class _UpSampleStep(_CastOutMixin, _Step):
+    def __init__(self, kernel: UpSampleKernel, in_fmt: FixedPointFormat):
+        super().__init__(kernel.name, kernel.input_names, kernel.output_shape)
+        self.size = kernel.size
+        fmt = kernel.config.result
+        self.cast = ((fmt, _overflow_free(in_fmt, fmt))
+                     if kernel.requantize else None)
+
+    def run(self, ins, out):
+        (x,) = ins
+        n = x.shape[0]
+        out = self._out(n, out)
+        t, c = x.shape[1], x.shape[2]
+        out.reshape(n, t, self.size, c)[:] = x[:, :, np.newaxis, :]
+        if self.cast is not None:
+            self._cast(out, self.cast[0], self.cast[1])
+        return out
+
+
+class _AliasStep(_Step):
+    """Cast-free flatten/reshape/linear: the output *is* the input,
+    reshaped — zero copies, the arena slot is shared."""
+
+    aliases_input = True
+
+    def __init__(self, kernel: HLSKernel):
+        super().__init__(kernel.name, kernel.input_names, kernel.output_shape)
+
+    def run(self, ins, out):
+        (x,) = ins
+        return x.reshape((x.shape[0],) + self.out_shape)
+
+
+class _CopyCastStep(_Step):
+    """Flatten/reshape/linear whose result grid differs: copy + cast."""
+
+    def __init__(self, kernel: HLSKernel, in_fmt: FixedPointFormat):
+        super().__init__(kernel.name, kernel.input_names, kernel.output_shape)
+        self.fmt = kernel.config.result
+        self.fast = _overflow_free(in_fmt, self.fmt)
+
+    def run(self, ins, out):
+        (x,) = ins
+        n = x.shape[0]
+        out = self._out(n, out)
+        np.copyto(out, x.reshape((n,) + self.out_shape))
+        self._cast(out, self.fmt, self.fast)
+        return out
+
+
+# ----------------------------------------------------------------------
+# The compiled plan
+# ----------------------------------------------------------------------
+class CompiledPlan:
+    """Executable rewrite of one model: steps + static arena layout."""
+
+    def __init__(self, steps: List[_Step], report: CompileReport,
+                 use_arena: bool):
+        self.steps = steps
+        self.report = report
+        self._dies_after = self._plan_liveness()
+        self._slots: Dict[str, Tuple[int, int, Tuple[int, ...]]] = {}
+        if use_arena:
+            self.report.arena_words = self._plan_arena()
+        self._arena: Optional[np.ndarray] = None
+        self._capacity = 0
+        self._views: Dict[int, Dict[str, np.ndarray]] = {}
+
+    # -- planning ------------------------------------------------------
+    def _plan_liveness(self) -> List[List[str]]:
+        last: Dict[str, int] = {}
+        for idx, step in enumerate(self.steps):
+            for dep in step.inputs:
+                last[dep] = idx
+        dies: List[List[str]] = [[] for _ in self.steps]
+        for dep, idx in last.items():
+            if dep != "__input__":
+                dies[idx].append(dep)
+        return dies
+
+    def _plan_arena(self) -> int:
+        """First-fit static offset assignment over the liveness plan.
+
+        Offsets are in per-frame float64 words; at run time slot ``s``
+        occupies ``arena[off·cap : off·cap + n·size]`` (stream-major, so
+        every view is contiguous).  Alias steps share their producer's
+        slot via refcounting.
+        """
+        holes: List[List[int]] = [[0, 1 << 60]]
+        high_water = 0
+        region_of: Dict[str, Tuple[int, int]] = {}
+        refs: Dict[Tuple[int, int], int] = {}
+        out_name = self.steps[-1].name
+
+        def alloc(size: int) -> int:
+            for hole in holes:
+                if hole[1] >= size:
+                    off = hole[0]
+                    hole[0] += size
+                    hole[1] -= size
+                    return off
+            raise AssertionError("unbounded hole list exhausted")
+
+        def release(off: int, size: int) -> None:
+            holes.append([off, size])
+            holes.sort()
+            merged = [holes[0]]
+            for h in holes[1:]:
+                if merged[-1][0] + merged[-1][1] == h[0]:
+                    merged[-1][1] += h[1]
+                else:
+                    merged.append(h)
+            holes[:] = merged
+
+        for idx, step in enumerate(self.steps):
+            if step.aliases_input:
+                src = step.inputs[0]
+                if src in region_of:
+                    region = region_of[src]
+                    region_of[step.name] = region
+                    refs[region] += 1
+            elif not step.heap_output:
+                size = step.out_words
+                off = alloc(size)
+                high_water = max(high_water, off + size)
+                region = (off, size)
+                region_of[step.name] = region
+                refs[region] = 1
+                self._slots[step.name] = (off, size, step.out_shape)
+            for dep in self._dies_after[idx]:
+                if dep == out_name or dep not in region_of:
+                    continue
+                region = region_of[dep]
+                refs[region] -= 1
+                if refs[region] == 0:
+                    release(*region)
+        return high_water
+
+    # -- execution -----------------------------------------------------
+    def _ensure_views(self, n: int) -> Dict[str, np.ndarray]:
+        views = self._views.get(n)
+        if views is not None:
+            return views
+        if not self._slots:
+            views = {}
+        else:
+            total = self.report.arena_words
+            if self._arena is None or n > self._capacity:
+                self._capacity = max(n, self._capacity)
+                self._arena = np.empty(total * self._capacity)
+                self._views.clear()
+            cap = self._capacity
+            views = {}
+            for name, (off, size, shape) in self._slots.items():
+                region = self._arena[off * cap: off * cap + n * size]
+                views[name] = region.reshape((n,) + shape)
+        self._views[n] = views
+        return views
+
+    def run(self, x: np.ndarray, profile: bool = False):
+        """Execute the plan; returns ``(output, peak_live, freed, times)``."""
+        n = x.shape[0]
+        views = self._ensure_views(n)
+        values: Dict[str, np.ndarray] = {}
+        peak = 0
+        freed = 0
+        times: Optional[Dict[str, float]] = {} if profile else None
+        for idx, step in enumerate(self.steps):
+            ins = [x if dep == "__input__" else values[dep]
+                   for dep in step.inputs]
+            out = views.get(step.name)
+            if profile:
+                t0 = time.perf_counter()
+            values[step.name] = step.run(ins, out)
+            if profile:
+                times[step.name] = time.perf_counter() - t0
+            if len(values) > peak:
+                peak = len(values)
+            for dep in self._dies_after[idx]:
+                del values[dep]
+                freed += 1
+        out_name = self.steps[-1].name
+        y = values[out_name]
+        if out_name in self._slots or self.steps[-1].aliases_input:
+            # arena-backed (or a view of an arena slot): hand the caller
+            # an owned copy so the next run cannot mutate it.
+            y = y.copy()
+        return y, peak, freed, times
+
+
+# ----------------------------------------------------------------------
+# Compilation
+# ----------------------------------------------------------------------
+def _producer_fmt(model, name: str) -> FixedPointFormat:
+    return model.get_kernel(name).config.result
+
+
+def _push_cast_up(model, built: Dict[str, _Step],
+                  consumers: Dict[str, List[HLSKernel]],
+                  dep: str, cast: tuple, expect: HLSKernel) -> bool:
+    """Try to absorb a concat operand *cast* into the producer chain of
+    *dep* (whose sole consumer must be *expect*).
+
+    Preference order: straight into a LUT / fused-MAC gather table
+    (free), through a cast-free up-sample into *its* producer (repeats
+    of cast values are the cast of the repeats), else locally into an
+    up-sample/max-pool step's contiguous output.
+    """
+    prod = built.get(dep)
+    if prod is None:
+        return False
+    cons = consumers.get(dep, [])
+    if len(cons) != 1 or cons[0] is not expect:
+        return False
+    if isinstance(prod, (_LUTStep, _MACStep)):
+        return prod.absorb_cast(cast)
+    if isinstance(prod, _UpSampleStep) and prod.cast is None:
+        up_kernel = model.get_kernel(prod.name)
+        if _push_cast_up(model, built, consumers, prod.inputs[0], cast,
+                         up_kernel):
+            return True
+        return prod.absorb_cast(cast)
+    if isinstance(prod, _CastOutMixin):
+        return prod.absorb_cast(cast)
+    return False
+
+
+def _try_fold_bn(model, mac, bn, report: CompileReport):
+    """Fold ``bn`` into ``mac`` when provably exact; returns the folded
+    ``(weight, bias)`` or ``None`` (reason recorded)."""
+    in_fmt = _producer_fmt(model, mac.input_names[0])
+    w_fmt = mac.config.weight
+    s_fmt = bn.config.weight
+    for fmt in (in_fmt, w_fmt, s_fmt):
+        if fmt.fractional < 0:
+            report.fallbacks[bn.name] = "coarse (negative-fraction) grid"
+            return None
+    w2 = mac.weight_matrix
+    bias = mac.weights.get("bias")
+    in_max = _max_abs(in_fmt)
+    bound = _mac_bound(w2, bias, in_max)
+    prod_frac = in_fmt.fractional + w_fmt.fractional
+    if bound / 2.0 ** (-prod_frac) > _EXACT_SUM_LIMIT:
+        report.fallbacks[bn.name] = "accumulator exceeds exact-sum window"
+        return None
+    # The producer's casts must be identity on every achievable
+    # accumulator, otherwise the quantization between MAC and BN is
+    # observable and folding would change bits.
+    if not _cast_identity(mac.config.accum, prod_frac, bound):
+        report.fallbacks[bn.name] = "producer accum cast is not identity"
+        return None
+    if not _cast_identity(mac.config.result, prod_frac, bound):
+        report.fallbacks[bn.name] = "producer result cast is not identity"
+        return None
+    scale = bn.weights["scale"]
+    shift = bn.weights["shift"]
+    s_max = float(np.abs(scale).max()) if scale.size else 0.0
+    # Element products W·s and the BN's own acc·s must be exact floats.
+    if (_max_abs(w_fmt) * s_max / (w_fmt.lsb * s_fmt.lsb) > _EXACT_SUM_LIMIT
+            or bound * s_max / (2.0 ** (-prod_frac) * s_fmt.lsb)
+            > _EXACT_SUM_LIMIT):
+        report.fallbacks[bn.name] = "folded product leaves exact window"
+        return None
+    weight = mac.weights["kernel"] * scale  # broadcasts over the out axis
+    bias_f = shift if bias is None else bias * scale + shift
+    w2f = weight.reshape(-1, weight.shape[-1]) if weight.ndim == 3 else weight
+    bound_f = _mac_bound(w2f, bias_f, in_max)
+    prod_frac_f = prod_frac + s_fmt.fractional
+    if bound_f / 2.0 ** (-prod_frac_f) > _EXACT_SUM_LIMIT:
+        report.fallbacks[bn.name] = "folded sum leaves exact window"
+        return None
+    return weight, np.asarray(bias_f, dtype=np.float64), bound_f, prod_frac_f
+
+
+def _build_mac_step(model, mac, *, out_name: str, weight, bias,
+                    accum: FixedPointFormat, result: FixedPointFormat,
+                    bound: float, prod_frac: int,
+                    consumers: Dict[str, List[HLSKernel]],
+                    report: CompileReport, absorbed: set) -> Optional[_Step]:
+    """Lower one Dense/Conv (possibly BN-folded) to a :class:`_MACStep`,
+    fusing a following activation LUT when provable.  Returns ``None``
+    when the exact-sum precondition fails (caller falls back)."""
+    if bound / 2.0 ** (-prod_frac) > _EXACT_SUM_LIMIT:
+        report.fallbacks[out_name] = "accumulator exceeds exact-sum window"
+        return None
+
+    conv = None
+    if isinstance(mac, Conv1DKernel):
+        in_len, in_ch = mac.input_shapes[0]
+        k = mac.kernel_size
+        conv = {"k": k, "pad_left": (k - 1) // 2, "in_len": int(in_len),
+                "in_ch": int(in_ch), "same": mac.padding == "same",
+                "formulation": ("tapflat"
+                                if int(in_ch) >= _TAPFLAT_MIN_CHANNELS
+                                else "im2col")}
+
+    raw_ok = (
+        _accum_cast_skippable(accum, result, prod_frac, bound)
+        and result.rounding in (Rounding.RND, Rounding.TRN, Rounding.RND_CONV)
+        and bound / result.lsb + 1.0 < _RAW_GUARD
+    )
+    mode = "raw" if raw_ok else "naive"
+
+    act = None
+    if mode == "raw":
+        outs = consumers.get(out_name, [])
+        if (len(outs) == 1 and outs[0].supports_lut
+                and _lut_span_ok(result)
+                and result.width <= MAX_LUT_BITS):
+            act = outs[0]
+
+    act_table = _build_lut(act, result) if act is not None else None
+    step = _MACStep(
+        name=act.name if act is not None else out_name,
+        inputs=mac.input_names,
+        out_shape=(act.output_shape if act is not None
+                   else (model.get_kernel(out_name).output_shape
+                         if out_name != mac.name else mac.output_shape)),
+        mac_shape=mac.output_shape,
+        weight=weight, bias=bias, accum=accum, result=result,
+        mode=mode, conv=conv, act_table=act_table,
+    )
+    if mode == "raw":
+        raw_bound = bound / result.lsb + 1.0
+        in_range = (raw_bound <= result.raw_max
+                    and -raw_bound >= result.raw_min)
+        step.overflow = None if in_range else result.overflow
+        span = float(1 << result.width)
+        idx_max = raw_bound + span  # |folded index| before any shift
+        if step.idx_folded:
+            if step.overflow is None:
+                # In-range raw word, origin already shifted: index >= 0,
+                # truncation == floor.
+                step.trunc_ok = True
+            elif step.overflow is Overflow.WRAP:
+                # Shift the folded index by a span multiple so it is
+                # provably non-negative: floor commutes with the integer
+                # shift and the wrap AND ignores it, so only the exact-
+                # float gate on the larger magnitudes must still hold.
+                shift = (float(raw_bound // span) + 2.0) * span
+                fine = 2.0 ** (prod_frac - result.fractional)
+                if (idx_max + shift) * fine <= _EXACT_SUM_LIMIT:
+                    step.badd = (shift if step.badd is None
+                                 else step.badd + shift)
+                    step.trunc_ok = True
+                    idx_max += shift
+            else:
+                # Saturating clamp to [0, span): on negative non-integers
+                # truncation and floor differ by one but both land <= 0
+                # and clip to the same bound.
+                step.trunc_ok = True
+        if idx_max + 1.0 < float(2**31):
+            step.idx_dtype = np.int32
+        report.fused.append(out_name)
+    covers = [mac.name]
+    if out_name != mac.name:
+        covers.append(out_name)
+    if act is not None:
+        covers.append(act.name)
+        absorbed.add(act.name)
+        report.luts.append(act.name)
+    step.covers = covers
+    return step
+
+
+def compile_model(model, level: int) -> CompiledPlan:
+    """Build the compiled plan for *model* at the given level.
+
+    * level 1 — local rewrites: activation LUTs, fused MAC+requantize,
+      per-operand concat casts, lowered routing steps.
+    * level 2 — additionally batch-norm folding and the static arena.
+    """
+    report = CompileReport(level=level)
+    consumers: Dict[str, List[HLSKernel]] = {}
+    for kernel in model.kernels:
+        for dep in kernel.input_names:
+            consumers.setdefault(dep, []).append(kernel)
+
+    # Pre-pass: provable batch-norm folds (level 2).
+    fold: Dict[str, tuple] = {}
+    if level >= 2:
+        for kernel in model.kernels:
+            if not isinstance(kernel, BatchNormKernel):
+                continue
+            prod = model.get_kernel(kernel.input_names[0]) \
+                if kernel.input_names[0] != "__input__" else None
+            if not isinstance(prod, (DenseKernel, Conv1DKernel)):
+                report.fallbacks[kernel.name] = "producer is not dense/conv"
+                continue
+            if consumers.get(prod.name, []) != [kernel]:
+                report.fallbacks[kernel.name] = "producer has other consumers"
+                continue
+            folded = _try_fold_bn(model, prod, kernel, report)
+            if folded is not None:
+                fold[prod.name] = (kernel,) + folded
+                report.folded.append(kernel.name)
+
+    steps: List[_Step] = []
+    built: Dict[str, _Step] = {}
+    absorbed: set = {f[0].name for f in fold.values()}
+
+    for kernel in model.kernels:
+        if kernel.name in absorbed:
+            continue
+        step: Optional[_Step] = None
+
+        if isinstance(kernel, InputKernel):
+            step = _InputStep(kernel)
+
+        elif isinstance(kernel, (DenseKernel, Conv1DKernel)):
+            if kernel.name in fold:
+                bn, weight, bias, bound, prod_frac = fold[kernel.name]
+                step = _build_mac_step(
+                    model, kernel, out_name=bn.name, weight=weight,
+                    bias=bias, accum=bn.config.accum,
+                    result=bn.config.result, bound=bound,
+                    prod_frac=prod_frac, consumers=consumers,
+                    report=report, absorbed=absorbed)
+                if step is None:  # un-fold: run both kernels naively
+                    report.folded.remove(bn.name)
+                    del fold[kernel.name]
+                    absorbed.discard(bn.name)
+                    step = _KernelStep(kernel)
+            else:
+                in_fmt = _producer_fmt(model, kernel.input_names[0])
+                w_fmt = kernel.config.weight
+                bound = _mac_bound(kernel.weight_matrix,
+                                   kernel.weights.get("bias"),
+                                   _max_abs(in_fmt))
+                prod_frac = in_fmt.fractional + w_fmt.fractional
+                step = _build_mac_step(
+                    model, kernel, out_name=kernel.name,
+                    weight=kernel.weights["kernel"],
+                    bias=kernel.weights.get("bias"),
+                    accum=kernel.config.accum, result=kernel.config.result,
+                    bound=bound, prod_frac=prod_frac, consumers=consumers,
+                    report=report, absorbed=absorbed)
+                if step is None:
+                    step = _KernelStep(kernel)
+
+        elif kernel.supports_lut:
+            in_fmt = _producer_fmt(model, kernel.input_names[0])
+            if _lut_span_ok(in_fmt):
+                step = _LUTStep(kernel, in_fmt, _build_lut(kernel, in_fmt))
+                report.luts.append(kernel.name)
+            else:
+                report.fallbacks[kernel.name] = "input format too wide for LUT"
+                step = _KernelStep(kernel)
+
+        elif isinstance(kernel, SoftmaxKernel):
+            in_fmt = _producer_fmt(model, kernel.input_names[0])
+            if _lut_span_ok(in_fmt):
+                step = _SoftmaxStep(kernel, in_fmt)
+                report.luts.append(kernel.name)
+            else:
+                report.fallbacks[kernel.name] = "input format too wide for LUT"
+                step = _KernelStep(kernel)
+
+        elif isinstance(kernel, ConcatKernel):
+            in_fmts = [_producer_fmt(model, d) for d in kernel.input_names]
+            step = _ConcatStep(kernel, in_fmts)
+            # Push operand casts down into sole-consumer producers —
+            # into a gather table when possible (free), else onto a
+            # contiguous producer output instead of this step's strided
+            # channel slice.
+            for i, dep in enumerate(kernel.input_names):
+                a, b, cast = step.parts[i]
+                if cast is not None and _push_cast_up(
+                        model, built, consumers, dep, cast, kernel):
+                    step.parts[i] = (a, b, None)
+
+        elif isinstance(kernel, MaxPoolKernel):
+            step = _MaxPoolStep(
+                kernel, _producer_fmt(model, kernel.input_names[0]))
+
+        elif isinstance(kernel, UpSampleKernel):
+            step = _UpSampleStep(
+                kernel, _producer_fmt(model, kernel.input_names[0]))
+
+        elif isinstance(kernel, (FlattenKernel, ReshapeKernel, LinearKernel)):
+            step = (_AliasStep(kernel) if not kernel.requantize
+                    else _CopyCastStep(
+                        kernel, _producer_fmt(model, kernel.input_names[0])))
+
+        else:
+            report.fallbacks.setdefault(kernel.name,
+                                        f"no lowering for kind {kernel.kind!r}")
+            step = _KernelStep(kernel)
+
+        steps.append(step)
+        built[step.name] = step
+
+    # Fused steps absorbed downstream kernels that already had an entry
+    # scheduled?  No: absorption is decided before the absorbed kernel is
+    # reached (topological order), so `steps` is consistent.
+    for step in steps:
+        if isinstance(step, _MACStep):
+            step.tune()
+    return CompiledPlan(steps, report, use_arena=level >= 2)

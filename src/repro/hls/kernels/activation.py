@@ -34,6 +34,7 @@ class ReLUKernel(HLSKernel):
 
     kind = "relu"
     grid_preserving = True
+    supports_lut = True
 
     def __init__(self, name: str, config: LayerConfig, input_names,
                  input_shapes: Sequence[Shape]):
@@ -47,6 +48,8 @@ class ReLUKernel(HLSKernel):
 
 class _TableActivation(HLSKernel):
     """Shared LUT machinery for sigmoid/tanh."""
+
+    supports_lut = True
 
     #: the float reference function; set by subclasses
     _func = staticmethod(lambda x: x)

@@ -49,6 +49,12 @@ class HLSKernel:
     #: the result grid is provably a no-op for this kernel's wiring.
     requantize = True
 
+    #: True for pure element-wise kernels whose forward depends only on
+    #: the scalar input value — :mod:`repro.hls.compile` replaces them
+    #: with an exhaustive raw-word lookup table when the producer format
+    #: is narrow enough to enumerate (bit-exact by construction).
+    supports_lut = False
+
     def __init__(self, name: str, config: LayerConfig,
                  input_names: Sequence[str],
                  input_shapes: Sequence[Shape], output_shape: Shape):

@@ -60,6 +60,12 @@ class DenseKernel(HLSKernel):
         return self._to_result_(self._to_accum_(acc))
 
     @property
+    def weight_matrix(self) -> np.ndarray:
+        """The 2-D ``(fan_in, units)`` weight view the GEMM contracts over
+        (what the graph compiler reasons about)."""
+        return self.weights["kernel"]
+
+    @property
     def n_mult_per_position(self) -> int:
         k = self.weights["kernel"]
         return int(k.shape[0] * k.shape[1])
@@ -122,6 +128,15 @@ class Conv1DKernel(HLSKernel):
         if "bias" in self.weights:
             acc += self.weights["bias"]
         return self._to_result_(self._to_accum_(acc))
+
+    @property
+    def weight_matrix(self) -> np.ndarray:
+        """The im2col-flattened ``(k·channels, filters)`` weight matrix —
+        row order matches the ``(tap, channel)`` column layout ``forward``
+        builds, so per-output-column bounds computed on this view apply to
+        every formulation of the convolution."""
+        k = self.weights["kernel"]
+        return k.reshape(-1, k.shape[-1])
 
     @property
     def n_mult_per_position(self) -> int:

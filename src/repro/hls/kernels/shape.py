@@ -145,6 +145,18 @@ class ConcatKernel(HLSKernel):
     def forward(self, inputs: List[np.ndarray]) -> np.ndarray:
         return self._cast_result_(np.concatenate(inputs, axis=-1))
 
+    def channel_slices(self) -> List[tuple]:
+        """Per-input ``(start, stop)`` channel ranges in the output —
+        the compiled executor copies (and casts) each operand straight
+        into its slice instead of materialising the naive concatenation."""
+        slices = []
+        start = 0
+        for shape in self.input_shapes:
+            stop = start + int(shape[-1])
+            slices.append((start, stop))
+            start = stop
+        return slices
+
 
 class FlattenKernel(HLSKernel):
     """Row-major flatten (pure routing, no re-quantization needed but the

@@ -21,6 +21,7 @@ idempotent on in-range grid values, so skipping it is bit-exact.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -43,12 +44,18 @@ class RunStats:
 
     ``peak_live`` counts the largest number of kernel output streams held
     simultaneously (the model input is not counted); ``freed`` counts the
-    intermediates released before the pass returned.
+    intermediates released before the pass returned.  ``compiled`` is
+    True when the pass ran on a compiled plan (see
+    :meth:`HLSModel.compile`); ``kernel_times`` holds per-kernel wall
+    seconds when the pass ran with ``profile=True`` (fused steps report
+    under a single key).
     """
 
     peak_live: int
     freed: int
     retained_all: bool
+    compiled: bool = False
+    kernel_times: Optional[Dict[str, float]] = None
 
 
 class HLSModel:
@@ -92,6 +99,9 @@ class HLSModel:
         self.last_run_stats: Optional[RunStats] = None
         self._dies_after = self._plan_liveness()
         self._plan_requantization()
+        #: compiled plan installed by :meth:`compile` (``None`` = naive)
+        self._compiled = None
+        self.compile_level = 0
 
     # ------------------------------------------------------------------
     # Execution planning
@@ -167,22 +177,71 @@ class HLSModel:
         return self.kernels[-1].output_shape
 
     # ------------------------------------------------------------------
-    def _run(self, x: np.ndarray,
-             retain_all: bool = False) -> Dict[str, np.ndarray]:
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self, level: int = 2):
+        """Install the bit-exact compiled plan (see :mod:`repro.hls.compile`).
+
+        * ``level=0`` — uninstall: back to the naive liveness executor.
+        * ``level=1`` — local rewrites: activation LUTs, fused
+          MAC+requantize pipelines, per-operand concat casts.
+        * ``level=2`` — additionally batch-norm folding (where provably
+          exact) and the static arena planner.
+
+        Returns the :class:`~repro.hls.compile.CompileReport`.  Every
+        rewrite is proven bit-identical at compile time or refused, so
+        ``predict`` outputs are unchanged at any level (``trace`` always
+        runs the naive graph — the verification flow needs every
+        intermediate stream).
+        """
+        if level not in (0, 1, 2):
+            raise ValueError(f"compile level must be 0, 1 or 2, got {level}")
+        from repro.hls.compile import CompileReport, compile_model
+        if level == 0:
+            self._compiled = None
+            self.compile_level = 0
+            return CompileReport(level=0)
+        plan = compile_model(self, level)
+        self._compiled = plan
+        self.compile_level = level
+        return plan.report
+
+    @property
+    def compiled(self) -> bool:
+        """True when a compiled plan is installed."""
+        return self._compiled is not None
+
+    @property
+    def compiled_plan(self):
+        """The installed :class:`~repro.hls.compile.CompiledPlan` (or None)."""
+        return self._compiled
+
+    # ------------------------------------------------------------------
+    def _check_input(self, x: np.ndarray) -> np.ndarray:
         x = np.asarray(x, dtype=np.float64)
         if x.shape[1:] != tuple(self.input_shape):
             raise ValueError(
                 f"expected input shape (n, {self.input_shape}), got {x.shape}"
             )
+        return x
+
+    def _run(self, x: np.ndarray, retain_all: bool = False,
+             profile: bool = False) -> Dict[str, np.ndarray]:
+        x = self._check_input(x)
         values: Dict[str, np.ndarray] = {}
         peak = 0
         freed = 0
+        times: Optional[Dict[str, float]] = {} if profile else None
         for idx, kernel in enumerate(self.kernels):
             ins = [
                 x if dep == "__input__" else values[dep]
                 for dep in kernel.input_names
             ]
+            if profile:
+                t0 = _time.perf_counter()
             values[kernel.name] = kernel.forward(ins)
+            if profile:
+                times[kernel.name] = _time.perf_counter() - t0
             if len(values) > peak:
                 peak = len(values)
             if not retain_all:
@@ -190,22 +249,43 @@ class HLSModel:
                     del values[dep]
                     freed += 1
         self.last_run_stats = RunStats(peak_live=peak, freed=freed,
-                                       retained_all=retain_all)
+                                       retained_all=retain_all,
+                                       kernel_times=times)
         return values
 
-    def predict(self, x: np.ndarray) -> np.ndarray:
+    def predict(self, x: np.ndarray, *, profile: bool = False,
+                compiled: Optional[bool] = None) -> np.ndarray:
         """Quantized inference over a batch ``(n, *input_shape)``.
 
+        Runs the compiled plan when one is installed (see
+        :meth:`compile`); pass ``compiled=False`` to force the naive
+        executor for the same model (the bit-identity tests compare the
+        two), or ``compiled=True`` to require the plan.  ``profile=True``
+        records per-kernel wall time into
+        ``last_run_stats.kernel_times``.
+
         Intermediate streams are freed as soon as their last consumer has
-        run, so peak memory is the plan's peak cut, not the whole DAG.
+        run (naive path) or live in preassigned arena slots (compiled
+        path), so peak memory is the plan's peak cut, not the whole DAG.
         """
-        return self._run(x)[self.kernels[-1].name]
+        plan = self._compiled
+        if compiled is True and plan is None:
+            raise ValueError("no compiled plan installed; call compile()")
+        if plan is not None and compiled is not False:
+            x = self._check_input(x)
+            y, peak, freed, times = plan.run(x, profile=profile)
+            self.last_run_stats = RunStats(peak_live=peak, freed=freed,
+                                           retained_all=False, compiled=True,
+                                           kernel_times=times)
+            return y
+        return self._run(x, profile=profile)[self.kernels[-1].name]
 
     def trace(self, x: np.ndarray) -> Dict[str, np.ndarray]:
         """Per-kernel output streams (keyed by layer name).
 
-        Keeps every intermediate alive (the verification hook needs all
-        of them); use :meth:`predict` for the memory-planned fast path.
+        Keeps every intermediate alive and always executes the naive
+        graph — fused compiled steps do not materialise every stream;
+        use :meth:`predict` for the fast path.
         """
         return self._run(x, retain_all=True)
 

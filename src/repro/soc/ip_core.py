@@ -127,7 +127,10 @@ class NeuralIPCore:
         returns the quantized output-buffer words, shape ``(n, n_outputs)``
         — row *i* is exactly what :meth:`run` would have produced in the
         output RAM for frame *i* (the float → raw → float round trip at
-        the buffer boundary is applied identically).
+        the buffer boundary is applied identically).  When the model has
+        a compiled plan installed (:meth:`HLSModel.compile`), ``predict``
+        dispatches to it — bit-identical by the compiler's contract, so
+        nothing here needs to care which executor ran.
         """
         frames = np.asarray(frames, dtype=np.float64)
         if frames.ndim != 2 or frames.shape[1] != self._n_in:

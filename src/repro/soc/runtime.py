@@ -276,7 +276,10 @@ class CentralNodeRuntime:
     #: primary engine active, the whole frame block runs through one
     #: batched ``predict`` and the per-frame ladder consumes precomputed
     #: output words (bit-identical; see docs/performance.md).  Disable to
-    #: force the historical frame-at-a-time compute.
+    #: force the historical frame-at-a-time compute.  Orthogonal to the
+    #: graph compiler: a board whose model carries a compiled plan
+    #: (``HLSModel.compile``) uses it on both the batched and the
+    #: frame-at-a-time path, again without changing a bit.
     batch_inference: bool = True
 
     # Degradation state (persists across run() calls).

@@ -1,0 +1,330 @@
+"""Bit-identity and API tests for the graph compiler (repro.hls.compile).
+
+The compiled plan is only allowed to exist because every rewrite is
+proven bit-identical at compile time; the tests here pin the proofs from
+the outside:
+
+* activation LUTs reproduce the naive kernel on **every** representable
+  raw word of the producer format (exhaustive, U-Net and MLP),
+* compiled ``predict`` equals the naive executor at levels 1 and 2 for
+  several batch sizes,
+* a full 260-frame ``CentralNodeRuntime`` stream produces identical
+  :class:`FrameRecord` sequences on the compiled and naive boards, with
+  and without an active fault injector,
+* batch-norm folding engages on provably-exact wide formats and falls
+  back (with a recorded reason) on the paper's 16-bit formats,
+* the compile levels, the arena planner, ``RunStats`` telemetry and the
+  CLI ``--compile-level`` plumbing behave as documented.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fixed import FixedPointFormat, Overflow, Rounding
+from repro.hls import HLSConfig, convert
+from repro.hls.compile import _LUTStep, _build_lut, _lut_span_ok
+from repro.nn import (
+    BatchNormalization,
+    Conv1D,
+    Dense,
+    Flatten,
+    Input,
+    Model,
+    ReLU,
+    Sigmoid,
+)
+from repro.soc.board import AchillesBoard
+from repro.soc.faults import FaultInjector, HubDelayFault, NoisyMonitorFault
+from repro.soc.runtime import CentralNodeRuntime
+
+STRATEGY = "Layer-based Precision ac_fixed<16, x>"
+
+
+# ----------------------------------------------------------------------
+# Fixtures: fresh conversions (never the shared ``converted`` cache —
+# other tests pin naive-path behaviour on that instance).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ref_bundle():
+    from repro.experiments.common import bundle
+
+    return bundle()
+
+
+@pytest.fixture(scope="module")
+def unet_naive(ref_bundle):
+    from repro.experiments.common import reference_configs
+
+    return convert(ref_bundle.unet, reference_configs()[STRATEGY])
+
+
+@pytest.fixture(scope="module")
+def unet_compiled(ref_bundle):
+    from repro.experiments.common import reference_configs
+
+    model = convert(ref_bundle.unet, reference_configs()[STRATEGY])
+    model.compile(level=2)
+    return model
+
+
+@pytest.fixture(scope="module")
+def mlp_compiled(ref_bundle):
+    from repro.hls.precision import uniform_config
+
+    model = convert(ref_bundle.mlp,
+                    uniform_config(16, 7, model=ref_bundle.mlp))
+    model.compile(level=2)
+    return model
+
+
+@pytest.fixture(scope="module")
+def unet_frames(ref_bundle):
+    ds = ref_bundle.dataset
+    return ds.unet_inputs(ds.x_eval[:33])
+
+
+def _lut_kernels(model):
+    """(kernel, producer result format) pairs eligible for a LUT."""
+    out = []
+    for kernel in model.kernels:
+        if not kernel.supports_lut:
+            continue
+        in_fmt = model.get_kernel(kernel.input_names[0]).config.result
+        if _lut_span_ok(in_fmt):
+            out.append((kernel, in_fmt))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Exhaustive LUT bit-identity
+# ----------------------------------------------------------------------
+class TestLUTExhaustive:
+    def _check_all_raw_words(self, model):
+        pairs = _lut_kernels(model)
+        assert pairs, "model has no LUT-able activations"
+        for kernel, in_fmt in pairs:
+            raw = np.arange(in_fmt.raw_min, in_fmt.raw_max + 1,
+                            dtype=np.int64)
+            x = raw.astype(np.float64) * in_fmt.lsb
+            x = np.broadcast_to(x, (1,) + x.shape).copy()
+            step = _LUTStep(kernel, in_fmt, _build_lut(kernel, in_fmt))
+            got = step.run([x], None)
+            want = kernel.forward([x])
+            assert np.array_equal(got, want), (
+                f"{kernel.name}: LUT diverged on some raw word")
+
+    def test_unet_every_activation_every_raw_word(self, unet_naive):
+        self._check_all_raw_words(unet_naive)
+
+    def test_mlp_every_activation_every_raw_word(self, mlp_compiled):
+        self._check_all_raw_words(mlp_compiled)
+
+
+# ----------------------------------------------------------------------
+# Compiled predict == naive executor
+# ----------------------------------------------------------------------
+class TestCompiledPredict:
+    @pytest.mark.parametrize("n", [1, 5, 33])
+    def test_unet_level2_matches_naive(self, unet_compiled, unet_frames, n):
+        x = unet_frames[:n]
+        assert np.array_equal(unet_compiled.predict(x),
+                              unet_compiled.predict(x, compiled=False))
+
+    def test_unet_level1_matches_naive(self, unet_compiled, unet_frames):
+        try:
+            report = unet_compiled.compile(level=1)
+            assert report.arena_words == 0
+            assert np.array_equal(
+                unet_compiled.predict(unet_frames),
+                unet_compiled.predict(unet_frames, compiled=False))
+        finally:
+            unet_compiled.compile(level=2)
+
+    def test_mlp_matches_naive(self, mlp_compiled, rng):
+        x = rng.normal(0.0, 1.0,
+                       size=(17,) + tuple(mlp_compiled.input_shape))
+        assert np.array_equal(mlp_compiled.predict(x),
+                              mlp_compiled.predict(x, compiled=False))
+
+    def test_covers_partition_kernels(self, unet_compiled):
+        """Every naive kernel is covered by exactly one compiled step."""
+        covered = []
+        for step in unet_compiled.compiled_plan.steps:
+            covered.extend(step.covers)
+        assert sorted(covered) == sorted(
+            k.name for k in unet_compiled.kernels)
+
+    def test_report_shape(self, unet_compiled):
+        report = unet_compiled.compile(level=2).describe()
+        assert "compile level 2" in report
+        plan_report = unet_compiled.compiled_plan.report
+        assert plan_report.luts, "U-Net should lower activation LUTs"
+        assert plan_report.fused, "U-Net should fuse MAC pipelines"
+        assert plan_report.arena_words > 0
+
+
+# ----------------------------------------------------------------------
+# Runtime streams (the acceptance pin: full control loop, 260 frames)
+# ----------------------------------------------------------------------
+class TestRuntimeStreams:
+    N_FRAMES = 260
+
+    def _run(self, model, frames, specs=None):
+        rt = CentralNodeRuntime(
+            board=AchillesBoard(model),
+            injector=(FaultInjector(specs, seed=3)
+                      if specs is not None else None),
+            batch_inference=True,
+        )
+        return rt.run(frames, seed=7)
+
+    def test_fault_free_records_identical(self, ref_bundle, unet_naive,
+                                          unet_compiled):
+        frames = ref_bundle.dataset.x_eval[: self.N_FRAMES]
+        rec_naive = self._run(unet_naive, frames)
+        rec_compiled = self._run(unet_compiled, frames)
+        assert rec_naive == rec_compiled
+
+    def test_injected_records_identical(self, ref_bundle, unet_naive,
+                                        unet_compiled):
+        specs = [NoisyMonitorFault(rate=0.3, sigma=0.5),
+                 HubDelayFault(rate=0.2, delay_s=1e-4)]
+        frames = ref_bundle.dataset.x_eval[: self.N_FRAMES]
+        rec_naive = self._run(unet_naive, frames, specs=specs)
+        rec_compiled = self._run(unet_compiled, frames, specs=specs)
+        assert rec_naive == rec_compiled
+        assert any(r.fault_kinds for r in rec_compiled)
+
+
+# ----------------------------------------------------------------------
+# Batch-norm folding
+# ----------------------------------------------------------------------
+def _bn_model():
+    inp = Input((12, 1), name="in")
+    x = Conv1D(3, 3, seed=0, name="c")(inp)
+    x = BatchNormalization(name="bn")(x)
+    x = ReLU(name="r")(x)
+    x = Dense(2, seed=1, name="d")(x)
+    x = Sigmoid(name="s")(x)
+    out = Flatten(name="f")(x)
+    m = Model(inp, out)
+    xs = np.random.default_rng(0).normal(1.5, 2.0, size=(64, 12, 1))
+    m.forward(xs, training=True)  # non-trivial batch-norm statistics
+    return m
+
+
+class TestBatchNormFolding:
+    def _wide_config(self):
+        """Formats under which the conv→BN fold is provably exact: the
+        conv's result grid holds the full product precision, so the
+        quantization between MAC and BN is the identity."""
+        cfg = HLSConfig(strategy="fold-test")
+        f16_8 = FixedPointFormat(16, 8, rounding=Rounding.RND,
+                                 overflow=Overflow.SAT)
+        wide = FixedPointFormat(44, 28, rounding=Rounding.TRN,
+                                overflow=Overflow.SAT)  # 16 fraction bits
+        cfg.set_layer("in", result=f16_8)
+        cfg.set_layer("c", weight=f16_8, result=wide)
+        cfg.set_layer("bn", weight=f16_8)
+        return cfg
+
+    def test_fold_engages_on_wide_formats(self, rng):
+        model = convert(_bn_model(), self._wide_config())
+        report = model.compile(level=2)
+        assert report.folded == ["bn"]
+        x = rng.normal(0.0, 2.0, size=(9, 12, 1))
+        assert np.array_equal(model.predict(x),
+                              model.predict(x, compiled=False))
+
+    def test_fold_refused_at_16_bit(self):
+        model = convert(_bn_model(), HLSConfig())
+        report = model.compile(level=2)
+        assert report.folded == []
+        assert report.fallbacks.get("bn")  # reason recorded
+
+    def test_level1_never_folds(self):
+        model = convert(_bn_model(), self._wide_config())
+        report = model.compile(level=1)
+        assert report.folded == []
+
+
+# ----------------------------------------------------------------------
+# Compile API, telemetry, CLI plumbing
+# ----------------------------------------------------------------------
+class TestCompileAPI:
+    def test_invalid_level_raises(self, mlp_compiled):
+        with pytest.raises(ValueError):
+            mlp_compiled.compile(level=3)
+        assert mlp_compiled.compiled  # refused call left the plan alone
+
+    def test_level0_uninstalls(self, ref_bundle, rng):
+        from repro.hls.precision import uniform_config
+
+        model = convert(ref_bundle.mlp,
+                        uniform_config(16, 7, model=ref_bundle.mlp))
+        model.compile(level=2)
+        assert model.compiled
+        report = model.compile(level=0)
+        assert report.level == 0
+        assert not model.compiled
+        x = rng.normal(0.0, 1.0, size=(3,) + tuple(model.input_shape))
+        model.predict(x)
+        assert not model.last_run_stats.compiled
+
+    def test_compiled_true_without_plan_raises(self, ref_bundle, rng):
+        from repro.hls.precision import uniform_config
+
+        model = convert(ref_bundle.mlp,
+                        uniform_config(16, 7, model=ref_bundle.mlp))
+        x = rng.normal(0.0, 1.0, size=(2,) + tuple(model.input_shape))
+        with pytest.raises(ValueError):
+            model.predict(x, compiled=True)
+
+    def test_runstats_telemetry(self, mlp_compiled, rng):
+        x = rng.normal(0.0, 1.0,
+                       size=(4,) + tuple(mlp_compiled.input_shape))
+        mlp_compiled.predict(x)
+        stats = mlp_compiled.last_run_stats
+        assert stats.compiled
+        assert stats.kernel_times is None
+
+        mlp_compiled.predict(x, profile=True)
+        times = mlp_compiled.last_run_stats.kernel_times
+        assert times is not None
+        assert set(times) == {s.name
+                              for s in mlp_compiled.compiled_plan.steps}
+        assert all(t >= 0.0 for t in times.values())
+
+        mlp_compiled.predict(x, compiled=False, profile=True)
+        stats = mlp_compiled.last_run_stats
+        assert not stats.compiled
+        assert set(stats.kernel_times) == {k.name
+                                           for k in mlp_compiled.kernels}
+
+    def test_trace_stays_naive(self, mlp_compiled, rng):
+        x = rng.normal(0.0, 1.0,
+                       size=(2,) + tuple(mlp_compiled.input_shape))
+        streams = mlp_compiled.trace(x)
+        assert set(streams) == {k.name for k in mlp_compiled.kernels}
+        assert not mlp_compiled.last_run_stats.compiled
+
+    def test_set_compile_level_validates(self):
+        from repro.experiments.common import (get_compile_level,
+                                              set_compile_level)
+
+        assert get_compile_level() == 0
+        with pytest.raises(ValueError):
+            set_compile_level(5)
+        try:
+            set_compile_level(2)
+            assert get_compile_level() == 2
+        finally:
+            set_compile_level(0)
+
+    def test_cli_accepts_compile_level(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--compile-level", "1", "--list"]) == 0
+        assert "table1" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["--compile-level", "7", "--list"])

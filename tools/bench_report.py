@@ -1,30 +1,38 @@
 """Inference-throughput benchmark report.
 
 Measures the simulation's frame throughput on the reference U-Net design
-in four configurations — model-level ``HLSModel.predict`` (per-frame loop
-vs one batched call) and the full ``CentralNodeRuntime`` control loop
-(``batch_inference`` off vs on) — and writes the results to
+in six configurations — model-level ``HLSModel.predict`` (per-frame loop,
+one batched call on the naive executor, and the compiled graph plan) and
+the full ``CentralNodeRuntime`` control loop (sequential, batched, and
+batched-on-compiled-plan) — and writes the results to
 ``BENCH_inference.json``:
 
 * ``fps`` — frames per second (wall clock, best of ``rounds``),
 * ``latency_p50_ms`` / ``latency_p99_ms`` — per-frame wall-clock latency
   percentiles (individually timed frames for the sequential predict;
   per-round amortized block time elsewhere),
-* ``peak_rss_kib`` — the process peak resident set,
-* ``speedups`` — batched-over-sequential ratios.
+* ``peak_rss_kib`` — per benchmark, the process peak resident set
+  sampled right after that benchmark finished (monotone: the delta over
+  the previous benchmark is the growth it caused), plus the global peak,
+* ``per_kernel`` — naive and compiled per-kernel milliseconds from a
+  profiled batched pass, with compiled fused steps lined up against the
+  sum of the naive kernels they absorbed,
+* ``speedups`` — batched-over-sequential and compiled-over-batched
+  ratios.
 
-The batched and sequential paths are asserted bit-identical before any
-timing, so the report can never quote a speedup for a path that diverged.
+All fast paths (batched, compiled) are asserted bit-identical to the
+per-frame loop before any timing, so the report can never quote a
+speedup for a path that diverged.
 
 Usage::
 
     PYTHONPATH=src python tools/bench_report.py [--quick]
         [--out BENCH_inference.json] [--baseline benchmarks/BENCH_baseline.json]
 
-With ``--baseline`` the run exits non-zero if the fault-free batched
-runtime fps regressed more than 20 % below the committed baseline (CI
-uses this as a performance smoke test; absolute numbers are machine-
-dependent, see docs/performance.md).
+With ``--baseline`` the run exits non-zero if either the fault-free
+batched runtime fps or the compiled runtime fps regressed more than 20 %
+below the committed baseline (CI uses this as a performance smoke test;
+absolute numbers are machine-dependent, see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -46,6 +54,13 @@ REGRESSION_FLOOR = 0.8
 #: The design every number in the report refers to.
 STRATEGY = "Layer-based Precision ac_fixed<16, x>"
 
+#: Benchmarks the baseline gate checks (both executors must hold).
+GATED_BENCHMARKS = ("runtime_batched", "runtime_compiled")
+
+
+def _rss_kib() -> int:
+    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
 
 def _percentiles_ms(latencies_s: List[float]) -> Dict[str, float]:
     lat = np.asarray(latencies_s)
@@ -57,7 +72,12 @@ def _percentiles_ms(latencies_s: List[float]) -> Dict[str, float]:
 
 def _bench(run_round: Callable[[], List[float]], rounds: int,
            n_frames: int) -> Dict[str, float]:
-    """Time ``rounds`` repetitions; each returns per-frame latencies."""
+    """Time ``rounds`` repetitions; each returns per-frame latencies.
+
+    The peak RSS is sampled here, after the rounds, so each benchmark
+    records the high-water mark as of its own completion instead of one
+    end-of-process figure that hides which path allocated the memory.
+    """
     walls: List[float] = []
     samples: List[float] = []
     for _ in range(rounds):
@@ -66,13 +86,44 @@ def _bench(run_round: Callable[[], List[float]], rounds: int,
         walls.append(time.perf_counter() - t0)
     best = min(walls)
     out = {"fps": n_frames / best, "wall_s": best, "frames": n_frames,
-           "rounds": rounds}
+           "rounds": rounds, "peak_rss_kib": _rss_kib()}
     out.update(_percentiles_ms(samples))
     return out
 
 
+def _per_kernel(naive_model, compiled_model, unet_in) -> Dict[str, object]:
+    """Per-kernel milliseconds of one profiled batched pass per executor.
+
+    Compiled fused steps cover several naive kernels (a conv, its folded
+    bias/BN and its activation run as one step); the ``compiled`` table
+    keys them by step name and lists the absorbed kernels under
+    ``covers`` so the two columns stay comparable.
+    """
+    naive_model.predict(unet_in, profile=True, compiled=False)
+    naive_ms = {k: v * 1e3
+                for k, v in naive_model.last_run_stats.kernel_times.items()}
+
+    compiled_model.predict(unet_in, profile=True)
+    stats = compiled_model.last_run_stats
+    compiled_ms = {k: v * 1e3 for k, v in stats.kernel_times.items()}
+
+    steps = {}
+    for step in compiled_model.compiled_plan.steps:
+        naive_sum = sum(naive_ms.get(name, 0.0) for name in step.covers)
+        steps[step.name] = {
+            "covers": list(step.covers),
+            "naive_ms": round(naive_sum, 4),
+            "compiled_ms": round(compiled_ms.get(step.name, 0.0), 4),
+        }
+    return {
+        "naive_ms": {k: round(v, 4) for k, v in naive_ms.items()},
+        "compiled_steps": steps,
+    }
+
+
 def build_report(quick: bool = False) -> Dict[str, object]:
-    from repro.experiments.common import bundle, converted
+    from repro.experiments.common import bundle, converted, reference_configs
+    from repro.hls.converter import convert
     from repro.soc.board import AchillesBoard
     from repro.soc.runtime import CentralNodeRuntime
 
@@ -81,18 +132,24 @@ def build_report(quick: bool = False) -> Dict[str, object]:
 
     b = bundle()
     model = converted(STRATEGY)
+    # The compiled twin is a fresh conversion: the shared ``converted``
+    # cache stays on the naive executor for every other caller.
+    compiled_model = convert(b.unet, reference_configs()[STRATEGY])
+    compile_report = compiled_model.compile(level=2)
     frames = b.dataset.x_eval[:n_frames]
     if frames.shape[0] < n_frames:  # pragma: no cover - tiny eval splits
         n_frames = frames.shape[0]
     unet_in = b.dataset.unet_inputs(frames)
 
-    # Correctness gate: the fast paths must be bit-identical before any
+    # Correctness gate: every fast path must be bit-identical before any
     # of their timings are worth reporting.
     batched = model.predict(unet_in)
     stacked = np.concatenate([model.predict(unet_in[i:i + 1])
                               for i in range(n_frames)])
     if not np.array_equal(batched, stacked):
         raise AssertionError("batched predict diverged from per-frame loop")
+    if not np.array_equal(compiled_model.predict(unet_in), batched):
+        raise AssertionError("compiled predict diverged from naive executor")
 
     def predict_sequential() -> List[float]:
         lats = []
@@ -102,16 +159,16 @@ def build_report(quick: bool = False) -> Dict[str, object]:
             lats.append(time.perf_counter() - t0)
         return lats
 
-    def predict_batched() -> List[float]:
+    def predict_blocked(m) -> List[float]:
         # Same cache-friendly chunking the runtime fast path uses.
         from repro.soc.ip_core import BATCH_BLOCK_FRAMES
         t0 = time.perf_counter()
         for i in range(0, n_frames, BATCH_BLOCK_FRAMES):
-            model.predict(unet_in[i:i + BATCH_BLOCK_FRAMES])
+            m.predict(unet_in[i:i + BATCH_BLOCK_FRAMES])
         return [(time.perf_counter() - t0) / n_frames]
 
-    def runtime_round(batch: bool) -> List[float]:
-        rt = CentralNodeRuntime(board=AchillesBoard(model),
+    def runtime_round(m, batch: bool) -> List[float]:
+        rt = CentralNodeRuntime(board=AchillesBoard(m),
                                 batch_inference=batch)
         t0 = time.perf_counter()
         rt.run(frames, seed=7)
@@ -119,11 +176,16 @@ def build_report(quick: bool = False) -> Dict[str, object]:
 
     benchmarks = {
         "predict_sequential": _bench(predict_sequential, rounds, n_frames),
-        "predict_batched": _bench(predict_batched, rounds, n_frames),
-        "runtime_sequential": _bench(lambda: runtime_round(False), rounds,
-                                     n_frames),
-        "runtime_batched": _bench(lambda: runtime_round(True), rounds,
+        "predict_batched": _bench(lambda: predict_blocked(model), rounds,
                                   n_frames),
+        "predict_compiled": _bench(lambda: predict_blocked(compiled_model),
+                                   rounds, n_frames),
+        "runtime_sequential": _bench(lambda: runtime_round(model, False),
+                                     rounds, n_frames),
+        "runtime_batched": _bench(lambda: runtime_round(model, True), rounds,
+                                  n_frames),
+        "runtime_compiled": _bench(lambda: runtime_round(compiled_model, True),
+                                   rounds, n_frames),
     }
     return {
         "meta": {
@@ -133,27 +195,45 @@ def build_report(quick: bool = False) -> Dict[str, object]:
             "rounds": rounds,
             "python": platform.python_version(),
             "numpy": np.__version__,
+            "compile": {
+                "level": 2,
+                "luts": len(compile_report.luts),
+                "fused": len(compile_report.fused),
+                "folded_bn": len(compile_report.folded),
+                "arena_words": compile_report.arena_words,
+            },
         },
-        "peak_rss_kib": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "peak_rss_kib": _rss_kib(),
         "benchmarks": benchmarks,
+        "per_kernel": _per_kernel(model, compiled_model, unet_in),
         "speedups": {
             "predict": (benchmarks["predict_batched"]["fps"]
                         / benchmarks["predict_sequential"]["fps"]),
+            "predict_compile": (benchmarks["predict_compiled"]["fps"]
+                                / benchmarks["predict_batched"]["fps"]),
             "runtime": (benchmarks["runtime_batched"]["fps"]
                         / benchmarks["runtime_sequential"]["fps"]),
+            "runtime_compile": (benchmarks["runtime_compiled"]["fps"]
+                                / benchmarks["runtime_batched"]["fps"]),
         },
     }
 
 
 def check_baseline(report: Dict[str, object], baseline_path: Path) -> bool:
-    """True if the fault-free batched fps held within the floor."""
+    """True if every gated benchmark's fps held within the floor."""
     baseline = json.loads(baseline_path.read_text())
-    base_fps = baseline["benchmarks"]["runtime_batched"]["fps"]
-    fps = report["benchmarks"]["runtime_batched"]["fps"]
-    ratio = fps / base_fps
-    print(f"runtime_batched fps: {fps:.1f} vs baseline {base_fps:.1f} "
-          f"({ratio:.2f}x, floor {REGRESSION_FLOOR:.2f}x)")
-    return ratio >= REGRESSION_FLOOR
+    ok = True
+    for name in GATED_BENCHMARKS:
+        base = baseline["benchmarks"].get(name)
+        if base is None:  # pragma: no cover - pre-compiler baselines
+            print(f"{name}: no baseline entry, skipping")
+            continue
+        fps = report["benchmarks"][name]["fps"]
+        ratio = fps / base["fps"]
+        print(f"{name} fps: {fps:.1f} vs baseline {base['fps']:.1f} "
+              f"({ratio:.2f}x, floor {REGRESSION_FLOOR:.2f}x)")
+        ok = ok and ratio >= REGRESSION_FLOOR
+    return ok
 
 
 def main(argv=None) -> int:
@@ -172,14 +252,18 @@ def main(argv=None) -> int:
 
     bm = report["benchmarks"]
     print(f"wrote {args.out}")
-    for name in ("predict_sequential", "predict_batched",
-                 "runtime_sequential", "runtime_batched"):
+    for name in ("predict_sequential", "predict_batched", "predict_compiled",
+                 "runtime_sequential", "runtime_batched", "runtime_compiled"):
         r = bm[name]
         print(f"  {name:20s} {r['fps']:8.1f} fps  "
               f"p50 {r['latency_p50_ms']:.3f} ms  "
-              f"p99 {r['latency_p99_ms']:.3f} ms")
-    print(f"  speedups: predict {report['speedups']['predict']:.2f}x, "
-          f"runtime {report['speedups']['runtime']:.2f}x; "
+              f"p99 {r['latency_p99_ms']:.3f} ms  "
+              f"rss {r['peak_rss_kib']} KiB")
+    sp = report["speedups"]
+    print(f"  speedups: predict {sp['predict']:.2f}x "
+          f"(compile {sp['predict_compile']:.2f}x), "
+          f"runtime {sp['runtime']:.2f}x "
+          f"(compile {sp['runtime_compile']:.2f}x); "
           f"peak RSS {report['peak_rss_kib']} KiB")
 
     if args.baseline is not None:
