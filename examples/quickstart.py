@@ -1,27 +1,28 @@
 #!/usr/bin/env python
-"""Quickstart: co-design and deploy the paper's U-Net in one call.
+"""Quickstart: the ``repro.core.api`` facade, end to end.
 
 Loads the pre-trained de-blending U-Net, runs the ML/HLS co-design
 pipeline (profile → layer-based precision → constraint checks), deploys
 the winning design on the simulated Achilles Arria 10 board, verifies it
-with the staged flow, and pushes a few live frames through the system.
+with the staged flow, then drives live frames through the hardened
+control loop with the observability layer on and reads the latency
+figures back out of the recorded spans.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro.core import codesign_and_deploy
-from repro.pretrained import load_reference_bundle
+import repro
 
 
 def main() -> None:
     print("loading pre-trained bundle (dataset + U-Net) ...")
-    bundle = load_reference_bundle(train_if_missing=True)
+    bundle = repro.load_pretrained()
     dataset = bundle.dataset
 
     print("running ML/HLS co-design ...")
-    design, deployment = codesign_and_deploy(
+    design, deployment = repro.codesign_and_deploy(
         bundle.unet,
         dataset.unet_inputs(dataset.x_train[:300]),
         eval_frames=100,
@@ -40,14 +41,25 @@ def main() -> None:
           f"(requirement: 320 fps, paper: 575 fps)")
     print(f"  meets contract : {deployment.meets_requirement()}")
 
-    print("\npushing 5 live frames through the board ...")
-    frames = dataset.x_eval[:5]
-    result = deployment.board.run(frames, seed=1)
-    for i, timing in enumerate(result.timings):
-        probs = result.outputs[i].reshape(-1, 2)
-        print(f"  frame {i}: latency {timing.total * 1e3:.3f} ms, "
-              f"mean P(MI)={probs[:, 0].mean():.2f} "
-              f"P(RR)={probs[:, 1].mean():.2f}")
+    print("\ndriving 64 live frames through the hardened control loop "
+          "(observability on) ...")
+    result = repro.run_control_loop(
+        design.hls_model,
+        dataset.x_eval[:64],
+        config=repro.RuntimeConfig(compile_level=1),
+        obs=repro.ObsConfig(flight_frames=64),
+    )
+    node_ms = result.latencies_s * 1e3
+    print(f"  frames processed : {result.health.frames_total} "
+          f"(status: {result.health.status_counts})")
+    print(f"  total latency     : mean {node_ms.mean():.3f} ms, "
+          f"p99 {float(np.percentile(node_ms, 99)):.3f} ms")
+    snap = result.obs.metrics.snapshot()
+    print(f"  deadline misses  : "
+          f"{snap['counters'].get('frames.deadline_miss', 0)}")
+    tree = result.obs.tracer.frame_tree(0)
+    stages = ", ".join(c["name"] for c in tree["children"])
+    print(f"  frame 0 span tree: frame -> {stages}")
 
 
 if __name__ == "__main__":

@@ -17,18 +17,41 @@ The package rebuilds the paper's full system in pure Python/numpy:
 * :mod:`repro.experiments` — one harness per paper table/figure,
 * :mod:`repro.paper` — every published constant, with section refs.
 
-Quickstart::
+Quickstart (the :mod:`repro.core.api` facade)::
 
-    from repro.pretrained import load_reference_bundle
-    from repro.core import codesign_and_deploy
+    import repro
 
-    bundle = load_reference_bundle()
-    design, deployment = codesign_and_deploy(
-        bundle.unet, bundle.dataset.unet_inputs(bundle.dataset.x_train))
-    print(design.describe())
-    print(f"{deployment.throughput_fps:.0f} fps")
+    bundle = repro.load_pretrained()
+    result = repro.run_control_loop(
+        bundle.unet, bundle.dataset.x_eval[:260],
+        x_profile=bundle.dataset.unet_inputs(bundle.dataset.x_train),
+        config=repro.RuntimeConfig(compile_level=2),
+        obs=repro.ObsConfig(),
+    )
+    print(result.health.render())
+    print(result.obs.metrics.snapshot()["histograms"]["latency.total_s"])
 """
+
+from repro.core.api import (
+    ControlLoopResult,
+    RuntimeConfig,
+    build_runtime,
+    codesign_and_deploy,
+    load_pretrained,
+    run_control_loop,
+)
+from repro.obs import ObsConfig, Observability
 
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = [
+    "__version__",
+    "RuntimeConfig",
+    "ObsConfig",
+    "Observability",
+    "ControlLoopResult",
+    "load_pretrained",
+    "build_runtime",
+    "run_control_loop",
+    "codesign_and_deploy",
+]

@@ -10,18 +10,28 @@ The methodology of Section IV-D, programmatically:
 5. deploy the winning design onto the simulated SoC and run the staged
    verification flow.
 
-Entry points:
+Entry points — the :mod:`repro.core.api` facade:
 
-* :class:`CodesignOptimizer` — evaluate/optimize design points,
-* :func:`deploy` — place a converted model on an Achilles board and
-  verify it,
-* :func:`codesign_and_deploy` — the one-call happy path used by the
-  quickstart example.
+* :func:`load_pretrained` — reference U-Net/MLP bundle + dataset,
+* :func:`build_runtime` — convert/compile a model onto a hardened
+  central-node runtime (``RuntimeConfig`` + ``ObsConfig`` policy),
+* :func:`run_control_loop` — drive frames, get records/health/obs,
+* :func:`codesign_and_deploy` — the one-call co-design happy path,
+
+plus the underlying :class:`CodesignOptimizer` and :func:`deploy`.
 """
 
 from repro.core.codesign import CodesignOptimizer, CodesignResult, DesignConstraints
 from repro.core.deployment import Deployment, deploy
-from repro.core.api import codesign_and_deploy
+from repro.core.api import (
+    ControlLoopResult,
+    RuntimeConfig,
+    build_runtime,
+    codesign_and_deploy,
+    load_pretrained,
+    run_control_loop,
+)
+from repro.obs import ObsConfig
 
 __all__ = [
     "CodesignOptimizer",
@@ -29,5 +39,11 @@ __all__ = [
     "DesignConstraints",
     "Deployment",
     "deploy",
+    "RuntimeConfig",
+    "ObsConfig",
+    "ControlLoopResult",
+    "load_pretrained",
+    "build_runtime",
+    "run_control_loop",
     "codesign_and_deploy",
 ]

@@ -1,21 +1,237 @@
-"""One-call co-design + deployment (the quickstart path)."""
+"""The one-stop facade: pretrained models → runtime → control loop.
+
+Four calls cover the whole reproduction:
+
+* :func:`load_pretrained` — the reference U-Net/MLP bundle + dataset,
+* :func:`build_runtime` — convert/compile a model and place it on a
+  hardened :class:`~repro.soc.runtime.CentralNodeRuntime`,
+* :func:`run_control_loop` — drive frames through the loop and hand
+  back records, health, and (optionally) the observability bundle,
+* :func:`codesign_and_deploy` — the paper's co-design pipeline
+  (Section IV-D) ending in a verified :class:`Deployment`.
+
+Configuration travels in two keyword-only dataclasses —
+:class:`RuntimeConfig` for the datapath and
+:class:`~repro.obs.ObsConfig` for tracing/metrics/flight-recording —
+so call sites read as named policy, not positional soup.
+"""
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import warnings
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.codesign import CodesignOptimizer, CodesignResult, DesignConstraints
 from repro.core.deployment import Deployment, deploy
+from repro.hls.converter import convert
+from repro.hls.model import HLSModel
+from repro.hls.precision import layer_based_config, uniform_config
+from repro.beamloss.controller import TripController
+from repro.beamloss.hubs import HubNetwork
 from repro.nn.model import Model
+from repro.obs import ObsConfig, Observability
+from repro.pretrained.bundle import ReferenceBundle, load_reference_bundle
+from repro.soc.board import FRAME_PERIOD_S, AchillesBoard
+from repro.soc.faults import FaultInjector
+from repro.soc.runtime import (
+    CentralNodeRuntime,
+    DegradationPolicy,
+    FrameRecord,
+    HealthReport,
+)
 
-__all__ = ["codesign_and_deploy"]
+__all__ = [
+    "RuntimeConfig",
+    "ControlLoopResult",
+    "load_pretrained",
+    "build_runtime",
+    "run_control_loop",
+    "codesign_and_deploy",
+]
+
+ModelLike = Union[Model, HLSModel]
+ObsLike = Union[ObsConfig, Observability, None]
+
+
+@dataclass(frozen=True, kw_only=True)
+class RuntimeConfig:
+    """Datapath policy for :func:`build_runtime` (keyword-only).
+
+    Parameters
+    ----------
+    period_s:
+        Digitizer tick (the paper's 3 ms frame period).
+    batch_inference:
+        Engage the bit-exact batched fast path when eligible.
+    compile_level:
+        Graph-compiler level (0 = naive, 1 = local rewrites,
+        2 = + BN folding and the static arena).
+    precision:
+        ``(width, integer)`` used when a float model must be converted
+        and no profiling data is supplied (uniform ``ac_fixed``).
+    profile_width:
+        Total width for the layer-based strategy when ``x_profile`` IS
+        supplied to :func:`build_runtime`.
+    n_hubs:
+        Concentrator count for the hub network (None = 7, clamped to
+        the monitor count).
+    min_votes:
+        Trip-controller vote floor.
+    policy:
+        Degradation ladder thresholds (watchdog, fallback, recovery).
+    """
+
+    period_s: float = FRAME_PERIOD_S
+    batch_inference: bool = True
+    compile_level: int = 0
+    precision: Tuple[int, int] = (16, 7)
+    profile_width: int = 16
+    n_hubs: Optional[int] = None
+    min_votes: int = 3
+    policy: DegradationPolicy = field(default_factory=DegradationPolicy)
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period_s must be positive")
+        if self.compile_level not in (0, 1, 2):
+            raise ValueError("compile_level must be 0, 1 or 2")
+        w, i = self.precision
+        if w <= 0 or i < 0 or i > w:
+            raise ValueError(f"invalid precision {self.precision}")
+
+
+@dataclass
+class ControlLoopResult:
+    """Everything :func:`run_control_loop` produced, in one place."""
+
+    records: List[FrameRecord]
+    health: HealthReport
+    runtime: CentralNodeRuntime
+    obs: Optional[Observability] = None
+
+    @property
+    def latencies_s(self) -> np.ndarray:
+        """Per-frame total latency (hub readout + node), frame order."""
+        return np.array([r.total_latency_s for r in self.records])
+
+
+def load_pretrained(*, include_bn: bool = False,
+                    train_if_missing: bool = True) -> ReferenceBundle:
+    """The reference bundle: trained U-Net + MLP + deblending dataset.
+
+    Thin facade over
+    :func:`repro.pretrained.bundle.load_reference_bundle`; the only
+    behavioural difference is that missing weights are trained by
+    default (the quickstart should never dead-end on a fresh clone).
+    """
+    return load_reference_bundle(include_bn=include_bn,
+                                 train_if_missing=train_if_missing)
+
+
+def _as_hls(model: ModelLike, x_profile: Optional[np.ndarray],
+            config: RuntimeConfig) -> HLSModel:
+    """Convert a float model (layer-based if profiled, else uniform)."""
+    if isinstance(model, HLSModel):
+        return model
+    if not isinstance(model, Model):
+        raise TypeError(f"expected Model or HLSModel, got {type(model)!r}")
+    if x_profile is not None:
+        cfg = layer_based_config(model, np.asarray(x_profile, np.float64),
+                                 width=config.profile_width)
+    else:
+        width, integer = config.precision
+        cfg = uniform_config(width, integer, model=model)
+    return convert(model, cfg)
+
+
+def build_runtime(model: ModelLike, *,
+                  x_profile: Optional[np.ndarray] = None,
+                  fallback: Optional[ModelLike] = None,
+                  config: Optional[RuntimeConfig] = None,
+                  obs: ObsLike = None,
+                  injector: Optional[FaultInjector] = None,
+                  ) -> CentralNodeRuntime:
+    """Place *model* on a hardened central-node runtime.
+
+    *model* (and *fallback*) may be a trained float
+    :class:`~repro.nn.Model` — converted here, layer-based when
+    *x_profile* is given, uniform ``precision`` otherwise — or an
+    already-converted :class:`~repro.hls.HLSModel`, used as-is.
+    *obs* may be an :class:`~repro.obs.ObsConfig` (a bundle is built),
+    a ready :class:`~repro.obs.Observability`, or None (zero-cost off).
+    """
+    config = config or RuntimeConfig()
+    hls = _as_hls(model, x_profile, config)
+    if config.compile_level and not hls.compiled:
+        hls.compile(level=config.compile_level)
+
+    fallback_board = None
+    if fallback is not None:
+        fb = _as_hls(fallback, None, config)
+        if config.compile_level and not fb.compiled:
+            fb.compile(level=config.compile_level)
+        fallback_board = AchillesBoard(fb)
+
+    if isinstance(obs, ObsConfig):
+        obs = Observability.from_config(obs)
+    elif not (obs is None or isinstance(obs, Observability)):
+        raise TypeError(f"obs must be ObsConfig/Observability/None, "
+                        f"got {type(obs)!r}")
+
+    n_monitors = int(np.prod(hls.input_shape))
+    n_hubs = config.n_hubs if config.n_hubs is not None else min(7, n_monitors)
+    return CentralNodeRuntime(
+        board=AchillesBoard(hls),
+        fallback_board=fallback_board,
+        hubs=HubNetwork(n_monitors=n_monitors, n_hubs=n_hubs),
+        controller=TripController(min_votes=config.min_votes),
+        period_s=config.period_s,
+        batch_inference=config.batch_inference,
+        policy=config.policy,
+        injector=injector,
+        obs=obs,
+    )
+
+
+def run_control_loop(model: Union[ModelLike, CentralNodeRuntime],
+                     frames: np.ndarray, *,
+                     seed: int = 0,
+                     x_profile: Optional[np.ndarray] = None,
+                     fallback: Optional[ModelLike] = None,
+                     config: Optional[RuntimeConfig] = None,
+                     obs: ObsLike = None,
+                     injector: Optional[FaultInjector] = None,
+                     ) -> ControlLoopResult:
+    """Drive *frames* through the control loop and summarise the run.
+
+    Accepts either something buildable (see :func:`build_runtime`) or a
+    ready :class:`~repro.soc.runtime.CentralNodeRuntime` — the latter
+    lets callers reuse one runtime across stretches of frames.
+    """
+    if isinstance(model, CentralNodeRuntime):
+        runtime = model
+        if obs is not None:
+            if isinstance(obs, ObsConfig):
+                obs = Observability.from_config(obs)
+            runtime.attach_observability(obs)
+    else:
+        runtime = build_runtime(model, x_profile=x_profile,
+                                fallback=fallback, config=config,
+                                obs=obs, injector=injector)
+    records = runtime.run(np.asarray(frames, dtype=np.float64), seed=seed)
+    return ControlLoopResult(records=records,
+                             health=runtime.health_report(),
+                             runtime=runtime,
+                             obs=runtime.obs)
 
 
 def codesign_and_deploy(
     model: Model,
     x_profile: np.ndarray,
+    *legacy,
     constraints: Optional[DesignConstraints] = None,
     eval_frames: int = 100,
     verify_frames: int = 8,
@@ -25,7 +241,27 @@ def codesign_and_deploy(
     Profiles → layer-based precision → reuse tuning → constraint checks →
     deployment on the simulated Achilles board → staged verification.
     Returns the chosen design point and the verified deployment.
+
+    ``constraints``/``eval_frames``/``verify_frames`` are keyword-only;
+    passing them positionally still works but is deprecated.
     """
+    if legacy:
+        warnings.warn(
+            "positional constraints/eval_frames/verify_frames are "
+            "deprecated; pass them as keywords to codesign_and_deploy",
+            DeprecationWarning, stacklevel=2)
+        if len(legacy) > 3:
+            raise TypeError("codesign_and_deploy takes at most 5 "
+                            "positional arguments")
+        names = ("constraints", "eval_frames", "verify_frames")
+        given = {"constraints": constraints, "eval_frames": eval_frames,
+                 "verify_frames": verify_frames}
+        for name, value in zip(names, legacy):
+            given[name] = value
+        constraints = given["constraints"]
+        eval_frames = given["eval_frames"]
+        verify_frames = given["verify_frames"]
+
     x_profile = np.asarray(x_profile, dtype=np.float64)
     optimizer = CodesignOptimizer(model, x_profile, constraints,
                                   eval_frames=eval_frames)

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.experiments import (ablations, fig3, fig5, robustness, table1,
-                               table2, table3)
+from repro.experiments import (ablations, fig3, fig5, obsreport, robustness,
+                               table1, table2, table3)
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["REGISTRY", "get_experiment"]
@@ -28,6 +28,7 @@ REGISTRY: Dict[str, Harness] = {
     "ablation-qat": ablations.run_qat_comparison,
     "ablation-pipelining": ablations.run_pipelining_comparison,
     "robustness": robustness.run,
+    "obs-report": obsreport.run,
 }
 
 

@@ -855,23 +855,35 @@ class CompiledPlan:
         self._views[n] = views
         return views
 
-    def run(self, x: np.ndarray, profile: bool = False):
-        """Execute the plan; returns ``(output, peak_live, freed, times)``."""
+    def run(self, x: np.ndarray, profile: bool = False, tracer=None):
+        """Execute the plan; returns ``(output, peak_live, freed, times)``.
+
+        ``tracer`` is the observability hook (see
+        :mod:`repro.obs.spans`): when given, every step records one
+        wall-clock span named ``step.<name>`` carrying the naive kernels
+        it covers — a pure observer, so outputs stay bit-identical.
+        """
         n = x.shape[0]
         views = self._ensure_views(n)
         values: Dict[str, np.ndarray] = {}
         peak = 0
         freed = 0
+        timed = profile or tracer is not None
         times: Optional[Dict[str, float]] = {} if profile else None
         for idx, step in enumerate(self.steps):
             ins = [x if dep == "__input__" else values[dep]
                    for dep in step.inputs]
             out = views.get(step.name)
-            if profile:
+            if timed:
                 t0 = time.perf_counter()
             values[step.name] = step.run(ins, out)
-            if profile:
-                times[step.name] = time.perf_counter() - t0
+            if timed:
+                t1 = time.perf_counter()
+                if profile:
+                    times[step.name] = t1 - t0
+                if tracer is not None:
+                    tracer.record(f"step.{step.name}", wall_t0=t0,
+                                  wall_t1=t1, covers=len(step.covers))
             if len(values) > peak:
                 peak = len(values)
             for dep in self._dies_after[idx]:

@@ -22,6 +22,7 @@ idempotent on in-range grid values, so skipping it is bit-exact.
 from __future__ import annotations
 
 import time as _time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -30,7 +31,13 @@ import numpy as np
 from repro.hls.config import HLSConfig
 from repro.hls.kernels.base import HLSKernel
 
-__all__ = ["HLSModel", "RunStats"]
+__all__ = ["HLSModel", "RunStats", "EXECUTORS"]
+
+#: Valid ``HLSModel.predict(executor=...)`` spellings.
+EXECUTORS = ("auto", "naive", "plan")
+
+#: Sentinel distinguishing "``compiled`` not passed" from ``None``.
+_UNSET = object()
 
 #: Grid widths up to this stay exactly representable through the int64 /
 #: float64 round trip, making requantization provably idempotent; wider
@@ -46,16 +53,26 @@ class RunStats:
     simultaneously (the model input is not counted); ``freed`` counts the
     intermediates released before the pass returned.  ``compiled`` is
     True when the pass ran on a compiled plan (see
-    :meth:`HLSModel.compile`); ``kernel_times`` holds per-kernel wall
-    seconds when the pass ran with ``profile=True`` (fused steps report
-    under a single key).
+    :meth:`HLSModel.compile`); ``step_times`` holds per-step wall
+    seconds when the pass ran with ``profile=True`` — one entry per
+    kernel on the naive executor, one per (possibly fused) step on the
+    compiled plan, matching the span names the observability layer
+    emits.
     """
 
     peak_live: int
     freed: int
     retained_all: bool
     compiled: bool = False
-    kernel_times: Optional[Dict[str, float]] = None
+    step_times: Optional[Dict[str, float]] = None
+
+    @property
+    def kernel_times(self) -> Optional[Dict[str, float]]:
+        """Deprecated pre-observability spelling of :attr:`step_times`."""
+        warnings.warn(
+            "RunStats.kernel_times is deprecated; use RunStats.step_times",
+            DeprecationWarning, stacklevel=2)
+        return self.step_times
 
 
 class HLSModel:
@@ -102,6 +119,11 @@ class HLSModel:
         #: compiled plan installed by :meth:`compile` (``None`` = naive)
         self._compiled = None
         self.compile_level = 0
+        #: optional :class:`~repro.obs.spans.Tracer`; when attached (via
+        #: ``ObsConfig(trace_kernels=True)``) every forward pass records
+        #: one wall-clock span per kernel / compiled step.  ``None`` is
+        #: the zero-cost default.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Execution planning
@@ -231,17 +253,24 @@ class HLSModel:
         values: Dict[str, np.ndarray] = {}
         peak = 0
         freed = 0
+        tracer = self.tracer
+        timed = profile or tracer is not None
         times: Optional[Dict[str, float]] = {} if profile else None
         for idx, kernel in enumerate(self.kernels):
             ins = [
                 x if dep == "__input__" else values[dep]
                 for dep in kernel.input_names
             ]
-            if profile:
+            if timed:
                 t0 = _time.perf_counter()
             values[kernel.name] = kernel.forward(ins)
-            if profile:
-                times[kernel.name] = _time.perf_counter() - t0
+            if timed:
+                t1 = _time.perf_counter()
+                if profile:
+                    times[kernel.name] = t1 - t0
+                if tracer is not None:
+                    tracer.record(f"kernel.{kernel.name}",
+                                  wall_t0=t0, wall_t1=t1)
             if len(values) > peak:
                 peak = len(values)
             if not retain_all:
@@ -250,33 +279,54 @@ class HLSModel:
                     freed += 1
         self.last_run_stats = RunStats(peak_live=peak, freed=freed,
                                        retained_all=retain_all,
-                                       kernel_times=times)
+                                       step_times=times)
         return values
 
     def predict(self, x: np.ndarray, *, profile: bool = False,
-                compiled: Optional[bool] = None) -> np.ndarray:
+                executor: Optional[str] = None,
+                compiled=_UNSET) -> np.ndarray:
         """Quantized inference over a batch ``(n, *input_shape)``.
 
-        Runs the compiled plan when one is installed (see
-        :meth:`compile`); pass ``compiled=False`` to force the naive
-        executor for the same model (the bit-identity tests compare the
-        two), or ``compiled=True`` to require the plan.  ``profile=True``
-        records per-kernel wall time into
-        ``last_run_stats.kernel_times``.
+        ``executor`` selects the execution path:
+
+        * ``"auto"`` (default) — the compiled plan when one is installed
+          (see :meth:`compile`), the naive liveness executor otherwise;
+        * ``"naive"`` — force the naive executor (the bit-identity tests
+          compare the two);
+        * ``"plan"`` — require the compiled plan (raises if none).
+
+        ``profile=True`` records per-step wall time into
+        ``last_run_stats.step_times``.  The ``compiled=`` boolean is the
+        deprecated pre-facade spelling (True → ``"plan"``, False →
+        ``"naive"``, None → ``"auto"``).
 
         Intermediate streams are freed as soon as their last consumer has
         run (naive path) or live in preassigned arena slots (compiled
         path), so peak memory is the plan's peak cut, not the whole DAG.
         """
+        if compiled is not _UNSET:
+            warnings.warn(
+                "predict(compiled=...) is deprecated; use "
+                "executor='plan'/'naive'/'auto'",
+                DeprecationWarning, stacklevel=2)
+            if executor is None:
+                executor = ("plan" if compiled is True
+                            else "naive" if compiled is False else "auto")
+        if executor is None:
+            executor = "auto"
+        if executor not in EXECUTORS:
+            raise ValueError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}")
         plan = self._compiled
-        if compiled is True and plan is None:
+        if executor == "plan" and plan is None:
             raise ValueError("no compiled plan installed; call compile()")
-        if plan is not None and compiled is not False:
+        if plan is not None and executor != "naive":
             x = self._check_input(x)
-            y, peak, freed, times = plan.run(x, profile=profile)
+            y, peak, freed, times = plan.run(x, profile=profile,
+                                             tracer=self.tracer)
             self.last_run_stats = RunStats(peak_live=peak, freed=freed,
                                            retained_all=False, compiled=True,
-                                           kernel_times=times)
+                                           step_times=times)
             return y
         return self._run(x, profile=profile)[self.kernels[-1].name]
 

@@ -1,0 +1,71 @@
+"""Machine-readable exporters for the observability layer.
+
+One snapshot format, consumed by ``tools/bench_report.py`` and written
+by ``repro-experiments obs-report``:
+
+.. code-block:: json
+
+    {
+      "meta":     {"format": "repro-obs/1", ...},
+      "metrics":  {"counters": {...}, "gauges": {...}, "histograms": {...}},
+      "spans":    {"count": N, "dropped": D, "stages": {name: stats}},
+      "recorder": {"capacity": ..., "frames_seen": ..., "trips": ...},
+      "health":   {... HealthReport fields, when a runtime is given ...}
+    }
+
+Everything is plain JSON; histogram stats are the fixed-bucket
+summaries, span stats the exact per-name aggregates of the recorded
+spans (both clocks).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+__all__ = ["obs_snapshot", "write_obs_json", "OBS_FORMAT"]
+
+#: Snapshot format tag (bump on breaking layout changes).
+OBS_FORMAT = "repro-obs/1"
+
+
+def obs_snapshot(obs, runtime=None) -> Dict[str, Any]:
+    """Aggregate an :class:`~repro.obs.Observability` bundle (and
+    optionally the runtime it instruments) into one JSON-safe dict."""
+    from repro.obs.report import stage_summary
+
+    tracer = obs.tracer
+    snap: Dict[str, Any] = {
+        "meta": {"format": OBS_FORMAT},
+        "metrics": obs.metrics.snapshot(),
+        "spans": {
+            "count": len(tracer),
+            "dropped": tracer.dropped,
+            "stages_sim": stage_summary(tracer, clock="sim"),
+            "stages_wall": stage_summary(tracer, clock="wall"),
+        },
+        "recorder": {
+            "capacity": obs.recorder.capacity,
+            "frames_seen": obs.recorder.frames_seen,
+            "retained": len(obs.recorder),
+            "trips": obs.recorder.trips,
+        },
+    }
+    if runtime is not None:
+        health = runtime.health_report()
+        d = dataclasses.asdict(health)
+        # Tuples of tuples JSON-serialise as nested lists; normalise so a
+        # round trip through json compares equal.
+        d["transitions"] = [list(t) for t in health.transitions]
+        snap["health"] = d
+    return snap
+
+
+def write_obs_json(path: Union[str, Path], obs, runtime=None) -> Path:
+    """Write :func:`obs_snapshot` to *path*; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(obs_snapshot(obs, runtime), indent=2,
+                               sort_keys=True) + "\n", encoding="utf-8")
+    return path

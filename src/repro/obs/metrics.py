@@ -1,0 +1,243 @@
+"""Counters, gauges and fixed-bucket latency histograms.
+
+The metrics half of the observability layer: a :class:`MetricsRegistry`
+holds named
+
+* **counters** — monotonically increasing event tallies (frames by
+  status, deadline misses, injected faults folded in from
+  :mod:`repro.soc.faults`),
+* **gauges** — last-written values (active engine, consecutive-bad
+  streak),
+* **histograms** — fixed-bucket latency distributions with p50/p90/p99
+  and max per stage.
+
+Histograms use *fixed* bucket boundaries (log-spaced over the
+microsecond–tens-of-milliseconds range the 3 ms control loop lives in)
+so recording is O(log buckets) with constant memory, like the hardware
+counters the paper integrates — not a growing sample list.  Percentiles
+are therefore *bucketed*: a query returns the upper edge of the bucket
+containing the requested rank (the overflow bucket reports the exact
+observed max), which is deterministic and pinned by the tests.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_S",
+]
+
+
+def _geometric_buckets(lo: float, hi: float, per_decade: int) -> Tuple[float, ...]:
+    decades = math.log10(hi / lo)
+    n = int(round(decades * per_decade))
+    return tuple(lo * 10 ** (i * decades / n) for i in range(n + 1))
+
+
+#: Default latency buckets: 100 ns → 100 ms, 9 per decade.  Covers every
+#: stage of the pipeline (bridge writes are ~µs, IP compute ~1.6 ms, the
+#: watchdog budget 3 ms) with ~29 % bucket granularity.
+DEFAULT_LATENCY_BUCKETS_S: Tuple[float, ...] = _geometric_buckets(1e-7, 1e-1, 9)
+
+
+class Counter:
+    """A named monotone event tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> int:
+        """Bump by *n* (>= 0); returns the new value."""
+        if n < 0:
+            raise ValueError(f"counter {self.name!r}: n must be >= 0, got {n}")
+        self.value += n
+        return self.value
+
+
+class Gauge:
+    """A named last-value metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Fixed-bucket distribution with exact count/sum/min/max.
+
+    ``buckets_s`` are the *upper* edges (ascending); one extra overflow
+    bucket catches values above the last edge.
+    """
+
+    __slots__ = ("name", "uppers", "bucket_counts", "count", "total",
+                 "min_value", "max_value")
+
+    def __init__(self, name: str,
+                 buckets_s: Sequence[float] = DEFAULT_LATENCY_BUCKETS_S):
+        uppers = tuple(float(b) for b in buckets_s)
+        if not uppers or any(b <= a for a, b in zip(uppers, uppers[1:])):
+            raise ValueError("buckets must be non-empty and strictly increasing")
+        self.name = name
+        self.uppers = uppers
+        self.bucket_counts = [0] * (len(uppers) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        v = float(value)
+        self.bucket_counts[bisect_left(self.uppers, v)] += 1
+        self.count += 1
+        self.total += v
+        if v < self.min_value:
+            self.min_value = v
+        if v > self.max_value:
+            self.max_value = v
+
+    @property
+    def mean(self) -> float:
+        """Exact sample mean (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucketed percentile: the upper edge of the bucket holding the
+        rank-``ceil(q/100 * count)`` sample (overflow bucket → exact max).
+        Returns 0.0 when empty."""
+        if not 0 < q <= 100:
+            raise ValueError(f"q must be in (0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = math.ceil(q / 100.0 * self.count)
+        cumulative = 0
+        for i, n in enumerate(self.bucket_counts):
+            cumulative += n
+            if cumulative >= rank:
+                if i < len(self.uppers):
+                    return self.uppers[i]
+                return self.max_value
+        return self.max_value  # pragma: no cover - rank <= count always hits
+
+    def summary(self) -> Dict[str, float]:
+        """count / mean / p50 / p90 / p99 / max in one dict."""
+        if self.count == 0:
+            return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                    "p99": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max_value,
+        }
+
+    def nonzero_buckets(self) -> List[Tuple[Optional[float], int]]:
+        """(upper_edge, count) for populated buckets (None = overflow)."""
+        out: List[Tuple[Optional[float], int]] = []
+        for i, n in enumerate(self.bucket_counts):
+            if n:
+                edge = self.uppers[i] if i < len(self.uppers) else None
+                out.append((edge, n))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create store of named counters, gauges and histograms."""
+
+    def __init__(self):
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def inc(self, name: str, n: int = 1) -> int:
+        """Bump counter *name* (created on first use)."""
+        return self.counter(name).inc(n)
+
+    def count(self, name: str) -> int:
+        """Current counter value (0 if never bumped)."""
+        c = self._counters.get(name)
+        return c.value if c is not None else 0
+
+    def set_count(self, name: str, value: int) -> None:
+        """Mirror an externally-maintained tally (e.g. the runtime's
+        :class:`~repro.soc.counters.PerformanceCounters` events) into
+        this registry; counters stay monotone, so the mirror takes the
+        max of the two."""
+        c = self.counter(name)
+        c.value = max(c.value, int(value))
+
+    # ------------------------------------------------------------------
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    # ------------------------------------------------------------------
+    def histogram(self, name: str,
+                  buckets_s: Optional[Sequence[float]] = None) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                name, buckets_s if buckets_s is not None
+                else DEFAULT_LATENCY_BUCKETS_S)
+        return h
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram *name* (default buckets)."""
+        self.histogram(name).observe(value)
+
+    # ------------------------------------------------------------------
+    def names(self) -> Dict[str, List[str]]:
+        """Registered metric names by family."""
+        return {
+            "counters": sorted(self._counters),
+            "gauges": sorted(self._gauges),
+            "histograms": sorted(self._histograms),
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe dump of every metric (the exporter payload)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {**h.summary(),
+                    "buckets": [[edge, cnt]
+                                for edge, cnt in h.nonzero_buckets()]}
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()

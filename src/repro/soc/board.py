@@ -114,6 +114,7 @@ class AchillesBoard:
         data_bridge: AvalonBridge = HPS2FPGA_BRIDGE,
         csr_bridge: AvalonBridge = LIGHTWEIGHT_BRIDGE,
         trace: Optional[SignalTrace] = None,
+        tracer=None,
     ):
         self.sim = Simulator()
         self.hps = hps or HPSConfig()
@@ -121,6 +122,11 @@ class AchillesBoard:
         self.data_bridge = data_bridge
         self.csr_bridge = csr_bridge
         self.trace = trace
+        #: Optional :class:`~repro.obs.spans.Tracer`: when attached the
+        #: board records one retroactive span per pipeline stage with
+        #: exact simulated-clock timestamps.  ``None`` (default) is the
+        #: zero-cost path; the tracer is a pure observer either way.
+        self.tracer = tracer
         self.counters = PerformanceCounters()
 
         n_in = int(np.prod(hls_model.input_shape))
@@ -200,24 +206,35 @@ class AchillesBoard:
         falls back to in-line compute whenever faults are injected.
         """
         sim = self.sim
+        tr = self.tracer
         self._pending_faults = faults
         self._pending_precomputed = precomputed_raw
         t_pre = self.hps.preprocess_s
+        t0 = sim.now
         sim.advance(t_pre)
+        if tr is not None:
+            tr.record("preprocess", sim_t0=t0, sim_t1=sim.now)
 
         # Step 1: write the quantized frame through the data bridge.
         self.counters.start("step1_write_input", sim.now)
+        t0 = sim.now
         raw = self.ip.quantize_input(frame)
         self.input_ram.write(0, raw)
         t_write = self.data_bridge.write_time(self._bus_words(raw.size))
         sim.advance(t_write)
         self.counters.stop("step1_write_input", sim.now)
+        if tr is not None:
+            tr.record("write_input", sim_t0=t0, sim_t1=sim.now,
+                      words=self._bus_words(raw.size))
         self._apply_seu("input")
 
         # Step 2: trigger through the CSR bridge.  The IP starts when the
         # write lands, i.e. after the bus access completes.
         t_trig = self.hps.csr_access_s + self.csr_bridge.write_time(1)
+        t0 = sim.now
         sim.advance(t_trig)
+        if tr is not None:
+            tr.record("trigger", sim_t0=t0, sim_t1=sim.now)
         self._record("trigger", 1)
         self.control.csr_write(ControlIP.TRIGGER, 1)
 
@@ -232,26 +249,45 @@ class AchillesBoard:
                 "IP never raised its interrupt (frame hung)"
             )
         t_ip = self.counters.stop("ip_compute", sim.now)
+        if tr is not None:
+            tr.record("ip_compute", sim_t0=sim.now - t_ip, sim_t1=sim.now,
+                      precomputed=precomputed_raw is not None)
         self._apply_seu("output")
 
         # Step 7: interrupt delivery + context switch.
         t_irq = self.hps.irq_latency_s
+        t0 = sim.now
         sim.advance(t_irq)
+        if tr is not None:
+            tr.record("irq", sim_t0=t0, sim_t1=sim.now)
 
         # Step 8: read results back over the data bridge, acknowledge.
         self.counters.start("step8_read_output", sim.now)
+        t0 = sim.now
         t_read = self.data_bridge.read_time(self._bus_words(self.ip.n_outputs))
         sim.advance(t_read)
         self.counters.stop("step8_read_output", sim.now)
         self.control.csr_write(ControlIP.IRQ_ACK, 1)
         t_ack = self.hps.csr_access_s + self.csr_bridge.write_time(1)
         sim.advance(t_ack)
+        if tr is not None:
+            tr.record("read_output", sim_t0=t0, sim_t1=sim.now)
         self._record("irq", 0)
 
         t_post = self.hps.postprocess_s
+        t0 = sim.now
         sim.advance(t_post)
+        if tr is not None:
+            tr.record("postprocess", sim_t0=t0, sim_t1=sim.now)
         if jitter_s:
+            t0 = sim.now
             sim.advance(jitter_s)
+            if tr is not None:
+                tr.record("jitter", sim_t0=t0, sim_t1=sim.now)
+        elif tr is not None:
+            # Zero-jitter frames still report the stage so per-frame
+            # stage sums always cover the full FrameTiming breakdown.
+            tr.record("jitter", sim_t0=sim.now, sim_t1=sim.now)
         self._pending_faults = None
         self._pending_precomputed = None
 

@@ -29,30 +29,49 @@ class PerformanceCounters:
         if clock_hz <= 0:
             raise ValueError(f"clock_hz must be positive, got {clock_hz}")
         self.clock_hz = clock_hz
-        self._open: Dict[str, float] = {}
+        self._open: Dict[str, List[float]] = {}
         self._intervals: Dict[str, List[Tuple[float, float]]] = {}
         self._events: Dict[str, int] = {}
 
     def start(self, name: str, now: float) -> None:
-        """Latch the start timestamp of counter *name*."""
-        if name in self._open:
-            raise RuntimeError(f"counter {name!r} already running")
-        self._open[name] = now
+        """Latch a start timestamp of counter *name*.
+
+        Re-entrant: starting an already-running counter pushes a nested
+        start, and ``stop``/``cancel`` pair LIFO with the most recent
+        one.  (Historically a nested ``start`` raised, which left the
+        counter's bookkeeping half-updated in the caller's error path
+        and silently corrupted later intervals; the tracer builds on
+        these counters, so nesting had to become well-defined.)
+        """
+        self._open.setdefault(name, []).append(now)
 
     def stop(self, name: str, now: float) -> float:
-        """Latch the stop timestamp; returns the interval in seconds."""
-        if name not in self._open:
+        """Close the most recent open start; returns the interval in
+        seconds.  Raises if the counter is not running."""
+        stack = self._open.get(name)
+        if not stack:
             raise RuntimeError(f"counter {name!r} was not started")
-        begin = self._open.pop(name)
+        begin = stack[-1]
         if now < begin:
             raise ValueError(f"counter {name!r}: stop before start")
+        stack.pop()
+        if not stack:
+            del self._open[name]
         self._intervals.setdefault(name, []).append((begin, now))
         return now - begin
 
     def cancel(self, name: str) -> None:
-        """Discard an open interval (watchdog-abandoned frame); no-op if
-        the counter is not running."""
-        self._open.pop(name, None)
+        """Discard the most recent open start (watchdog-abandoned
+        frame); a clean no-op if the counter is not running."""
+        stack = self._open.get(name)
+        if stack:
+            stack.pop()
+            if not stack:
+                del self._open[name]
+
+    def open_count(self, name: str) -> int:
+        """Currently-open (nested) starts of counter *name*."""
+        return len(self._open.get(name, ()))
 
     # ------------------------------------------------------------------
     # Event counters

@@ -51,6 +51,10 @@ __all__ = [
     "FrameFaults",
     "FrameHangError",
     "flip_bit",
+    "fault_counter_name",
+    "fault_counter_names",
+    "fold_health_counters",
+    "HEALTH_COUNTER_PREFIXES",
 ]
 
 
@@ -407,6 +411,42 @@ class FrameFaults:
         if not extra and not lost and not seu:
             return None
         return cls(ip_extra_s=extra, lost_irq=lost, seu=tuple(seu))
+
+
+# ----------------------------------------------------------------------
+# Observability folding
+# ----------------------------------------------------------------------
+
+#: Canonical metric name of one fault kind's counter (the runtime bumps
+#: the same name in its :class:`~repro.soc.counters.PerformanceCounters`
+#: events; the observability layer mirrors them 1:1).
+def fault_counter_name(kind: FaultKind) -> str:
+    return f"fault.{kind.value}"
+
+
+def fault_counter_names() -> Tuple[str, ...]:
+    """Metric names of every fault-kind counter, in taxonomy order."""
+    return tuple(fault_counter_name(k) for k in FaultKind)
+
+
+#: Event-counter prefixes the runtime maintains that belong in a metrics
+#: snapshot: injected faults plus the health tallies derived from them.
+HEALTH_COUNTER_PREFIXES = ("fault.", "frame.", "watchdog.", "guard.",
+                           "hub.", "acnet.", "degrade.")
+
+
+def fold_health_counters(counters, metrics) -> None:
+    """Mirror the runtime's fault/health event counters into a
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    *counters* is a :class:`~repro.soc.counters.PerformanceCounters`;
+    only the :data:`HEALTH_COUNTER_PREFIXES` families are folded, and the
+    mirror is idempotent (``set_count`` keeps counters monotone), so the
+    fold can run per frame or once per snapshot.
+    """
+    for name, value in counters.counts().items():
+        if name.startswith(HEALTH_COUNTER_PREFIXES):
+            metrics.set_count(name, value)
 
 
 def flip_bit(word: int, bit: int, width_bits: int = 16) -> int:

@@ -33,6 +33,7 @@ and miss/dead-letter rates, backed by the runtime's
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -41,7 +42,8 @@ import numpy as np
 from repro.beamloss.acnet import ACNETLog, ACNETTransportError
 from repro.beamloss.controller import TripController, TripDecision
 from repro.beamloss.hubs import HubNetwork
-from repro.soc.board import FRAME_PERIOD_S, AchillesBoard
+from repro.obs import Observability
+from repro.soc.board import FRAME_PERIOD_S, AchillesBoard, FrameTiming
 from repro.soc.counters import PerformanceCounters
 from repro.soc.faults import (
     FaultEvent,
@@ -49,6 +51,7 @@ from repro.soc.faults import (
     FaultKind,
     FrameFaults,
     FrameHangError,
+    fold_health_counters,
 )
 from repro.utils.rng import SeedLike, default_rng
 
@@ -281,6 +284,13 @@ class CentralNodeRuntime:
     #: (``HLSModel.compile``) uses it on both the batched and the
     #: frame-at-a-time path, again without changing a bit.
     batch_inference: bool = True
+    #: Observability bundle (:mod:`repro.obs`): tracer + metrics +
+    #: flight recorder.  ``None`` (default) is the zero-cost no-op
+    #: path; when attached, every frame emits a nested span tree, the
+    #: latency histograms and health counters fill in, and the flight
+    #: recorder keeps the last N frames for post-mortems.  Purely
+    #: observational: outputs are bit-identical either way.
+    obs: Optional[Observability] = None
 
     # Degradation state (persists across run() calls).
     engine: str = field(default=ENGINE_PRIMARY, init=False)
@@ -299,6 +309,25 @@ class CentralNodeRuntime:
     def __post_init__(self):
         if self.period_s <= 0:
             raise ValueError("period_s must be positive")
+        if self.obs is not None:
+            self.attach_observability(self.obs)
+
+    # ------------------------------------------------------------------
+    def attach_observability(self, obs: Optional[Observability]) -> None:
+        """Attach (or detach, with ``None``) an observability bundle.
+
+        Threads the tracer into both boards and — when the config asks
+        for kernel-level detail — into their HLS models, so the whole
+        inference path reports into one span tree.
+        """
+        self.obs = obs
+        tracer = obs.tracer if obs is not None else None
+        boards = [self.board] + (
+            [self.fallback_board] if self.fallback_board is not None else [])
+        for board in boards:
+            board.tracer = tracer
+            if obs is None or obs.config.trace_kernels:
+                board.ip.hls_model.tracer = tracer
 
     # ------------------------------------------------------------------
     @property
@@ -388,11 +417,16 @@ class CentralNodeRuntime:
         # Frames that land on the fallback engine (hysteresis can engage
         # mid-block even fault-free, e.g. on jitter-spike deadline
         # misses) drop back to in-line compute frame by frame.
+        obs = self.obs
         precomputed: Optional[np.ndarray] = None
         if (self.batch_inference and schedule is None and n > 0
                 and (self.fallback_board is None
                      or self.engine == ENGINE_PRIMARY)):
-            precomputed = self.board.ip.precompute_raw_outputs(frames)
+            if obs is None:
+                precomputed = self.board.ip.precompute_raw_outputs(frames)
+            else:
+                with obs.tracer.span("batch_precompute", frames=n):
+                    precomputed = self.board.ip.precompute_raw_outputs(frames)
 
         new_records = []
         for i in range(n):
@@ -407,13 +441,28 @@ class CentralNodeRuntime:
                                 or self.engine == ENGINE_PRIMARY))
             if use_batched:
                 self.counters.increment("frame.batched")
-            record = self._process_one(
-                fi, i, frames[i], arrivals[i], float(jitters[i]),
-                events, fault_kinds, spans, anchors,
-                precomputed_raw=precomputed[i] if use_batched else None,
-            )
+            raw_i = precomputed[i] if use_batched else None
+            if obs is None:
+                record = self._process_one(
+                    fi, i, frames[i], arrivals[i], float(jitters[i]),
+                    events, fault_kinds, spans, anchors,
+                    precomputed_raw=raw_i,
+                )
+            else:
+                tick0 = fi * self.period_s
+                with obs.tracer.span("frame", frame=fi, sim_t0=tick0) as sp:
+                    record = self._process_one(
+                        fi, i, frames[i], arrivals[i], float(jitters[i]),
+                        events, fault_kinds, spans, anchors,
+                        precomputed_raw=raw_i,
+                    )
+                    sp.sim_t1 = tick0 + record.total_latency_s
+                    sp.attrs["status"] = record.status
+                    sp.attrs["engine"] = record.engine
             new_records.append(record)
             self.counters.increment(f"frame.{record.status}")
+            if obs is not None:
+                self._observe_frame(record, obs)
         self.records.extend(new_records)
         return new_records
 
@@ -485,6 +534,13 @@ class CentralNodeRuntime:
         else:
             hub_delay = self.period_s
             stale = True
+        obs = self.obs
+        if obs is not None:
+            tick0 = fi * self.period_s
+            obs.tracer.record("hub_readout", frame=fi, sim_t0=tick0,
+                              sim_t1=tick0 + hub_delay,
+                              arrived=int(arrived.sum()),
+                              substituted=len(substituted))
 
         # Steps 1–8 on the active engine, paced to the digitizer grid.
         engine = self.engine if self.fallback_board is not None else ENGINE_PRIMARY
@@ -497,6 +553,7 @@ class CentralNodeRuntime:
         frame_faults = FrameFaults.from_events(events)
         hung = False
         output: Optional[np.ndarray] = None
+        timing: Optional[FrameTiming] = None
         try:
             timing = board.process_frame(fvec, jitter_s=jitter_s,
                                          faults=frame_faults,
@@ -516,7 +573,22 @@ class CentralNodeRuntime:
         if hung:
             self.counters.increment("watchdog.trip")
 
+        if obs is not None and timing is not None and not hung:
+            m = obs.metrics
+            for stage, dur in (("preprocess", timing.preprocess),
+                               ("write_input", timing.write_input),
+                               ("trigger", timing.trigger),
+                               ("ip_compute", timing.ip_compute),
+                               ("irq", timing.irq),
+                               ("read_output", timing.read_output),
+                               ("postprocess", timing.postprocess),
+                               ("jitter", timing.jitter)):
+                m.observe(f"stage.{stage}_s", dur)
+
         total_latency = hub_delay + node_latency
+
+        if obs is not None:
+            _w_decide = _time.perf_counter()
 
         # Decision ladder: watchdog > stale inputs > corruption guard >
         # degraded > ok.
@@ -540,8 +612,17 @@ class CentralNodeRuntime:
             decision = self.controller.decide(output, latency_s=total_latency,
                                               frame_index=fi)
 
+        if obs is not None:
+            obs.tracer.record("decide", frame=fi, wall_t0=_w_decide,
+                              status=status,
+                              machine=decision.machine)
+            _w_publish = _time.perf_counter()
+
         attempts, published = self._publish(decision, events,
                                             fi * self.period_s + total_latency)
+        if obs is not None:
+            obs.tracer.record("publish", frame=fi, wall_t0=_w_publish,
+                              attempts=attempts, published=published)
 
         # Degradation ladder bookkeeping + hysteresis.
         bad = hung or not decision.deadline_met
@@ -571,6 +652,50 @@ class CentralNodeRuntime:
             publish_attempts=attempts,
             published=published,
         )
+
+    # ------------------------------------------------------------------
+    def _observe_frame(self, record: FrameRecord, obs: Observability) -> None:
+        """Fold one processed frame into the observability bundle.
+
+        Pure observer: reads the record, the counters and the tracer's
+        finished spans; never touches the datapath or any RNG stream.
+        """
+        m = obs.metrics
+        m.inc("frames.total")
+        m.inc(f"frames.status.{record.status}")
+        m.inc(f"frames.engine.{record.engine}")
+        if not record.decision.deadline_met:
+            m.inc("frames.deadline_miss")
+        m.observe("latency.total_s", record.total_latency_s)
+        m.observe("latency.hub_s", record.hub_delay_s)
+        m.observe("latency.node_s", record.node_latency_s)
+        m.set_gauge("engine.fallback_active",
+                    1.0 if self.engine == ENGINE_FALLBACK else 0.0)
+        m.set_gauge("degrade.consecutive_bad", float(self._consecutive_bad))
+        fold_health_counters(self.counters, m)
+
+        entry = {
+            "frame": record.frame_index,
+            "status": record.status,
+            "engine": record.engine,
+            "hub_ms": round(record.hub_delay_s * 1e3, 6),
+            "node_ms": round(record.node_latency_s * 1e3, 6),
+            "total_ms": round(record.total_latency_s * 1e3, 6),
+            "deadline_met": record.decision.deadline_met,
+            "machine": record.decision.machine,
+            "faults": list(record.fault_kinds),
+            "substituted_hubs": [int(h) for h in record.substituted_hubs],
+            "published": record.published,
+            "publish_attempts": record.publish_attempts,
+            "spans": [s.to_dict()
+                      for s in obs.tracer.frame_spans(record.frame_index)],
+        }
+        obs.recorder.append(entry)
+        if record.status in (STATUS_WATCHDOG, STATUS_CORRUPT):
+            postmortem = obs.recorder.mark_trip(record.status,
+                                                record.frame_index)
+            if obs.config.dump_path:
+                obs.recorder.dump(obs.config.dump_path, postmortem)
 
     # ------------------------------------------------------------------
     def _output_valid(self, output: Optional[np.ndarray]) -> bool:

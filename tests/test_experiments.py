@@ -15,7 +15,7 @@ class TestRegistry:
                     "fig5c", "ablation-reuse", "ablation-interface",
                     "ablation-buffers", "ablation-standardization",
                     "ablation-interface-style", "ablation-qat",
-                    "ablation-pipelining", "robustness"}
+                    "ablation-pipelining", "robustness", "obs-report"}
         assert expected == set(REGISTRY)
 
     def test_unknown_name(self):

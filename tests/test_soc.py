@@ -247,10 +247,28 @@ class TestCountersAndTrace:
         with pytest.raises(RuntimeError):
             c.stop("never", 1.0)
         c.start("x", 1.0)
-        with pytest.raises(RuntimeError):
-            c.start("x", 2.0)
         with pytest.raises(ValueError):
             c.stop("x", 0.5)
+
+    def test_nested_start_pairs_lifo(self):
+        c = PerformanceCounters()
+        c.start("x", 1.0)
+        c.start("x", 2.0)  # nested start is well-defined (LIFO pairing)
+        assert c.open_count("x") == 2
+        assert c.stop("x", 3.0) == pytest.approx(1.0)
+        assert c.stop("x", 4.0) == pytest.approx(3.0)
+        assert c.open_count("x") == 0
+        with pytest.raises(RuntimeError):
+            c.stop("x", 5.0)
+
+    def test_cancel_pops_innermost_only(self):
+        c = PerformanceCounters()
+        c.start("x", 1.0)
+        c.start("x", 2.0)
+        c.cancel("x")  # discards the nested start, keeps the outer one
+        assert c.stop("x", 3.0) == pytest.approx(2.0)
+        c.cancel("x")  # not running: clean no-op
+        assert c.open_count("x") == 0
 
     def test_trace_capture_and_order(self):
         tr = SignalTrace(depth=8)

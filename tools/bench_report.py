@@ -1,10 +1,11 @@
 """Inference-throughput benchmark report.
 
 Measures the simulation's frame throughput on the reference U-Net design
-in six configurations — model-level ``HLSModel.predict`` (per-frame loop,
-one batched call on the naive executor, and the compiled graph plan) and
-the full ``CentralNodeRuntime`` control loop (sequential, batched, and
-batched-on-compiled-plan) — and writes the results to
+in seven configurations — model-level ``HLSModel.predict`` (per-frame
+loop, one batched call on the naive executor, and the compiled graph
+plan) and the full ``CentralNodeRuntime`` control loop (sequential,
+batched, batched-on-compiled-plan, and the compiled loop with the
+``repro.obs`` tracing layer on) — and writes the results to
 ``BENCH_inference.json``:
 
 * ``fps`` — frames per second (wall clock, best of ``rounds``),
@@ -18,7 +19,9 @@ batched-on-compiled-plan) — and writes the results to
   profiled batched pass, with compiled fused steps lined up against the
   sum of the naive kernels they absorbed,
 * ``speedups`` — batched-over-sequential and compiled-over-batched
-  ratios.
+  ratios, plus the traced-over-untraced ``obs_overhead`` ratio (the run
+  fails when tracing costs more than ``1 - OBS_OVERHEAD_FLOOR`` of fps),
+* ``obs`` — the metrics/spans/recorder snapshot from the traced round.
 
 All fast paths (batched, compiled) are asserted bit-identical to the
 per-frame loop before any timing, so the report can never quote a
@@ -50,6 +53,11 @@ import numpy as np
 
 #: Fractional fps floor relative to the baseline before the run fails.
 REGRESSION_FLOOR = 0.8
+
+#: Traced compiled loop must keep at least this fraction of the untraced
+#: fps (the obs layer's contract: near-zero overhead when on, zero when
+#: off).  Checked on every run, no baseline file needed.
+OBS_OVERHEAD_FLOOR = 0.9
 
 #: The design every number in the report refers to.
 STRATEGY = "Layer-based Precision ac_fixed<16, x>"
@@ -99,13 +107,13 @@ def _per_kernel(naive_model, compiled_model, unet_in) -> Dict[str, object]:
     keys them by step name and lists the absorbed kernels under
     ``covers`` so the two columns stay comparable.
     """
-    naive_model.predict(unet_in, profile=True, compiled=False)
+    naive_model.predict(unet_in, profile=True, executor="naive")
     naive_ms = {k: v * 1e3
-                for k, v in naive_model.last_run_stats.kernel_times.items()}
+                for k, v in naive_model.last_run_stats.step_times.items()}
 
     compiled_model.predict(unet_in, profile=True)
     stats = compiled_model.last_run_stats
-    compiled_ms = {k: v * 1e3 for k, v in stats.kernel_times.items()}
+    compiled_ms = {k: v * 1e3 for k, v in stats.step_times.items()}
 
     steps = {}
     for step in compiled_model.compiled_plan.steps:
@@ -167,12 +175,19 @@ def build_report(quick: bool = False) -> Dict[str, object]:
             m.predict(unet_in[i:i + BATCH_BLOCK_FRAMES])
         return [(time.perf_counter() - t0) / n_frames]
 
-    def runtime_round(m, batch: bool) -> List[float]:
+    def runtime_round(m, batch: bool, traced: bool = False) -> List[float]:
+        from repro.obs import ObsConfig, Observability
+        obs = Observability.from_config(ObsConfig()) if traced else None
         rt = CentralNodeRuntime(board=AchillesBoard(m),
-                                batch_inference=batch)
+                                batch_inference=batch, obs=obs)
         t0 = time.perf_counter()
         rt.run(frames, seed=7)
-        return [(time.perf_counter() - t0) / n_frames]
+        wall = time.perf_counter() - t0
+        if traced:
+            last_obs_snapshot["snapshot"] = obs.snapshot(runtime=rt)
+        return [wall / n_frames]
+
+    last_obs_snapshot: Dict[str, object] = {}
 
     benchmarks = {
         "predict_sequential": _bench(predict_sequential, rounds, n_frames),
@@ -186,6 +201,9 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                                   n_frames),
         "runtime_compiled": _bench(lambda: runtime_round(compiled_model, True),
                                    rounds, n_frames),
+        "runtime_compiled_traced": _bench(
+            lambda: runtime_round(compiled_model, True, traced=True),
+            rounds, n_frames),
     }
     return {
         "meta": {
@@ -215,7 +233,10 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                         / benchmarks["runtime_sequential"]["fps"]),
             "runtime_compile": (benchmarks["runtime_compiled"]["fps"]
                                 / benchmarks["runtime_batched"]["fps"]),
+            "obs_overhead": (benchmarks["runtime_compiled_traced"]["fps"]
+                             / benchmarks["runtime_compiled"]["fps"]),
         },
+        "obs": last_obs_snapshot.get("snapshot"),
     }
 
 
@@ -253,7 +274,8 @@ def main(argv=None) -> int:
     bm = report["benchmarks"]
     print(f"wrote {args.out}")
     for name in ("predict_sequential", "predict_batched", "predict_compiled",
-                 "runtime_sequential", "runtime_batched", "runtime_compiled"):
+                 "runtime_sequential", "runtime_batched", "runtime_compiled",
+                 "runtime_compiled_traced"):
         r = bm[name]
         print(f"  {name:20s} {r['fps']:8.1f} fps  "
               f"p50 {r['latency_p50_ms']:.3f} ms  "
@@ -265,7 +287,13 @@ def main(argv=None) -> int:
           f"runtime {sp['runtime']:.2f}x "
           f"(compile {sp['runtime_compile']:.2f}x); "
           f"peak RSS {report['peak_rss_kib']} KiB")
+    print(f"  obs overhead: traced compiled loop at "
+          f"{sp['obs_overhead']:.2f}x untraced fps "
+          f"(floor {OBS_OVERHEAD_FLOOR:.2f}x)")
 
+    if sp["obs_overhead"] < OBS_OVERHEAD_FLOOR:
+        print("observability overhead beyond the floor", file=sys.stderr)
+        return 1
     if args.baseline is not None:
         if not args.baseline.exists():
             print(f"baseline {args.baseline} missing", file=sys.stderr)
