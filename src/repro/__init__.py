@@ -14,6 +14,8 @@ The package rebuilds the paper's full system in pure Python/numpy:
 * :mod:`repro.verify` — the staged verification flow,
 * :mod:`repro.core` — the ML/HLS co-design methodology (the paper's
   contribution) as a public API,
+* :mod:`repro.serve` — the deterministic sharded multi-worker serving
+  front-end (:func:`repro.build_farm` / :func:`repro.serve_frames`),
 * :mod:`repro.experiments` — one harness per paper table/figure,
 * :mod:`repro.paper` — every published constant, with section refs.
 
@@ -35,10 +37,12 @@ Quickstart (the :mod:`repro.core.api` facade)::
 from repro.core.api import (
     ControlLoopResult,
     RuntimeConfig,
+    build_farm,
     build_runtime,
     codesign_and_deploy,
     load_pretrained,
     run_control_loop,
+    serve_frames,
 )
 from repro.obs import ObsConfig, Observability
 
@@ -53,5 +57,7 @@ __all__ = [
     "load_pretrained",
     "build_runtime",
     "run_control_loop",
+    "build_farm",
+    "serve_frames",
     "codesign_and_deploy",
 ]

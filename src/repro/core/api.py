@@ -10,6 +10,11 @@ Four calls cover the whole reproduction:
 * :func:`codesign_and_deploy` — the paper's co-design pipeline
   (Section IV-D) ending in a verified :class:`Deployment`.
 
+Scale-out rides on the same facade: :func:`build_farm` /
+:func:`serve_frames` wrap :mod:`repro.serve`'s deterministic sharded
+serving front-end (N runtime replicas, micro-batching, spawn worker
+pool) without changing any single-runtime call site.
+
 Configuration travels in two keyword-only dataclasses —
 :class:`RuntimeConfig` for the datapath and
 :class:`~repro.obs.ObsConfig` for tracing/metrics/flight-recording —
@@ -49,6 +54,8 @@ __all__ = [
     "load_pretrained",
     "build_runtime",
     "run_control_loop",
+    "build_farm",
+    "serve_frames",
     "codesign_and_deploy",
 ]
 
@@ -226,6 +233,82 @@ def run_control_loop(model: Union[ModelLike, CentralNodeRuntime],
                              health=runtime.health_report(),
                              runtime=runtime,
                              obs=runtime.obs)
+
+
+def build_farm(model: ModelLike, *,
+               fallback: Optional[ModelLike] = None,
+               config: Optional[RuntimeConfig] = None,
+               obs: Optional[ObsConfig] = None,
+               n_shards: int = 4,
+               batching=None,
+               seed: Optional[int] = 0,
+               arrival_mode: str = "stream"):
+    """Build a :class:`~repro.serve.ShardedNodeFarm` over *model*.
+
+    Each of the *n_shards* stream shards gets its own runtime replica
+    (built exactly like :func:`build_runtime` would, per *config*) and
+    an independent spawn-key-derived seed stream from *seed*.  *obs*
+    must be an :class:`~repro.obs.ObsConfig` (or None): every replica
+    owns a private observability bundle, and the farm merges the
+    per-shard snapshots into one ``repro-obs/1`` export — a ready
+    :class:`~repro.obs.Observability` instance cannot be shared across
+    replicas, so it is rejected.
+
+    *batching* is a :class:`~repro.serve.BatchingPolicy`;
+    *arrival_mode* is ``"stream"`` (live 3 ms grids per shard) or
+    ``"backlog"`` (replay/throughput: batches fill to ``max_batch``).
+    """
+    from repro.serve import FarmSpec, ShardedNodeFarm
+
+    if isinstance(obs, Observability):
+        raise TypeError(
+            "build_farm needs a per-replica ObsConfig (or None), not a "
+            "ready Observability — replicas cannot share one bundle")
+    if not (obs is None or isinstance(obs, ObsConfig)):
+        raise TypeError(f"obs must be ObsConfig or None, got {type(obs)!r}")
+    spec = FarmSpec(model=model, fallback=fallback,
+                    config=config or RuntimeConfig(), obs=obs)
+    return ShardedNodeFarm(spec, n_shards=n_shards, batching=batching,
+                           seed=seed, arrival_mode=arrival_mode)
+
+
+def serve_frames(model, frames: np.ndarray, *,
+                 workers: int = 4,
+                 fallback: Optional[ModelLike] = None,
+                 config: Optional[RuntimeConfig] = None,
+                 obs: Optional[ObsConfig] = None,
+                 n_shards: int = 4,
+                 batching=None,
+                 seed: Optional[int] = 0,
+                 arrival_mode: str = "stream",
+                 **serve_kwargs):
+    """Serve *frames* through a sharded farm; returns a ``FarmResult``.
+
+    *model* is anything :func:`build_farm` accepts, or a ready
+    :class:`~repro.serve.ShardedNodeFarm` (the remaining build keywords
+    are then rejected, mirroring :func:`run_control_loop`'s runtime
+    reuse).  ``workers >= 1`` runs the spawn worker pool; ``workers ==
+    0`` runs the identical plan sequentially in-process — the
+    bit-identity reference the tests and the ``serve_throughput``
+    gate compare against.
+    """
+    from repro.serve import ShardedNodeFarm
+
+    if isinstance(model, ShardedNodeFarm):
+        overrides = {"fallback": fallback, "config": config, "obs": obs,
+                     "batching": batching}
+        given = sorted(k for k, v in overrides.items() if v is not None)
+        if given:
+            raise TypeError(
+                f"serve_frames got a ready farm plus build keywords "
+                f"{given}; configure them in build_farm instead")
+        farm = model
+    else:
+        farm = build_farm(model, fallback=fallback, config=config,
+                          obs=obs, n_shards=n_shards, batching=batching,
+                          seed=seed, arrival_mode=arrival_mode)
+    return farm.serve(np.asarray(frames, dtype=np.float64),
+                      workers=workers, **serve_kwargs)
 
 
 def codesign_and_deploy(

@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.experiments import (ablations, fig3, fig5, obsreport, robustness,
-                               table1, table2, table3)
+                               servebench, table1, table2, table3)
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["REGISTRY", "get_experiment"]
@@ -29,6 +29,7 @@ REGISTRY: Dict[str, Harness] = {
     "ablation-pipelining": ablations.run_pipelining_comparison,
     "robustness": robustness.run,
     "obs-report": obsreport.run,
+    "serve-bench": servebench.run,
 }
 
 

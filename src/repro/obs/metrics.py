@@ -208,6 +208,15 @@ class MetricsRegistry:
             h = self._histograms[name] = Histogram(
                 name, buckets_s if buckets_s is not None
                 else DEFAULT_LATENCY_BUCKETS_S)
+        elif buckets_s is not None:
+            # A caller asking for specific boundaries must get exactly
+            # those boundaries: silently reusing a histogram with other
+            # buckets would hand back wrong-resolution percentiles.
+            requested = tuple(float(b) for b in buckets_s)
+            if requested != h.uppers:
+                raise ValueError(
+                    f"histogram {name!r} already exists with buckets "
+                    f"{h.uppers}, requested {requested}")
         return h
 
     def observe(self, name: str, value: float) -> None:

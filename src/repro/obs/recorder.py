@@ -92,20 +92,26 @@ class FlightRecorder:
 
         The first line is a header record (``{"record": "header", ...}``)
         carrying the trip metadata; every following line is one frame
-        entry.
+        entry.  Both header variants are self-describing: they carry
+        ``frames_seen`` (total frames ever recorded, not just retained)
+        and ``n_entries`` (how many entry lines follow), so a dump can be
+        parsed without knowing which variant produced it.
         """
         if postmortem is None:
+            entries = self.entries()
             header = {"record": "header", "reason": "snapshot",
                       "frames_seen": self.frames_seen,
+                      "n_entries": len(entries),
                       "capacity": self.capacity}
-            entries = self.entries()
         else:
+            entries = list(postmortem.get("entries", []))
             header = {"record": "header",
                       "reason": postmortem.get("reason"),
                       "frame_index": postmortem.get("frame_index"),
                       "trip_number": postmortem.get("trip_number"),
+                      "frames_seen": self.frames_seen,
+                      "n_entries": len(entries),
                       "capacity": self.capacity}
-            entries = list(postmortem.get("entries", []))
         return self._jsonl(header, entries)
 
     def dump(self, path: Union[str, Path],

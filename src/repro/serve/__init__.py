@@ -1,0 +1,67 @@
+"""repro.serve — the sharded multi-worker serving front-end.
+
+Scales the single :class:`~repro.soc.runtime.CentralNodeRuntime` to a
+farm of stream shards (the "many BLM streams, many nodes" deployment of
+the distributed-readout companion paper) without giving up the repo's
+load-bearing property: **bit-exact determinism**.  A farm run on a
+spawn-based worker pool produces the same :class:`FrameRecord` stream,
+word for word, as the same plan executed sequentially in one process —
+for every worker count and every compile level.
+
+Layering (bottom up):
+
+* :mod:`repro.serve.sharding` — round-robin stream shards + spawn-key
+  seed derivation,
+* :mod:`repro.serve.batching` — deadline-aware micro-batch planning on
+  the simulated arrival clock,
+* :mod:`repro.serve.workers` — picklable replica specs, pure shard
+  tasks, the shared-memory worker pool with crash recovery,
+* :mod:`repro.serve.merge` — per-shard metrics/span snapshot merging
+  into one ``repro-obs/1`` export,
+* :mod:`repro.serve.health` — :class:`FarmHealth` aggregation,
+* :mod:`repro.serve.farm` — :class:`ShardedNodeFarm`, tying it all
+  together.
+
+See docs/serving.md for the architecture and the determinism contract;
+``repro.core.api`` exposes the :func:`~repro.core.api.build_farm` /
+:func:`~repro.core.api.serve_frames` facade.
+"""
+
+from repro.serve.batching import BatchingPolicy, MicroBatcher, plan_microbatches
+from repro.serve.farm import FarmPlan, FarmResult, ShardedNodeFarm
+from repro.serve.health import FarmHealth, merge_shard_health
+from repro.serve.merge import merge_metrics_snapshots, merge_obs_snapshots
+from repro.serve.sharding import ShardPlan, shard_seed
+from repro.serve.workers import (
+    OUTPUT_COLUMNS,
+    STATUS_CODES,
+    FarmSpec,
+    ShardTask,
+    TaskResult,
+    WorkerCrashError,
+    WorkerPool,
+    execute_shard_task,
+)
+
+__all__ = [
+    "BatchingPolicy",
+    "MicroBatcher",
+    "plan_microbatches",
+    "FarmPlan",
+    "FarmResult",
+    "ShardedNodeFarm",
+    "FarmHealth",
+    "merge_shard_health",
+    "merge_metrics_snapshots",
+    "merge_obs_snapshots",
+    "ShardPlan",
+    "shard_seed",
+    "FarmSpec",
+    "ShardTask",
+    "TaskResult",
+    "WorkerCrashError",
+    "WorkerPool",
+    "execute_shard_task",
+    "OUTPUT_COLUMNS",
+    "STATUS_CODES",
+]

@@ -1,0 +1,238 @@
+"""`ShardedNodeFarm`: one central node per BLM stream shard.
+
+The paper deploys a single central node; its deployment sketch (and the
+distributed-readout companion paper) feed *many* synchronous BLM
+streams into the accelerator complex.  The farm is that scale-out: N
+:class:`~repro.soc.runtime.CentralNodeRuntime` replicas, one per
+stream shard, each with an independent spawn-key-derived seed stream,
+fed through a deadline-aware micro-batching scheduler and executed
+either
+
+* **in-process, sequentially** — the reference semantics, or
+* **on a spawn-based worker pool** with shared-memory frame/output
+  buffers, crash detection, worker restart and task requeue.
+
+The determinism contract (asserted by ``tests/test_serve.py`` and the
+``serve_throughput`` gate in ``tools/bench_report.py``): both execution
+modes produce **bit-identical** :class:`FrameRecord` streams for every
+worker count, because
+
+1. sharding and micro-batch planning are pure arithmetic over frame
+   indices and simulated arrival times (:mod:`repro.serve.sharding`,
+   :mod:`repro.serve.batching`),
+2. every shard task is self-contained and pure — a fresh replica, a
+   shard-local seed, the task's own frames — so execution order across
+   shards (or re-execution after a crash) cannot change any output,
+3. both modes run the *same* :func:`execute_shard_task` code path on
+   replicas built from the same pickled spec.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.batching import (
+    BatchingPolicy,
+    backlog_arrivals,
+    plan_microbatches,
+    stream_arrivals,
+)
+from repro.serve.health import FarmHealth, merge_shard_health
+from repro.serve.merge import merge_obs_snapshots
+from repro.serve.sharding import ShardPlan
+from repro.serve.workers import (
+    OUTPUT_COLUMNS,
+    FarmSpec,
+    ShardTask,
+    TaskResult,
+    WorkerPool,
+    execute_shard_task,
+)
+from repro.soc.board import FRAME_PERIOD_S
+from repro.soc.runtime import FrameRecord
+
+__all__ = ["ShardedNodeFarm", "FarmPlan", "FarmResult"]
+
+#: Recognised arrival models for :meth:`ShardedNodeFarm.serve`.
+ARRIVAL_MODES = ("stream", "backlog")
+
+
+@dataclass(frozen=True)
+class FarmPlan:
+    """The deterministic execution plan for one frame block."""
+
+    shard_plan: ShardPlan
+    tasks: Tuple[ShardTask, ...]
+
+    @property
+    def n_batches(self) -> int:
+        return sum(len(t.batches) for t in self.tasks)
+
+
+@dataclass
+class FarmResult:
+    """Everything one :meth:`ShardedNodeFarm.serve` call produced."""
+
+    records: List[FrameRecord]          # global submission order
+    by_shard: List[List[FrameRecord]]   # shard → local-order records
+    outputs: np.ndarray                 # (n, len(OUTPUT_COLUMNS))
+    health: FarmHealth
+    plan: FarmPlan
+    obs: Optional[Dict[str, Any]] = None  # merged repro-obs/1 snapshot
+    wall_s: float = 0.0
+    workers: int = 0
+
+    @property
+    def throughput_fps(self) -> float:
+        """Aggregate frames per wall-clock second of the serve call."""
+        return len(self.records) / self.wall_s if self.wall_s > 0 else 0.0
+
+    def signature(self) -> list:
+        """The full per-frame output stream, for bit-identity asserts."""
+        return self.records
+
+
+class ShardedNodeFarm:
+    """A deterministic multi-stream serving front-end.
+
+    Parameters
+    ----------
+    spec:
+        The :class:`~repro.serve.workers.FarmSpec` replica recipe
+        (model, fallback, runtime config, per-shard obs config).
+    n_shards:
+        Stream shards = runtime replicas.  Each shard is its own
+        digitizer stream with an independent seed stream.
+    batching:
+        Micro-batching policy (deadline slack, max batch, cost model).
+    seed:
+        Farm seed; shard ``s`` derives its streams via
+        :func:`~repro.serve.sharding.shard_seed`.
+    arrival_mode:
+        ``"stream"`` — each shard's frames arrive on its own 3 ms grid
+        (live serving; batch sizes follow the slack window).
+        ``"backlog"`` — all frames are already queued (replay /
+        throughput benchmarking; batches fill to ``max_batch``).
+    """
+
+    def __init__(self, spec: FarmSpec, *, n_shards: int = 4,
+                 batching: Optional[BatchingPolicy] = None,
+                 seed: Optional[int] = 0,
+                 arrival_mode: str = "stream"):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if arrival_mode not in ARRIVAL_MODES:
+            raise ValueError(f"arrival_mode must be one of {ARRIVAL_MODES}, "
+                             f"got {arrival_mode!r}")
+        self.spec = spec
+        self.n_shards = n_shards
+        self.batching = batching or BatchingPolicy()
+        self.seed = seed
+        self.arrival_mode = arrival_mode
+
+    # ------------------------------------------------------------------
+    @property
+    def period_s(self) -> float:
+        cfg = self.spec.config
+        return cfg.period_s if cfg is not None else FRAME_PERIOD_S
+
+    def plan(self, n_frames: int,
+             chaos_crash_shards: Sequence[int] = ()) -> FarmPlan:
+        """The deterministic shard/batch plan for *n_frames* frames."""
+        shard_plan = ShardPlan(n_frames=n_frames, n_shards=self.n_shards)
+        crash_set = set(chaos_crash_shards)
+        unknown = crash_set - set(range(self.n_shards))
+        if unknown:
+            raise ValueError(f"chaos_crash_shards {sorted(unknown)} outside "
+                             f"[0, {self.n_shards})")
+        tasks = []
+        for s in range(self.n_shards):
+            globals_ = shard_plan.shard_globals(s)
+            if self.arrival_mode == "backlog":
+                arrivals = backlog_arrivals(len(globals_))
+            else:
+                arrivals = stream_arrivals(len(globals_), self.period_s)
+            batches = tuple(plan_microbatches(arrivals, self.batching))
+            tasks.append(ShardTask(
+                task_id=s,
+                shard=s,
+                seed_entropy=self.seed,
+                global_indices=globals_,
+                batches=batches,
+                crash=s in crash_set,
+            ))
+        return FarmPlan(shard_plan=shard_plan, tasks=tuple(tasks))
+
+    # ------------------------------------------------------------------
+    def serve(self, frames: np.ndarray, *, workers: int = 4,
+              chaos_crash_shards: Sequence[int] = (),
+              **pool_kwargs) -> FarmResult:
+        """Run a frame block through the farm.
+
+        ``workers >= 1`` uses the spawn worker pool; ``workers == 0``
+        executes the same plan sequentially in-process (the
+        bit-identity reference).  *chaos_crash_shards* hard-kills the
+        worker first claiming each listed shard's task (test hook;
+        requires ``workers >= 1``); the supervisor restarts and
+        requeues, and the results must still be bit-identical.
+        """
+        frames = np.ascontiguousarray(frames, dtype=np.float64)
+        if frames.ndim != 2:
+            raise ValueError(f"frames must be 2-D, got {frames.shape}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chaos_crash_shards and workers < 1:
+            raise ValueError("chaos_crash_shards requires workers >= 1")
+        plan = self.plan(frames.shape[0], chaos_crash_shards)
+
+        t0 = time.perf_counter()
+        if workers >= 1:
+            pool = WorkerPool(self.spec, min(workers, self.n_shards),
+                              **pool_kwargs)
+            results, outputs, stats = pool.run(frames, list(plan.tasks))
+            restarts, requeued = stats.worker_restarts, stats.requeued_tasks
+            n_workers = pool.n_workers
+        else:
+            outputs = np.full((frames.shape[0], len(OUTPUT_COLUMNS)), np.nan)
+            results = [execute_shard_task(self.spec, t, frames, outputs)
+                       for t in plan.tasks]
+            restarts = requeued = 0
+            n_workers = 0
+        wall = time.perf_counter() - t0
+
+        return self._assemble(plan, results, outputs, wall,
+                              workers=n_workers,
+                              worker_restarts=restarts,
+                              requeued_tasks=requeued)
+
+    def serve_reference(self, frames: np.ndarray) -> FarmResult:
+        """The sequential in-process reference (= ``serve(workers=0)``)."""
+        return self.serve(frames, workers=0)
+
+    # ------------------------------------------------------------------
+    def _assemble(self, plan: FarmPlan, results: List[TaskResult],
+                  outputs: np.ndarray, wall_s: float, *, workers: int,
+                  worker_restarts: int, requeued_tasks: int) -> FarmResult:
+        by_shard = [r.records for r in results]
+        records = plan.shard_plan.gather(by_shard)
+        health = merge_shard_health(
+            [r.health for r in results],
+            n_shards=self.n_shards,
+            workers=workers,
+            batches=plan.n_batches,
+            worker_restarts=worker_restarts,
+            requeued_tasks=requeued_tasks,
+        )
+        obs = None
+        snaps = [r.obs_snapshot for r in results]
+        if any(s is not None for s in snaps):
+            obs = merge_obs_snapshots(
+                [s for s in snaps if s is not None],
+                extra_meta={"n_shards": self.n_shards, "workers": workers})
+        return FarmResult(records=records, by_shard=by_shard,
+                          outputs=outputs, health=health, plan=plan,
+                          obs=obs, wall_s=wall_s, workers=workers)

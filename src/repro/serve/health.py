@@ -1,0 +1,112 @@
+"""Farm-level health aggregation.
+
+The single-runtime :class:`~repro.soc.runtime.HealthReport` answers
+"how did *this* node fare"; a farm needs the same answer across N
+replicas **plus** the serving layer's own failure domain — worker
+crashes, restarts, requeued shard tasks.  :class:`FarmHealth` folds the
+per-shard reports (as plain dicts, the picklable form the workers ship
+back) and the pool statistics into one renderable summary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["FarmHealth", "merge_shard_health"]
+
+
+def _sum_dicts(dicts) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for d in dicts:
+        for k, v in d.items():
+            out[k] = out.get(k, 0) + int(v)
+    return out
+
+
+@dataclass(frozen=True)
+class FarmHealth:
+    """Aggregated robustness + serving telemetry of one farm run."""
+
+    frames_total: int
+    n_shards: int
+    workers: int
+    batches: int
+    worker_restarts: int
+    requeued_tasks: int
+    status_counts: Dict[str, int]
+    fault_counts: Dict[str, int]
+    engine_frames: Dict[str, int]
+    deadline_miss_rate: float
+    watchdog_trips: int
+    substituted_slices: int
+    publish_retries: int
+    dead_letters: int
+    shard_health: Tuple[Dict[str, Any], ...]
+
+    def render(self) -> str:
+        """Multi-line printable summary (farm first, then per shard)."""
+        lines = ["farm health:"]
+        lines.append(f"  frames: {self.frames_total} over "
+                     f"{self.n_shards} shards "
+                     f"({self.batches} micro-batches, "
+                     f"{self.workers} workers)")
+        if self.worker_restarts or self.requeued_tasks:
+            lines.append(f"  worker restarts: {self.worker_restarts}, "
+                         f"requeued shard tasks: {self.requeued_tasks}")
+        for status, count in sorted(self.status_counts.items()):
+            lines.append(f"    {status}: {count}")
+        if self.fault_counts:
+            lines.append("  injected faults:")
+            for kind in sorted(self.fault_counts):
+                lines.append(f"    {kind}: {self.fault_counts[kind]}")
+        lines.append("  engines: " + ", ".join(
+            f"{k}={v}" for k, v in sorted(self.engine_frames.items())))
+        lines.append(f"  deadline miss rate: {self.deadline_miss_rate:.2%}")
+        lines.append(f"  watchdog trips: {self.watchdog_trips}, "
+                     f"substituted hub slices: {self.substituted_slices}")
+        lines.append(f"  publish retries: {self.publish_retries}, "
+                     f"dead letters: {self.dead_letters}")
+        for i, h in enumerate(self.shard_health):
+            miss = h.get("deadline_miss_rate", 0.0)
+            lines.append(f"  shard {i}: {h.get('frames_total', 0)} frames, "
+                         f"miss {miss:.2%}, "
+                         f"watchdog {h.get('watchdog_trips', 0)}")
+        return "\n".join(lines)
+
+
+def merge_shard_health(shard_health, *, n_shards: int, workers: int,
+                       batches: int, worker_restarts: int = 0,
+                       requeued_tasks: int = 0) -> FarmHealth:
+    """Fold per-shard :class:`HealthReport` dicts into a FarmHealth.
+
+    *shard_health* is a sequence of ``dataclasses.asdict(HealthReport)``
+    payloads, one per shard, in shard order.
+    """
+    shard_health = tuple(dict(h) for h in shard_health)
+    frames_total = sum(h.get("frames_total", 0) for h in shard_health)
+    misses = sum(h.get("deadline_miss_rate", 0.0)
+                 * h.get("frames_total", 0) for h in shard_health)
+    return FarmHealth(
+        frames_total=frames_total,
+        n_shards=n_shards,
+        workers=workers,
+        batches=batches,
+        worker_restarts=worker_restarts,
+        requeued_tasks=requeued_tasks,
+        status_counts=_sum_dicts(h.get("status_counts", {})
+                                 for h in shard_health),
+        fault_counts=_sum_dicts(h.get("fault_counts", {})
+                                for h in shard_health),
+        engine_frames=_sum_dicts(h.get("engine_frames", {})
+                                 for h in shard_health),
+        deadline_miss_rate=(misses / frames_total) if frames_total else 0.0,
+        watchdog_trips=sum(h.get("watchdog_trips", 0)
+                           for h in shard_health),
+        substituted_slices=sum(h.get("substituted_slices", 0)
+                               for h in shard_health),
+        publish_retries=sum(h.get("publish_retries", 0)
+                            for h in shard_health),
+        dead_letters=sum(h.get("dead_letters", 0) for h in shard_health),
+        shard_health=shard_health,
+    )

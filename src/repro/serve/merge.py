@@ -1,0 +1,183 @@
+"""Merging per-shard observability snapshots into one export.
+
+Every shard replica owns a private :class:`~repro.obs.MetricsRegistry`
+and :class:`~repro.obs.spans.Tracer` (worker processes cannot share
+Python objects), so a farm run produces N ``repro-obs/1`` snapshots.
+This module folds them into a single ``repro-obs/1`` document:
+
+* **counters** — summed (event tallies are additive across shards),
+* **gauges** — the maximum (gauges are last-values; the merged export
+  reports the *worst* shard, e.g. ``engine.fallback_active`` is 1.0 if
+  any shard fell back),
+* **histograms** — bucket counts summed edge-by-edge, percentiles
+  recomputed from the merged sparse buckets with the same deterministic
+  upper-edge rule :class:`~repro.obs.metrics.Histogram` uses (overflow
+  reports the merged exact max),
+* **span stage stats** — counts summed, means count-weighted, maxima
+  maxed.  Exact per-shard percentiles cannot be merged without the raw
+  samples, so the merged stage stats carry ``count``/``mean_s``/
+  ``max_s`` only; the full per-shard snapshots ride along under
+  ``"shards"`` for drill-down.
+
+The merge is pure dict arithmetic — deterministic for a given snapshot
+list, regardless of which worker produced which shard.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.export import OBS_FORMAT
+
+__all__ = ["merge_metrics_snapshots", "merge_obs_snapshots",
+           "merge_histogram_summaries"]
+
+
+def _sum_counters(snaps: Sequence[Dict[str, Any]]) -> Dict[str, int]:
+    out: Dict[str, int] = {}
+    for snap in snaps:
+        for name, value in snap.items():
+            out[name] = out.get(name, 0) + int(value)
+    return dict(sorted(out.items()))
+
+
+def _max_gauges(snaps: Sequence[Dict[str, Any]]) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for snap in snaps:
+        for name, value in snap.items():
+            v = float(value)
+            out[name] = max(out.get(name, -math.inf), v)
+    return dict(sorted(out.items()))
+
+
+def merge_histogram_summaries(summaries: Sequence[Dict[str, Any]],
+                              ) -> Dict[str, Any]:
+    """Fold N snapshot-form histograms (same metric) into one.
+
+    Each input is the ``{"count", "mean", "p50", ..., "max",
+    "buckets": [[edge, count], ...]}`` form
+    :meth:`MetricsRegistry.snapshot` emits (``edge`` is ``None`` for
+    the overflow bucket).  Percentiles are recomputed from the merged
+    buckets with the upper-edge rule, so the result is exactly what a
+    single registry observing every shard's samples would report —
+    provided the shards used identical bucket boundaries (they do: all
+    replicas are built from one spec).
+    """
+    total = sum(int(s.get("count", 0)) for s in summaries)
+    if total == 0:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p90": 0.0,
+                "p99": 0.0, "max": 0.0, "buckets": []}
+    mean = sum(float(s.get("mean", 0.0)) * int(s.get("count", 0))
+               for s in summaries) / total
+    max_value = max(float(s.get("max", 0.0)) for s in summaries
+                    if int(s.get("count", 0)))
+
+    merged: Dict[Optional[float], int] = {}
+    for s in summaries:
+        for edge, count in s.get("buckets", []):
+            key = None if edge is None else float(edge)
+            merged[key] = merged.get(key, 0) + int(count)
+    edges = sorted(k for k in merged if k is not None)
+    ordered = [(e, merged[e]) for e in edges]
+    if None in merged:
+        ordered.append((None, merged[None]))
+
+    def percentile(q: float) -> float:
+        rank = math.ceil(q / 100.0 * total)
+        cumulative = 0
+        for edge, count in ordered:
+            cumulative += count
+            if cumulative >= rank:
+                return max_value if edge is None else edge
+        return max_value  # pragma: no cover - rank <= total always hits
+
+    return {
+        "count": total,
+        "mean": mean,
+        "p50": percentile(50),
+        "p90": percentile(90),
+        "p99": percentile(99),
+        "max": max_value,
+        "buckets": [[edge, count] for edge, count in ordered],
+    }
+
+
+def merge_metrics_snapshots(snaps: Sequence[Dict[str, Any]],
+                            ) -> Dict[str, Any]:
+    """Merge N :meth:`MetricsRegistry.snapshot` payloads."""
+    hist_names = sorted({name for s in snaps
+                         for name in s.get("histograms", {})})
+    return {
+        "counters": _sum_counters([s.get("counters", {}) for s in snaps]),
+        "gauges": _max_gauges([s.get("gauges", {}) for s in snaps]),
+        "histograms": {
+            name: merge_histogram_summaries(
+                [s["histograms"][name] for s in snaps
+                 if name in s.get("histograms", {})])
+            for name in hist_names
+        },
+    }
+
+
+def _merge_stage_stats(stages: Sequence[Dict[str, Dict[str, float]]],
+                       ) -> Dict[str, Dict[str, float]]:
+    names = sorted({name for s in stages for name in s})
+    out: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        rows = [s[name] for s in stages if name in s]
+        count = sum(int(r.get("count", 0)) for r in rows)
+        if count == 0:
+            out[name] = {"count": 0, "mean_s": 0.0, "max_s": 0.0}
+            continue
+        mean = sum(float(r.get("mean_s", 0.0)) * int(r.get("count", 0))
+                   for r in rows) / count
+        out[name] = {
+            "count": count,
+            "mean_s": mean,
+            "max_s": max(float(r.get("max_s", 0.0)) for r in rows),
+        }
+    return out
+
+
+def merge_obs_snapshots(snaps: Sequence[Dict[str, Any]], *,
+                        include_shards: bool = True,
+                        extra_meta: Optional[Dict[str, Any]] = None,
+                        ) -> Dict[str, Any]:
+    """Fold N per-shard ``repro-obs/1`` snapshots into one.
+
+    The result is itself a ``repro-obs/1`` document whose ``meta``
+    carries ``merged_shards``; with *include_shards* the untouched
+    per-shard snapshots are kept under ``"shards"``.
+    """
+    snaps = list(snaps)
+    merged: Dict[str, Any] = {
+        "meta": {"format": OBS_FORMAT, "merged_shards": len(snaps),
+                 **(extra_meta or {})},
+        "metrics": merge_metrics_snapshots(
+            [s.get("metrics", {}) for s in snaps]),
+        "spans": {
+            "count": sum(int(s.get("spans", {}).get("count", 0))
+                         for s in snaps),
+            "dropped": sum(int(s.get("spans", {}).get("dropped", 0))
+                           for s in snaps),
+            "stages_sim": _merge_stage_stats(
+                [s.get("spans", {}).get("stages_sim", {}) for s in snaps]),
+            "stages_wall": _merge_stage_stats(
+                [s.get("spans", {}).get("stages_wall", {}) for s in snaps]),
+        },
+        "recorder": {
+            "capacity": sum(int(s.get("recorder", {}).get("capacity", 0))
+                            for s in snaps),
+            "frames_seen": sum(
+                int(s.get("recorder", {}).get("frames_seen", 0))
+                for s in snaps),
+            "retained": sum(int(s.get("recorder", {}).get("retained", 0))
+                            for s in snaps),
+            "trips": sum(int(s.get("recorder", {}).get("trips", 0))
+                         for s in snaps),
+        },
+    }
+    if include_shards:
+        merged["shards"] = snaps
+    return merged

@@ -1,0 +1,108 @@
+"""Deterministic stream sharding for the serving farm.
+
+The distributed-readout companion deployment feeds *many* synchronous
+BLM streams into the central complex.  The farm models that as N
+**shards**: shard ``s`` owns every global frame ``g`` with
+``g % n_shards == s``, re-indexed to a shard-local stream ``0..n_s-1``
+on its own 3 ms digitizer grid.  The assignment is pure arithmetic —
+no queue hand-off, no arrival race — so the same global frame block
+always lands on the same shard at the same local position, regardless
+of how many worker processes execute the shards.
+
+Seeds follow the same discipline as
+:func:`repro.soc.runtime.derive_stream_seeds`: each shard draws its
+hub/jitter streams from a :class:`numpy.random.SeedSequence` child
+spawned off the farm seed with the shard index in the spawn key, so
+
+* two shards of one farm never share a stream,
+* a shard's stream is independent of how frames were micro-batched
+  (the runtime folds the batch start index into the spawn key itself),
+* re-running the same farm seed is bit-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["ShardPlan", "shard_seed", "SERVE_SPAWN_TAG"]
+
+#: Leading spawn-key element for farm shard seeds ("SERV" in ASCII).
+#: Keeps farm-derived SeedSequence children disjoint from every other
+#: spawn-key user (the runtime folds plain ``(start,)`` keys).
+SERVE_SPAWN_TAG = 0x53455256
+
+
+def shard_seed(entropy, shard: int) -> np.random.SeedSequence:
+    """The :class:`~numpy.random.SeedSequence` driving one shard.
+
+    ``entropy`` is the farm seed (int or None); the shard index goes
+    into the spawn key, after which the runtime's own
+    :func:`~repro.soc.runtime.derive_stream_seeds` appends the batch
+    start index — giving the full key ``(TAG, shard, start)``.
+    """
+    if shard < 0:
+        raise ValueError(f"shard must be >= 0, got {shard}")
+    return np.random.SeedSequence(entropy=entropy,
+                                  spawn_key=(SERVE_SPAWN_TAG, shard))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Round-robin assignment of a global frame block to shards.
+
+    Global frame ``g`` → shard ``g % n_shards``, local position
+    ``g // n_shards``; the inverse is ``g = pos * n_shards + shard``.
+    """
+
+    n_frames: int
+    n_shards: int
+
+    def __post_init__(self):
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.n_frames < 0:
+            raise ValueError(f"n_frames must be >= 0, got {self.n_frames}")
+
+    # ------------------------------------------------------------------
+    def shard_of(self, g: int) -> int:
+        return g % self.n_shards
+
+    def local_of(self, g: int) -> int:
+        return g // self.n_shards
+
+    def global_of(self, shard: int, pos: int) -> int:
+        return pos * self.n_shards + shard
+
+    def shard_size(self, shard: int) -> int:
+        """Frames shard *shard* owns out of the block."""
+        base, extra = divmod(self.n_frames, self.n_shards)
+        return base + (1 if shard < extra else 0)
+
+    def shard_globals(self, shard: int) -> Tuple[int, ...]:
+        """Global indices of shard *shard*, in local (arrival) order."""
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard must be in [0, {self.n_shards}), "
+                             f"got {shard}")
+        return tuple(range(shard, self.n_frames, self.n_shards))
+
+    def gather(self, per_shard: List[list]) -> list:
+        """Interleave per-shard result lists back into global order.
+
+        ``per_shard[s][p]`` is the result of global frame
+        ``p * n_shards + s``; the output is ordered ``0..n_frames-1``.
+        """
+        if len(per_shard) != self.n_shards:
+            raise ValueError(
+                f"expected {self.n_shards} shard lists, got {len(per_shard)}")
+        out = [None] * self.n_frames
+        for s, items in enumerate(per_shard):
+            if len(items) != self.shard_size(s):
+                raise ValueError(
+                    f"shard {s}: expected {self.shard_size(s)} results, "
+                    f"got {len(items)}")
+            for p, item in enumerate(items):
+                out[self.global_of(s, p)] = item
+        return out

@@ -1,0 +1,462 @@
+"""Shard execution: runtime replicas, worker processes, crash recovery.
+
+The execution layer under :class:`~repro.serve.farm.ShardedNodeFarm`:
+
+* :class:`FarmSpec` — a picklable recipe for one runtime replica
+  (model + fallback + :class:`~repro.core.api.RuntimeConfig` +
+  :class:`~repro.obs.ObsConfig`).  Every replica is built from a
+  pickle round-trip of the spec's models, so the in-process reference
+  constructs *exactly* what a spawned worker deserialises — sharing no
+  mutable state with the parent either way.
+* :class:`ShardTask` / :class:`TaskResult` — one self-contained unit of
+  work (a shard's frames plus its micro-batch plan) and everything it
+  produced (records, health, per-shard obs snapshot).  Tasks are
+  **pure**: re-executing one from scratch yields bit-identical results,
+  which is what makes crash-requeue provably safe.
+* :func:`execute_shard_task` — the single execution path shared by the
+  in-process reference and the worker processes.
+* :class:`WorkerPool` — a ``multiprocessing`` (spawn) pool with
+  shared-memory frame/output buffers, per-worker task inboxes, crash
+  detection via liveness polling, worker restart and task requeue.
+
+Frames travel to workers through one :class:`SharedMemory` block and
+per-frame numeric outputs come back through another (score, machine
+code, latency breakdown, status code, publish flag — see
+:data:`OUTPUT_COLUMNS`); the rich :class:`FrameRecord` stream returns
+through a **per-worker result pipe**.  One pipe per worker — never a
+queue shared between workers — is load-bearing for crash recovery:
+``multiprocessing.Queue.put`` hands the payload to a feeder thread
+that flushes it while holding a write lock *shared by every writer*,
+so a worker that hard-exits moments after a put can die inside that
+critical section and silently deadlock all surviving writers.  A pipe
+has exactly one writer and no shared lock, so a crashing worker can
+only ever poison its own channel, and results it flushed before dying
+are still delivered ahead of the EOF that signals the crash.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs import ObsConfig, Observability
+from repro.serve.sharding import shard_seed
+from repro.soc.runtime import (
+    STATUS_CORRUPT,
+    STATUS_DEGRADED,
+    STATUS_OK,
+    STATUS_STALE,
+    STATUS_WATCHDOG,
+    CentralNodeRuntime,
+    FrameRecord,
+)
+
+__all__ = [
+    "FarmSpec",
+    "ShardTask",
+    "TaskResult",
+    "WorkerCrashError",
+    "WorkerPool",
+    "execute_shard_task",
+    "OUTPUT_COLUMNS",
+    "STATUS_CODES",
+]
+
+#: Status → numeric code for the shared-memory output buffer.
+STATUS_CODES: Tuple[str, ...] = (STATUS_OK, STATUS_DEGRADED, STATUS_STALE,
+                                 STATUS_CORRUPT, STATUS_WATCHDOG)
+
+#: Columns of the per-frame output row a worker writes into shared
+#: memory (float64 each).  ``machine`` is the index into the
+#: controller's ``machine_names`` (-1 = no trip); ``status`` indexes
+#: :data:`STATUS_CODES`.
+OUTPUT_COLUMNS: Tuple[str, ...] = ("score", "machine", "total_latency_s",
+                                   "node_latency_s", "hub_delay_s",
+                                   "status", "published")
+
+
+@dataclass(frozen=True)
+class FarmSpec:
+    """Picklable recipe for one shard's runtime replica.
+
+    ``model``/``fallback`` may be float :class:`~repro.nn.Model`\\ s or
+    converted :class:`~repro.hls.HLSModel`\\ s — they pass through
+    :func:`repro.core.api.build_runtime`, which converts and compiles
+    per ``config.compile_level``.  ``obs`` being non-None gives every
+    replica its *own* observability bundle; the farm merges the
+    per-shard snapshots afterwards (:mod:`repro.serve.merge`).
+    """
+
+    model: Any
+    fallback: Any = None
+    config: Any = None          # RuntimeConfig (default built lazily)
+    obs: Optional[ObsConfig] = None
+
+    def build_runtime(self) -> CentralNodeRuntime:
+        """A fresh, fully private runtime replica.
+
+        The models are pickle round-tripped so replicas built in this
+        process share nothing with the spec (or each other) — the exact
+        object graph a spawned worker gets off the wire.
+        """
+        from repro.core.api import RuntimeConfig, build_runtime
+
+        model = pickle.loads(pickle.dumps(self.model))
+        fallback = (pickle.loads(pickle.dumps(self.fallback))
+                    if self.fallback is not None else None)
+        return build_runtime(
+            model,
+            fallback=fallback,
+            config=self.config or RuntimeConfig(),
+            obs=Observability.from_config(self.obs),
+        )
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One shard's complete, self-contained unit of work.
+
+    ``global_indices`` are the shard's frames (arrival order) in the
+    shared frame buffer; ``batches`` is the micro-batch plan as
+    half-open ranges over those indices.  ``crash`` is a test hook: a
+    worker claiming a crash-flagged task dies hard before executing it
+    (the supervisor requeues it with the flag cleared).
+    """
+
+    task_id: int
+    shard: int
+    seed_entropy: Optional[int]
+    global_indices: Tuple[int, ...]
+    batches: Tuple[Tuple[int, int], ...]
+    crash: bool = False
+
+
+@dataclass
+class TaskResult:
+    """Everything one executed shard task produced."""
+
+    task_id: int
+    shard: int
+    records: List[FrameRecord]
+    health: Dict[str, Any]
+    obs_snapshot: Optional[Dict[str, Any]] = None
+
+
+class WorkerCrashError(RuntimeError):
+    """The pool exhausted its restart budget (or lost all workers)."""
+
+
+# ----------------------------------------------------------------------
+# Task execution (shared by the inline reference and worker processes)
+# ----------------------------------------------------------------------
+def _machine_code(runtime: CentralNodeRuntime, machine) -> float:
+    if machine is None:
+        return -1.0
+    return float(runtime.controller.machine_names.index(machine))
+
+
+def execute_shard_task(spec: FarmSpec, task: ShardTask, frames: np.ndarray,
+                       out: Optional[np.ndarray] = None) -> TaskResult:
+    """Run one shard task on a fresh replica; optionally fill *out*.
+
+    *frames* is the **global** frame block; the task's own indices
+    select the shard's slice.  *out* (when given) is the global
+    ``(n_frames, len(OUTPUT_COLUMNS))`` output buffer; the task writes
+    exactly its own rows.  Pure: no state survives the call except the
+    returned :class:`TaskResult` and the output rows.
+    """
+    runtime = spec.build_runtime()
+    seed = shard_seed(task.seed_entropy, task.shard)
+    local = frames[np.asarray(task.global_indices, dtype=np.intp)]
+    records: List[FrameRecord] = []
+    for a, b in task.batches:
+        records.extend(runtime.run(local[a:b], seed=seed))
+    if len(records) != len(task.global_indices):
+        raise AssertionError(
+            f"shard {task.shard}: {len(records)} records for "
+            f"{len(task.global_indices)} frames")
+    if out is not None:
+        for g, r in zip(task.global_indices, records):
+            out[g, :] = (
+                float(r.decision.score),
+                _machine_code(runtime, r.decision.machine),
+                float(r.total_latency_s),
+                float(r.node_latency_s),
+                float(r.hub_delay_s),
+                float(STATUS_CODES.index(r.status)),
+                1.0 if r.published else 0.0,
+            )
+    obs_snapshot = (runtime.obs.snapshot(runtime=runtime)
+                    if runtime.obs is not None else None)
+    return TaskResult(
+        task_id=task.task_id,
+        shard=task.shard,
+        records=records,
+        health=dataclasses.asdict(runtime.health_report()),
+        obs_snapshot=obs_snapshot,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker process body
+# ----------------------------------------------------------------------
+def _attach_shm(name: str):
+    """Attach an existing SharedMemory block.
+
+    Spawn children share the parent's resource-tracker process, whose
+    name cache is a set — the attach-side ``register`` this interpreter
+    performs is therefore a no-op duplicate, and the parent's
+    ``unlink`` retires the single entry.  (Do **not** ``unregister``
+    here: that would strip the parent's entry and make its unlink
+    complain about an unknown name.)
+    """
+    from multiprocessing import shared_memory
+
+    return shared_memory.SharedMemory(name=name)
+
+
+def _worker_main(worker_id: int, spec: FarmSpec, inbox, results,
+                 frames_shm: str, frames_shape, out_shm: str,
+                 out_shape) -> None:
+    """Worker loop: pull shard tasks until the ``None`` sentinel.
+
+    *results* is this worker's private end of a one-writer pipe —
+    ``send`` completes synchronously in this thread, so once a task's
+    result is on the wire no later crash can retract or block it.
+    """
+    f_shm = _attach_shm(frames_shm)
+    o_shm = _attach_shm(out_shm)
+    try:
+        frames = np.ndarray(frames_shape, dtype=np.float64,
+                            buffer=f_shm.buf)
+        out = np.ndarray(out_shape, dtype=np.float64, buffer=o_shm.buf)
+        while True:
+            task = inbox.get()
+            if task is None:
+                break
+            if task.crash:
+                # Test hook: die hard (no cleanup, no result) so the
+                # supervisor exercises real crash detection.
+                os._exit(13)
+            result = execute_shard_task(spec, task, frames, out)
+            results.send(("done", worker_id, task.task_id, result))
+    finally:
+        results.close()
+        f_shm.close()
+        o_shm.close()
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+@dataclass
+class PoolStats:
+    """Supervisor bookkeeping of one :meth:`WorkerPool.run`."""
+
+    workers: int = 0
+    worker_restarts: int = 0
+    requeued_tasks: int = 0
+
+
+class WorkerPool:
+    """Spawn-based worker pool with crash detection and task requeue.
+
+    Parameters
+    ----------
+    spec:
+        The replica recipe shipped to every worker once (at spawn).
+    n_workers:
+        Processes kept alive while work remains.
+    start_method:
+        ``multiprocessing`` start method; the default ``spawn`` is the
+        only one that never inherits parent state (determinism) and
+        works identically everywhere.
+    max_restarts:
+        Crash budget; exceeding it raises :class:`WorkerCrashError`
+        (a farm that cannot hold its workers must fail loudly).
+    stall_timeout_s:
+        Maximum wall time with no completed task and no detected crash
+        before the pool gives up (guards CI against silent hangs).
+    """
+
+    def __init__(self, spec: FarmSpec, n_workers: int, *,
+                 start_method: str = "spawn", max_restarts: int = 8,
+                 stall_timeout_s: float = 300.0):
+        if n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+        if max_restarts < 0:
+            raise ValueError(f"max_restarts must be >= 0, got {max_restarts}")
+        self.spec = spec
+        self.n_workers = n_workers
+        self.start_method = start_method
+        self.max_restarts = max_restarts
+        self.stall_timeout_s = stall_timeout_s
+
+    # ------------------------------------------------------------------
+    def run(self, frames: np.ndarray, tasks: List[ShardTask],
+            ) -> Tuple[List[TaskResult], np.ndarray, PoolStats]:
+        """Execute *tasks* over *frames*; returns (results, outputs, stats).
+
+        Results come back ordered by ``task_id``; ``outputs`` is the
+        assembled ``(n_frames, len(OUTPUT_COLUMNS))`` matrix from the
+        shared output buffer.
+        """
+        import multiprocessing as mp
+        from multiprocessing import connection as mp_connection
+        from multiprocessing import shared_memory
+
+        frames = np.ascontiguousarray(frames, dtype=np.float64)
+        n = frames.shape[0]
+        out_shape = (n, len(OUTPUT_COLUMNS))
+        ctx = mp.get_context(self.start_method)
+        stats = PoolStats(workers=self.n_workers)
+
+        f_shm = shared_memory.SharedMemory(
+            create=True, size=max(frames.nbytes, 8))
+        o_shm = shared_memory.SharedMemory(
+            create=True, size=max(8 * n * len(OUTPUT_COLUMNS), 8))
+        try:
+            shm_frames = np.ndarray(frames.shape, dtype=np.float64,
+                                    buffer=f_shm.buf)
+            shm_frames[...] = frames
+            shm_out = np.ndarray(out_shape, dtype=np.float64,
+                                 buffer=o_shm.buf)
+            shm_out[...] = np.nan
+
+            workers: Dict[int, Any] = {}
+            inboxes: Dict[int, Any] = {}
+            outpipes: Dict[int, Any] = {}   # wid -> parent recv end
+            pipe_wid: Dict[Any, int] = {}
+            assigned: Dict[int, Optional[ShardTask]] = {}
+            next_wid = 0
+
+            def spawn_worker():
+                nonlocal next_wid
+                wid = next_wid
+                next_wid += 1
+                inbox = ctx.Queue()
+                r_recv, r_send = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(wid, self.spec, inbox, r_send,
+                          f_shm.name, frames.shape, o_shm.name, out_shape),
+                    daemon=True,
+                )
+                proc.start()
+                # Drop the parent's copy of the send end so the pipe
+                # hits EOF the instant its (sole) worker dies.
+                r_send.close()
+                workers[wid] = proc
+                inboxes[wid] = inbox
+                outpipes[wid] = r_recv
+                pipe_wid[r_recv] = wid
+                assigned[wid] = None
+                return wid
+
+            def drop_pipe(wid: int) -> None:
+                conn = outpipes.pop(wid, None)
+                if conn is not None:
+                    pipe_wid.pop(conn, None)
+                    conn.close()
+
+            for _ in range(min(self.n_workers, max(len(tasks), 1))):
+                spawn_worker()
+
+            pending = list(tasks)
+            done: Dict[int, TaskResult] = {}
+            last_progress = time.monotonic()
+            try:
+                while len(done) < len(tasks):
+                    # Dispatch to idle workers (skip tasks a crashed
+                    # worker's duplicate already completed).
+                    for wid in list(workers):
+                        if assigned[wid] is None and pending:
+                            task = pending.pop(0)
+                            if task.task_id in done:
+                                continue
+                            assigned[wid] = task
+                            inboxes[wid].put(task)
+                    # Drain every ready result pipe (bounded wait; a
+                    # pipe is also "ready" at EOF, i.e. worker death —
+                    # buffered results are delivered before the EOF).
+                    progressed = False
+                    for conn in mp_connection.wait(list(outpipes.values()),
+                                                   timeout=0.05):
+                        wid = pipe_wid[conn]
+                        try:
+                            kind, _src, tid, payload = conn.recv()
+                        except EOFError:
+                            # Worker gone; let the liveness pass below
+                            # requeue whatever it was holding.
+                            drop_pipe(wid)
+                            continue
+                        if kind == "done" and tid not in done:
+                            done[tid] = payload
+                        if wid in assigned:
+                            assigned[wid] = None
+                        progressed = True
+                    if progressed:
+                        last_progress = time.monotonic()
+                        continue
+                    # Liveness: requeue the in-flight task of any dead
+                    # worker and replace the worker.
+                    for wid in list(workers):
+                        proc = workers[wid]
+                        if proc.is_alive():
+                            continue
+                        task = assigned.pop(wid)
+                        workers.pop(wid)
+                        inboxes.pop(wid)
+                        drop_pipe(wid)
+                        if task is not None and task.task_id not in done:
+                            stats.worker_restarts += 1
+                            stats.requeued_tasks += 1
+                            if stats.worker_restarts > self.max_restarts:
+                                raise WorkerCrashError(
+                                    f"worker crash budget exhausted "
+                                    f"({self.max_restarts} restarts); "
+                                    f"last casualty held shard "
+                                    f"{task.shard}")
+                            pending.insert(
+                                0, dataclasses.replace(task, crash=False))
+                            spawn_worker()
+                            last_progress = time.monotonic()
+                        elif len(done) < len(tasks) and not workers:
+                            # Idle worker died with work remaining:
+                            # keep the pool at least one strong.
+                            stats.worker_restarts += 1
+                            spawn_worker()
+                    if (time.monotonic() - last_progress
+                            > self.stall_timeout_s):
+                        raise WorkerCrashError(
+                            f"no worker progress for "
+                            f"{self.stall_timeout_s:.0f}s "
+                            f"({len(done)}/{len(tasks)} tasks done)")
+            finally:
+                for wid, inbox in inboxes.items():
+                    try:
+                        inbox.put(None)
+                    except Exception:  # pragma: no cover - defensive
+                        pass
+                for proc in workers.values():
+                    proc.join(timeout=5.0)
+                    if proc.is_alive():  # pragma: no cover - defensive
+                        proc.terminate()
+                        proc.join(timeout=1.0)
+                for wid in list(outpipes):
+                    drop_pipe(wid)
+
+            outputs = np.array(shm_out, copy=True)
+        finally:
+            f_shm.close()
+            f_shm.unlink()
+            o_shm.close()
+            o_shm.unlink()
+        ordered = [done[t.task_id] for t in tasks]
+        return ordered, outputs, stats

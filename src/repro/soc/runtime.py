@@ -319,15 +319,22 @@ class CentralNodeRuntime:
         Threads the tracer into both boards and — when the config asks
         for kernel-level detail — into their HLS models, so the whole
         inference path reports into one span tree.
+
+        The kernel tracer is *always* assigned (to the new tracer or to
+        ``None``), never conditionally left alone: re-attaching a bundle
+        with ``trace_kernels=False`` after one with ``trace_kernels=True``
+        must clear the old bundle's tracer from the HLS models, or the
+        detached bundle keeps silently receiving kernel spans.
         """
         self.obs = obs
         tracer = obs.tracer if obs is not None else None
+        kernel_tracer = (tracer if (obs is not None
+                                    and obs.config.trace_kernels) else None)
         boards = [self.board] + (
             [self.fallback_board] if self.fallback_board is not None else [])
         for board in boards:
             board.tracer = tracer
-            if obs is None or obs.config.trace_kernels:
-                board.ip.hls_model.tracer = tracer
+            board.ip.hls_model.tracer = kernel_tracer
 
     # ------------------------------------------------------------------
     @property

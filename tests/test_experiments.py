@@ -15,7 +15,8 @@ class TestRegistry:
                     "fig5c", "ablation-reuse", "ablation-interface",
                     "ablation-buffers", "ablation-standardization",
                     "ablation-interface-style", "ablation-qat",
-                    "ablation-pipelining", "robustness", "obs-report"}
+                    "ablation-pipelining", "robustness", "obs-report",
+                    "serve-bench"}
         assert expected == set(REGISTRY)
 
     def test_unknown_name(self):

@@ -159,6 +159,18 @@ class TestHistogram:
         assert snap["counters"]["a"] == 3
         assert snap["histograms"]["h"]["count"] == 1
 
+    def test_existing_histogram_bucket_mismatch_raises(self):
+        # Regression: re-requesting a histogram with different buckets
+        # used to silently return the old one — the caller would then
+        # read percentiles quantised to edges it never asked for.
+        m = MetricsRegistry()
+        h = m.histogram("lat", buckets_s=(1e-3, 2e-3))
+        assert m.histogram("lat") is h                       # no buckets
+        assert m.histogram("lat", buckets_s=(1e-3, 2e-3)) is h  # same
+        assert m.histogram("lat", buckets_s=[1e-3, 2e-3]) is h  # any seq
+        with pytest.raises(ValueError, match="already exists"):
+            m.histogram("lat", buckets_s=(1e-3, 4e-3))
+
 
 # ----------------------------------------------------------------------
 # The 260-frame span tree
@@ -268,6 +280,32 @@ class TestFlightRecorder:
             rec.mark_trip("watchdog_timeout", frame_index=t)
         assert rec.trips == 3
         assert len(rec.postmortems) == 2   # bounded, oldest evicted
+
+    def test_jsonl_headers_carry_frames_seen(self):
+        # Regression: the post-mortem header used to drop frames_seen,
+        # so a dump could not say how much history the ring had lost.
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.append({"frame": i})
+
+        lines = rec.to_jsonl().splitlines()
+        header = json.loads(lines[0])
+        assert header["record"] == "header"
+        assert header["reason"] == "snapshot"
+        assert header["frames_seen"] == 10
+        assert header["n_entries"] == 4 == len(lines) - 1
+        assert header["capacity"] == 4
+
+        pm = rec.mark_trip("watchdog_timeout", frame_index=9)
+        rec.append({"frame": 10})          # post-trip frames keep flowing
+        lines = rec.to_jsonl(pm).splitlines()
+        header = json.loads(lines[0])
+        assert header["reason"] == "watchdog_timeout"
+        assert header["frame_index"] == 9
+        assert header["trip_number"] == 1
+        assert header["frames_seen"] == 11   # total ever seen, not ring
+        assert header["n_entries"] == 4 == len(lines) - 1
+        assert [json.loads(l)["frame"] for l in lines[1:]] == [6, 7, 8, 9]
 
 
 # ----------------------------------------------------------------------
@@ -399,3 +437,54 @@ class TestFacade:
                            config=RuntimeConfig(min_votes=1))
         assert rt.fallback_board is not None
         assert rt.fallback_board.ip.hls_model is not obs_hls
+
+
+# ----------------------------------------------------------------------
+# Observability re-attach: no stale kernel tracer
+# ----------------------------------------------------------------------
+class TestObsReattach:
+    """Regression: re-attaching with ``trace_kernels=False`` (or
+    detaching entirely) used to leave the previous bundle's tracer on
+    ``board.ip.hls_model`` — kernel spans kept flowing into a tracer
+    the runtime no longer owned."""
+
+    @staticmethod
+    def _assert_wired(rt, obs, trace_kernels):
+        tracer = obs.tracer if obs is not None else None
+        kernel = tracer if (obs is not None and trace_kernels) else None
+        for board in (rt.board, rt.fallback_board):
+            assert board.tracer is tracer
+            assert board.ip.hls_model.tracer is kernel
+
+    def test_reattach_matrix_clears_stale_kernel_tracer(self, obs_model,
+                                                        obs_hls):
+        rt = build_runtime(obs_hls, fallback=obs_model,
+                           config=RuntimeConfig(min_votes=1))
+        # Every transition of trace_kernels on/off/detached, twice over,
+        # so each state is reached both from "on" and from "off".
+        for trace_kernels in (True, False, None, True, None, False, True):
+            if trace_kernels is None:
+                obs = None
+            else:
+                obs = Observability.from_config(
+                    ObsConfig(trace_kernels=trace_kernels))
+            rt.attach_observability(obs)
+            assert rt.obs is obs
+            self._assert_wired(rt, obs, trace_kernels)
+
+    def test_reattach_off_stops_kernel_spans(self, obs_hls):
+        traced = Observability.from_config(ObsConfig(trace_kernels=True))
+        rt = build_runtime(obs_hls, config=RuntimeConfig(min_votes=1),
+                           obs=traced)
+        rt.run(frames_for(2), seed=1)
+        assert any(n.startswith("kernel.") for n in traced.tracer.names())
+
+        untraced = Observability.from_config(ObsConfig(trace_kernels=False))
+        rt.attach_observability(untraced)
+        rt.run(frames_for(2), seed=1)
+        assert not any(n.startswith("kernel.")
+                       for n in untraced.tracer.names())
+        # And the old bundle stopped receiving spans entirely.
+        before = len(traced.tracer.names())
+        rt.run(frames_for(2), seed=1)
+        assert len(traced.tracer.names()) == before

@@ -1,0 +1,358 @@
+"""Tests for ``repro.serve`` — the sharded multi-worker serving front-end.
+
+The load-bearing guarantees pinned here:
+
+* sharding and micro-batch planning are pure arithmetic with exact,
+  pinnable outputs (round-robin assignment, deadline-aware flushes),
+* a farm run on the spawn worker pool is **bit-identical** to the same
+  plan executed sequentially in-process, for every worker count and
+  compile level — the determinism contract of docs/serving.md,
+* a hard worker crash is detected, the worker restarted, the shard task
+  requeued, and the results are *still* bit-identical (tasks are pure),
+* per-shard observability snapshots merge into one ``repro-obs/1``
+  document whose counters/histograms equal a single registry that saw
+  every sample,
+* the ``repro.core.api`` facade (``build_farm``/``serve_frames``)
+  validates its inputs and round-trips through the farm.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.api import RuntimeConfig, build_farm, serve_frames
+from repro.hls import HLSConfig, convert
+from repro.nn import Conv1D, Dense, Flatten, Input, Model, ReLU, Sigmoid
+from repro.obs import MetricsRegistry, ObsConfig, Observability
+from repro.serve import (
+    BatchingPolicy,
+    FarmSpec,
+    ShardedNodeFarm,
+    ShardPlan,
+    WorkerCrashError,
+    WorkerPool,
+    merge_obs_snapshots,
+    plan_microbatches,
+    shard_seed,
+)
+from repro.serve.batching import backlog_arrivals, stream_arrivals
+from repro.serve.merge import merge_histogram_summaries
+from repro.soc.board import FRAME_PERIOD_S
+
+N_MONITORS = 16
+
+
+@pytest.fixture(scope="module")
+def tiny_model():
+    inp = Input((N_MONITORS, 1), name="in")
+    x = Conv1D(4, 3, seed=21, name="c1")(inp)
+    x = ReLU(name="r1")(x)
+    x = Dense(2, seed=23, name="d1")(x)
+    x = Sigmoid(name="s1")(x)
+    return Model(inp, Flatten(name="f1")(x), name="serve-tiny")
+
+
+@pytest.fixture(scope="module")
+def tiny_hls(tiny_model):
+    return convert(tiny_model, HLSConfig())
+
+
+def frames_for(n, seed=77):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0.0, 1.0, size=(n, N_MONITORS))
+
+
+def farm_for(hls, *, level=0, n_shards=3, obs=None, max_batch=4,
+             arrival_mode="backlog", seed=3):
+    return build_farm(
+        hls,
+        config=RuntimeConfig(compile_level=level, min_votes=1,
+                             batch_inference=True),
+        obs=obs,
+        n_shards=n_shards,
+        batching=BatchingPolicy(max_batch=max_batch),
+        seed=seed,
+        arrival_mode=arrival_mode,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sharding: pure round-robin arithmetic
+# ----------------------------------------------------------------------
+class TestSharding:
+    def test_round_robin_round_trip(self):
+        plan = ShardPlan(n_frames=11, n_shards=3)
+        for g in range(11):
+            s, p = plan.shard_of(g), plan.local_of(g)
+            assert plan.global_of(s, p) == g
+        assert plan.shard_globals(0) == (0, 3, 6, 9)
+        assert plan.shard_globals(1) == (1, 4, 7, 10)
+        assert plan.shard_globals(2) == (2, 5, 8)
+        assert [plan.shard_size(s) for s in range(3)] == [4, 4, 3]
+
+    def test_gather_inverts_sharding(self):
+        plan = ShardPlan(n_frames=10, n_shards=4)
+        per_shard = [[g for g in plan.shard_globals(s)] for s in range(4)]
+        assert plan.gather(per_shard) == list(range(10))
+
+    def test_gather_validates_sizes(self):
+        plan = ShardPlan(n_frames=6, n_shards=2)
+        with pytest.raises(ValueError, match="expected 2 shard lists"):
+            plan.gather([[0, 2, 4]])
+        with pytest.raises(ValueError, match="shard 1"):
+            plan.gather([[0, 2, 4], [1, 3]])
+
+    def test_shard_seeds_are_independent_and_reproducible(self):
+        draws = {}
+        for shard in range(4):
+            rng = np.random.default_rng(shard_seed(3, shard))
+            draws[shard] = tuple(rng.integers(0, 2**63, size=4))
+            again = np.random.default_rng(shard_seed(3, shard))
+            assert tuple(again.integers(0, 2**63, size=4)) == draws[shard]
+        assert len(set(draws.values())) == 4      # pairwise distinct
+        other_farm = np.random.default_rng(shard_seed(4, 0))
+        assert tuple(other_farm.integers(0, 2**63, size=4)) != draws[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardPlan(n_frames=4, n_shards=0)
+        with pytest.raises(ValueError):
+            shard_seed(0, -1)
+        with pytest.raises(ValueError):
+            ShardPlan(n_frames=4, n_shards=2).shard_globals(2)
+
+
+# ----------------------------------------------------------------------
+# Micro-batching: deterministic, pinnable plans
+# ----------------------------------------------------------------------
+class TestBatching:
+    def test_backlog_fills_to_max_batch(self):
+        plan = plan_microbatches(backlog_arrivals(10),
+                                 BatchingPolicy(max_batch=4))
+        assert plan == [(0, 4), (4, 8), (8, 10)]
+
+    def test_zero_slack_stream_dispatches_singletons(self):
+        plan = plan_microbatches(stream_arrivals(4, FRAME_PERIOD_S),
+                                 BatchingPolicy(max_batch=8, slack_s=0.0))
+        assert plan == [(0, 1), (1, 2), (2, 3), (3, 4)]
+
+    def test_deadline_aware_early_flush(self):
+        # Slack of 3 ticks, 1 ms predicted dispatch cost per queued
+        # frame: the 4th frame would push the oldest past its deadline
+        # (9 ms arrival + 4 ms dispatch > 0 ms + 9 ms slack), so every
+        # batch flushes at 3 frames although max_batch is 32.
+        policy = BatchingPolicy(max_batch=32, slack_s=3 * FRAME_PERIOD_S,
+                                est_cost_per_frame_s=1e-3)
+        plan = plan_microbatches(stream_arrivals(10, FRAME_PERIOD_S), policy)
+        assert plan == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_plan_covers_exactly_once_in_order(self):
+        plan = plan_microbatches(stream_arrivals(23, FRAME_PERIOD_S),
+                                 BatchingPolicy(max_batch=5))
+        flat = [i for a, b in plan for i in range(a, b)]
+        assert flat == list(range(23))
+
+    def test_arrivals_must_be_sorted(self):
+        with pytest.raises(ValueError, match="non-decreasing"):
+            plan_microbatches([0.0, 2.0, 1.0], BatchingPolicy())
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BatchingPolicy(max_batch=0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(slack_s=-1.0)
+        with pytest.raises(ValueError):
+            BatchingPolicy(est_cost_per_frame_s=-1.0)
+
+
+# ----------------------------------------------------------------------
+# The determinism contract: pool == sequential reference, bit for bit
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("level", [0, 1, 2])
+    def test_pool_matches_reference_across_worker_counts(self, tiny_hls,
+                                                         level):
+        frames = frames_for(24)
+        farm = farm_for(tiny_hls, level=level)
+        reference = farm.serve_reference(frames)
+        assert len(reference.records) == 24
+        assert not np.isnan(reference.outputs).any()
+        for workers in (1, 2, 4):
+            result = farm.serve(frames, workers=workers)
+            assert result.records == reference.records, \
+                f"workers={workers} level={level} diverged"
+            assert np.array_equal(result.outputs, reference.outputs)
+            assert result.health.worker_restarts == 0
+            assert result.health.frames_total == 24
+
+    def test_stream_arrival_mode_matches_reference(self, tiny_hls):
+        frames = frames_for(18)
+        farm = farm_for(tiny_hls, arrival_mode="stream", max_batch=8)
+        reference = farm.serve_reference(frames)
+        result = farm.serve(frames, workers=2)
+        assert result.records == reference.records
+
+    def test_records_interleave_in_global_order(self, tiny_hls):
+        frames = frames_for(10)
+        farm = farm_for(tiny_hls)
+        result = farm.serve_reference(frames)
+        assert [r.frame_index for r in
+                result.by_shard[0]] == [0, 1, 2, 3]      # shard-local
+        assert len(result.records) == 10
+        # Row g of the output block belongs to global frame g: its
+        # score column equals the gathered record's decision score.
+        for g, record in enumerate(result.records):
+            assert result.outputs[g, 0] == float(record.decision.score)
+
+
+# ----------------------------------------------------------------------
+# Crash recovery: requeued tasks stay bit-identical
+# ----------------------------------------------------------------------
+class TestCrashRecovery:
+    def test_crashes_are_detected_requeued_and_identical(self, tiny_hls):
+        frames = frames_for(18)
+        farm = farm_for(tiny_hls)
+        reference = farm.serve_reference(frames)
+        result = farm.serve(frames, workers=2, chaos_crash_shards=(0, 2))
+        assert result.health.worker_restarts == 2
+        assert result.health.requeued_tasks == 2
+        assert result.records == reference.records
+        assert np.array_equal(result.outputs, reference.outputs)
+        assert "worker restarts: 2" in result.health.render()
+
+    def test_restart_budget_exhaustion_raises(self, tiny_hls):
+        frames = frames_for(6)
+        farm = farm_for(tiny_hls)
+        with pytest.raises(WorkerCrashError, match="budget"):
+            farm.serve(frames, workers=1, chaos_crash_shards=(1,),
+                       max_restarts=0)
+
+    def test_pool_validation(self, tiny_hls):
+        spec = FarmSpec(model=tiny_hls)
+        with pytest.raises(ValueError):
+            WorkerPool(spec, 0)
+        with pytest.raises(ValueError):
+            WorkerPool(spec, 1, max_restarts=-1)
+
+
+# ----------------------------------------------------------------------
+# Observability merging
+# ----------------------------------------------------------------------
+class TestObsMerge:
+    def test_merged_histogram_equals_single_registry(self):
+        buckets = (1e-3, 2e-3, 4e-3)
+        shard_a, shard_b, whole = (MetricsRegistry() for _ in range(3))
+        a_vals = [0.5e-3, 1.5e-3, 3e-3, 9e-3]
+        b_vals = [0.2e-3, 1.1e-3, 1.9e-3]
+        for v in a_vals:
+            shard_a.histogram("lat", buckets_s=buckets).observe(v)
+        for v in b_vals:
+            shard_b.histogram("lat", buckets_s=buckets).observe(v)
+        for v in a_vals + b_vals:
+            whole.histogram("lat", buckets_s=buckets).observe(v)
+
+        merged = merge_histogram_summaries(
+            [shard_a.snapshot()["histograms"]["lat"],
+             shard_b.snapshot()["histograms"]["lat"]])
+        expected = whole.snapshot()["histograms"]["lat"]
+        assert merged["count"] == expected["count"] == 7
+        assert merged["mean"] == pytest.approx(expected["mean"])
+        for q in ("p50", "p90", "p99", "max"):
+            assert merged[q] == expected[q]
+        assert merged["buckets"] == expected["buckets"]
+
+    def test_farm_merges_shard_snapshots(self, tiny_hls):
+        frames = frames_for(12)
+        farm = farm_for(tiny_hls, obs=ObsConfig(flight_frames=8))
+        result = farm.serve(frames, workers=2)
+        obs = result.obs
+        assert obs is not None
+        assert obs["meta"]["format"] == "repro-obs/1"
+        assert obs["meta"]["merged_shards"] == 3
+        assert obs["meta"]["workers"] == 2
+        assert obs["metrics"]["counters"]["frames.total"] == 12
+        assert len(obs["shards"]) == 3
+        shard_total = sum(s["metrics"]["counters"]["frames.total"]
+                          for s in obs["shards"])
+        assert shard_total == 12
+        assert obs["recorder"]["frames_seen"] == 12
+
+    def test_counters_sum_and_gauges_max(self):
+        snaps = [
+            {"metrics": {"counters": {"a": 2}, "gauges": {"g": 1.0},
+                         "histograms": {}},
+             "spans": {"count": 3, "dropped": 0,
+                       "stages_sim": {}, "stages_wall": {}},
+             "recorder": {"capacity": 4, "frames_seen": 3,
+                          "retained": 3, "trips": 0}},
+            {"metrics": {"counters": {"a": 5, "b": 1},
+                         "gauges": {"g": 7.0}, "histograms": {}},
+             "spans": {"count": 2, "dropped": 1,
+                       "stages_sim": {}, "stages_wall": {}},
+             "recorder": {"capacity": 4, "frames_seen": 2,
+                          "retained": 2, "trips": 1}},
+        ]
+        merged = merge_obs_snapshots(snaps, include_shards=False)
+        assert merged["metrics"]["counters"] == {"a": 7, "b": 1}
+        assert merged["metrics"]["gauges"] == {"g": 7.0}
+        assert merged["spans"] == {"count": 5, "dropped": 1,
+                                   "stages_sim": {}, "stages_wall": {}}
+        assert merged["recorder"]["trips"] == 1
+        assert "shards" not in merged
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+class TestServeFacade:
+    def test_top_level_exports(self):
+        assert repro.build_farm is build_farm
+        assert repro.serve_frames is serve_frames
+
+    def test_serve_frames_builds_and_serves(self, tiny_hls):
+        frames = frames_for(9)
+        result = serve_frames(tiny_hls, frames, workers=0, n_shards=3,
+                              config=RuntimeConfig(min_votes=1),
+                              batching=BatchingPolicy(max_batch=4),
+                              arrival_mode="backlog", seed=3)
+        farm = farm_for(tiny_hls, max_batch=4)
+        assert result.records == farm.serve_reference(frames).records
+
+    def test_serve_frames_accepts_ready_farm(self, tiny_hls):
+        frames = frames_for(6)
+        farm = farm_for(tiny_hls)
+        result = serve_frames(farm, frames, workers=0)
+        assert result.records == farm.serve_reference(frames).records
+        with pytest.raises(TypeError, match="ready farm"):
+            serve_frames(farm, frames, workers=0,
+                         config=RuntimeConfig(min_votes=1))
+
+    def test_build_farm_rejects_shared_observability(self, tiny_hls):
+        with pytest.raises(TypeError, match="ObsConfig"):
+            build_farm(tiny_hls,
+                       obs=Observability.from_config(ObsConfig()))
+        with pytest.raises(TypeError, match="ObsConfig"):
+            build_farm(tiny_hls, obs=object())
+
+    def test_farm_validation(self, tiny_hls):
+        spec = FarmSpec(model=tiny_hls)
+        with pytest.raises(ValueError, match="n_shards"):
+            ShardedNodeFarm(spec, n_shards=0)
+        with pytest.raises(ValueError, match="arrival_mode"):
+            ShardedNodeFarm(spec, arrival_mode="poisson")
+        farm = ShardedNodeFarm(spec, n_shards=2)
+        with pytest.raises(ValueError, match="2-D"):
+            farm.serve(np.zeros(4), workers=0)
+        with pytest.raises(ValueError, match="workers"):
+            farm.serve(frames_for(4), workers=-1)
+        with pytest.raises(ValueError, match="chaos"):
+            farm.serve(frames_for(4), workers=0, chaos_crash_shards=(0,))
+        with pytest.raises(ValueError, match="outside"):
+            farm.plan(4, chaos_crash_shards=(5,))
+
+    def test_plan_is_deterministic(self, tiny_hls):
+        farm = farm_for(tiny_hls, max_batch=4)
+        assert farm.plan(10) == farm.plan(10)
+        plan = farm.plan(10)
+        assert plan.n_batches == sum(len(t.batches) for t in plan.tasks)
+        assert plan.tasks[1].batches == ((0, 3),)      # 3 frames, 1 batch

@@ -21,11 +21,17 @@ batched, batched-on-compiled-plan, and the compiled loop with the
 * ``speedups`` — batched-over-sequential and compiled-over-batched
   ratios, plus the traced-over-untraced ``obs_overhead`` ratio (the run
   fails when tracing costs more than ``1 - OBS_OVERHEAD_FLOOR`` of fps),
-* ``obs`` — the metrics/spans/recorder snapshot from the traced round.
+* ``obs`` — the metrics/spans/recorder snapshot from the traced round,
+* ``serve_reference`` / ``serve_pool4`` — the sharded serving front-end
+  (:mod:`repro.serve`, backlog arrivals) executed sequentially
+  in-process and on a 4-worker spawn pool.  Pool wall time includes
+  replica build and worker spawn, so it is a cold-start figure; the
+  ``serve_pool`` speedup is reported but not baseline-gated.
 
-All fast paths (batched, compiled) are asserted bit-identical to the
-per-frame loop before any timing, so the report can never quote a
-speedup for a path that diverged.
+All fast paths (batched, compiled, farm pool) are asserted bit-identical
+to their reference before any timing, so the report can never quote a
+speedup for a path that diverged — a farm pool run that diverges from
+the sequential farm reference aborts the report.
 
 Usage::
 
@@ -63,7 +69,13 @@ OBS_OVERHEAD_FLOOR = 0.9
 STRATEGY = "Layer-based Precision ac_fixed<16, x>"
 
 #: Benchmarks the baseline gate checks (both executors must hold).
+#: The serve benchmarks stay ungated: pool fps includes spawn cold-start
+#: and is far too machine-dependent for a committed floor.
 GATED_BENCHMARKS = ("runtime_batched", "runtime_compiled")
+
+#: Farm geometry for the serve benchmarks.
+SERVE_SHARDS = 4
+SERVE_MAX_BATCH = 16
 
 
 def _rss_kib() -> int:
@@ -189,6 +201,32 @@ def build_report(quick: bool = False) -> Dict[str, object]:
 
     last_obs_snapshot: Dict[str, object] = {}
 
+    # Sharded serving front-end: bit-identity gate first, timing after.
+    from repro.core.api import RuntimeConfig, build_farm
+    from repro.serve import BatchingPolicy
+
+    farm = build_farm(model,
+                      config=RuntimeConfig(batch_inference=True),
+                      n_shards=SERVE_SHARDS,
+                      batching=BatchingPolicy(max_batch=SERVE_MAX_BATCH),
+                      seed=7, arrival_mode="backlog")
+    serve_ref = farm.serve_reference(frames)
+    serve_pool = farm.serve(frames, workers=4)
+    if serve_pool.records != serve_ref.records or not np.array_equal(
+            serve_pool.outputs, serve_ref.outputs):
+        raise AssertionError(
+            "4-worker farm pool diverged from the sequential farm "
+            "reference — serving determinism contract broken")
+
+    def serve_round(workers: int) -> List[float]:
+        result = farm.serve(frames, workers=workers)
+        if result.records != serve_ref.records:
+            raise AssertionError(
+                f"farm run (workers={workers}) diverged mid-benchmark")
+        return [result.wall_s / n_frames]
+
+    serve_rounds = 1 if quick else 2
+
     benchmarks = {
         "predict_sequential": _bench(predict_sequential, rounds, n_frames),
         "predict_batched": _bench(lambda: predict_blocked(model), rounds,
@@ -204,6 +242,10 @@ def build_report(quick: bool = False) -> Dict[str, object]:
         "runtime_compiled_traced": _bench(
             lambda: runtime_round(compiled_model, True, traced=True),
             rounds, n_frames),
+        "serve_reference": _bench(lambda: serve_round(0), serve_rounds,
+                                  n_frames),
+        "serve_pool4": _bench(lambda: serve_round(4), serve_rounds,
+                              n_frames),
     }
     return {
         "meta": {
@@ -220,6 +262,14 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                 "folded_bn": len(compile_report.folded),
                 "arena_words": compile_report.arena_words,
             },
+            "serve": {
+                "n_shards": SERVE_SHARDS,
+                "max_batch": SERVE_MAX_BATCH,
+                "workers": 4,
+                "rounds": serve_rounds,
+                "arrival_mode": "backlog",
+                "n_batches": serve_ref.plan.n_batches,
+            },
         },
         "peak_rss_kib": _rss_kib(),
         "benchmarks": benchmarks,
@@ -235,6 +285,8 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                                 / benchmarks["runtime_batched"]["fps"]),
             "obs_overhead": (benchmarks["runtime_compiled_traced"]["fps"]
                              / benchmarks["runtime_compiled"]["fps"]),
+            "serve_pool": (benchmarks["serve_pool4"]["fps"]
+                           / benchmarks["serve_reference"]["fps"]),
         },
         "obs": last_obs_snapshot.get("snapshot"),
     }
@@ -275,7 +327,7 @@ def main(argv=None) -> int:
     print(f"wrote {args.out}")
     for name in ("predict_sequential", "predict_batched", "predict_compiled",
                  "runtime_sequential", "runtime_batched", "runtime_compiled",
-                 "runtime_compiled_traced"):
+                 "runtime_compiled_traced", "serve_reference", "serve_pool4"):
         r = bm[name]
         print(f"  {name:20s} {r['fps']:8.1f} fps  "
               f"p50 {r['latency_p50_ms']:.3f} ms  "
@@ -290,6 +342,9 @@ def main(argv=None) -> int:
     print(f"  obs overhead: traced compiled loop at "
           f"{sp['obs_overhead']:.2f}x untraced fps "
           f"(floor {OBS_OVERHEAD_FLOOR:.2f}x)")
+    print(f"  serve: 4-worker pool at {sp['serve_pool']:.2f}x the "
+          f"sequential farm reference (bit-identity gated, cold-start "
+          f"wall, not baseline-gated)")
 
     if sp["obs_overhead"] < OBS_OVERHEAD_FLOOR:
         print("observability overhead beyond the floor", file=sys.stderr)
