@@ -73,6 +73,11 @@ class RuntimeConfig:
         Digitizer tick (the paper's 3 ms frame period).
     batch_inference:
         Engage the bit-exact batched fast path when eligible.
+    speculation:
+        With a fault injector attached, keep the batched fast path live
+        speculatively — precompute the block, replay only frames the
+        schedule's taint set invalidates (:mod:`repro.soc.taint`).
+        ``False`` restores the historical whole-block disengage.
     compile_level:
         Graph-compiler level (0 = naive, 1 = local rewrites,
         2 = + BN folding and the static arena).
@@ -93,6 +98,7 @@ class RuntimeConfig:
 
     period_s: float = FRAME_PERIOD_S
     batch_inference: bool = True
+    speculation: bool = True
     compile_level: int = 0
     precision: Tuple[int, int] = (16, 7)
     profile_width: int = 16
@@ -197,6 +203,7 @@ def build_runtime(model: ModelLike, *,
         controller=TripController(min_votes=config.min_votes),
         period_s=config.period_s,
         batch_inference=config.batch_inference,
+        speculation=config.speculation,
         policy=config.policy,
         injector=injector,
         obs=obs,
@@ -239,6 +246,7 @@ def build_farm(model: ModelLike, *,
                fallback: Optional[ModelLike] = None,
                config: Optional[RuntimeConfig] = None,
                obs: Optional[ObsConfig] = None,
+               injector: Optional[FaultInjector] = None,
                n_shards: int = 4,
                batching=None,
                seed: Optional[int] = 0,
@@ -257,6 +265,11 @@ def build_farm(model: ModelLike, *,
     *batching* is a :class:`~repro.serve.BatchingPolicy`;
     *arrival_mode* is ``"stream"`` (live 3 ms grids per shard) or
     ``"backlog"`` (replay/throughput: batches fill to ``max_batch``).
+
+    *injector* arms every replica with the same fault specs + seed;
+    fault schedules stay a pure function of (seed, spec, frame index)
+    per shard, so worker count never perturbs the chaos (and the
+    speculative ladder keeps the batched fast path live under it).
     """
     from repro.serve import FarmSpec, ShardedNodeFarm
 
@@ -267,7 +280,8 @@ def build_farm(model: ModelLike, *,
     if not (obs is None or isinstance(obs, ObsConfig)):
         raise TypeError(f"obs must be ObsConfig or None, got {type(obs)!r}")
     spec = FarmSpec(model=model, fallback=fallback,
-                    config=config or RuntimeConfig(), obs=obs)
+                    config=config or RuntimeConfig(), obs=obs,
+                    injector=injector)
     return ShardedNodeFarm(spec, n_shards=n_shards, batching=batching,
                            seed=seed, arrival_mode=arrival_mode)
 

@@ -11,6 +11,11 @@ resulting :class:`~repro.soc.runtime.HealthReport` is printed.
 The invariant under test is *zero silent failures*: every frame produces
 a record, and every injected fault is absorbed, recorded as degraded, or
 explicitly detected.
+
+The sweep runs with the speculative fault-aware ladder engaged (the
+deployment default) and replays the identical chaos on a sequential
+reference runtime: the two record streams must be bit-identical, or the
+harness raises — the CI chaos-smoke step runs exactly this check.
 """
 
 from __future__ import annotations
@@ -59,14 +64,26 @@ def run(fast: bool = False) -> ExperimentResult:
     mlp_hls = convert(b.mlp, uniform_config(16, 7))
     n_frames = 48 if fast else 200
 
-    runtime = CentralNodeRuntime(
-        board=AchillesBoard(unet_hls),
-        fallback_board=AchillesBoard(mlp_hls),
-        injector=FaultInjector(default_fault_specs(), seed=2024),
-        policy=DegradationPolicy(miss_threshold=2, recovery_streak=8),
-    )
+    def make_runtime(**overrides):
+        return CentralNodeRuntime(
+            board=AchillesBoard(unet_hls),
+            fallback_board=AchillesBoard(mlp_hls),
+            injector=FaultInjector(default_fault_specs(), seed=2024),
+            policy=DegradationPolicy(miss_threshold=2, recovery_streak=8),
+            **overrides,
+        )
+
+    runtime = make_runtime()  # speculation on: the deployment default
     records = runtime.run(b.dataset.x_eval[:n_frames], seed=7)
     health = runtime.health_report()
+
+    # Chaos bit-identity: the speculative ladder must replay the exact
+    # sequential reference under the same schedule, bit for bit.
+    reference = make_runtime(batch_inference=False)
+    ref_records = reference.run(b.dataset.x_eval[:n_frames], seed=7)
+    if records != ref_records:
+        raise AssertionError(
+            "speculative chaos run diverged from the sequential reference")
 
     t = Table(["Robustness Metric", "Value"],
               title="Robustness: chaos sweep of the hardened runtime")
@@ -75,6 +92,10 @@ def run(fast: bool = False) -> ExperimentResult:
         t.add_row([f"Frames {status}", count])
     for kind, count in sorted(health.fault_counts.items()):
         t.add_row([f"Injected {kind}", count])
+    t.add_row(["Frames speculated (fast path)", health.frames_speculated])
+    t.add_row(["Frames replayed in-line", health.frames_replayed])
+    for cause, count in sorted(health.invalidation_counts.items()):
+        t.add_row([f"Invalidated ({cause})", count])
     t.add_row(["Watchdog trips", health.watchdog_trips])
     t.add_row(["Hub slices substituted", health.substituted_slices])
     t.add_row(["Degradation transitions", len(health.transitions)])
@@ -92,6 +113,10 @@ def run(fast: bool = False) -> ExperimentResult:
         f"records emitted for every frame: {len(records)}/{n_frames}",
         f"frames hit by injected faults: {faulted}; flagged records: {flagged}",
         f"silent fault failures (must be 0): {silent}",
+        f"speculative run bit-identical to sequential reference: "
+        f"{records == ref_records} "
+        f"({health.frames_speculated} speculated, "
+        f"{health.frames_replayed} replayed)",
         "degradation ladder: full -> last-known-good -> MLP fallback -> "
         "no-trip (docs/robustness.md)",
     ]

@@ -10,7 +10,7 @@ back) and the pool statistics into one renderable summary.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
 __all__ = ["FarmHealth", "merge_shard_health"]
@@ -43,6 +43,11 @@ class FarmHealth:
     publish_retries: int
     dead_letters: int
     shard_health: Tuple[Dict[str, Any], ...]
+    # Speculative-ladder telemetry summed over shards (zero / empty when
+    # no replica ever speculated, keeping older payloads mergeable).
+    frames_speculated: int = 0
+    frames_replayed: int = 0
+    invalidation_counts: Dict[str, int] = field(default_factory=dict)
 
     def render(self) -> str:
         """Multi-line printable summary (farm first, then per shard)."""
@@ -62,6 +67,13 @@ class FarmHealth:
                 lines.append(f"    {kind}: {self.fault_counts[kind]}")
         lines.append("  engines: " + ", ".join(
             f"{k}={v}" for k, v in sorted(self.engine_frames.items())))
+        if self.frames_speculated or self.frames_replayed:
+            lines.append(f"  speculation: {self.frames_speculated} frames "
+                         f"rode the fast path, {self.frames_replayed} "
+                         f"replayed in-line")
+            for cause in sorted(self.invalidation_counts):
+                lines.append(f"    invalidated.{cause}: "
+                             f"{self.invalidation_counts[cause]}")
         lines.append(f"  deadline miss rate: {self.deadline_miss_rate:.2%}")
         lines.append(f"  watchdog trips: {self.watchdog_trips}, "
                      f"substituted hub slices: {self.substituted_slices}")
@@ -109,4 +121,10 @@ def merge_shard_health(shard_health, *, n_shards: int, workers: int,
                             for h in shard_health),
         dead_letters=sum(h.get("dead_letters", 0) for h in shard_health),
         shard_health=shard_health,
+        frames_speculated=sum(h.get("frames_speculated", 0)
+                              for h in shard_health),
+        frames_replayed=sum(h.get("frames_replayed", 0)
+                            for h in shard_health),
+        invalidation_counts=_sum_dicts(h.get("invalidation_counts", {})
+                                       for h in shard_health),
     )

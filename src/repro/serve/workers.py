@@ -91,12 +91,20 @@ class FarmSpec:
     per ``config.compile_level``.  ``obs`` being non-None gives every
     replica its *own* observability bundle; the farm merges the
     per-shard snapshots afterwards (:mod:`repro.serve.merge`).
+
+    ``injector`` arms every replica with the same
+    :class:`~repro.soc.faults.FaultInjector` recipe (specs + seed);
+    schedules are a pure function of (seed, spec, frame index), so each
+    shard's chaos is identical no matter which worker runs it, and the
+    runtime's speculative ladder keeps the batched fast path live under
+    the armed injector.
     """
 
     model: Any
     fallback: Any = None
     config: Any = None          # RuntimeConfig (default built lazily)
     obs: Optional[ObsConfig] = None
+    injector: Any = None        # FaultInjector (stateless, picklable)
 
     def build_runtime(self) -> CentralNodeRuntime:
         """A fresh, fully private runtime replica.
@@ -110,11 +118,14 @@ class FarmSpec:
         model = pickle.loads(pickle.dumps(self.model))
         fallback = (pickle.loads(pickle.dumps(self.fallback))
                     if self.fallback is not None else None)
+        injector = (pickle.loads(pickle.dumps(self.injector))
+                    if self.injector is not None else None)
         return build_runtime(
             model,
             fallback=fallback,
             config=self.config or RuntimeConfig(),
             obs=Observability.from_config(self.obs),
+            injector=injector,
         )
 
 

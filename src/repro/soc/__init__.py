@@ -23,9 +23,14 @@ pipeline:
 * :mod:`~repro.soc.faults` — seeded, deterministic fault injection
   (hub packet drop/delay, stuck/noisy monitors, IP hang, lost IRQ, RAM
   SEUs, publish failures),
+* :mod:`~repro.soc.taint` — the fault-taint model behind speculative
+  fault-aware batching: classifies every fault kind by the state it can
+  corrupt (input / model state / timing / post-inference),
 * :mod:`~repro.soc.runtime` — the hardened central-node loop: watchdog,
-  last-known-good substitution, output guards, publish retry and the
-  U-Net→MLP degraded-mode fallback (see ``docs/robustness.md``).
+  last-known-good substitution, output guards, publish retry, the
+  U-Net→MLP degraded-mode fallback and the speculative execution ladder
+  that keeps the batched fast path live under an active fault injector
+  (see ``docs/robustness.md``).
 
 The functional path is real: input frames are quantized into the input
 buffer's 16-bit words, the IP computes on those words, and the HPS reads
@@ -58,6 +63,13 @@ from repro.soc.faults import (
     NoisyMonitorFault,
     SEUFault,
     StuckMonitorFault,
+)
+from repro.soc.taint import (
+    FrameTaint,
+    TaintClass,
+    classify_events,
+    speculation_mask,
+    taint_of,
 )
 from repro.soc.board import AchillesBoard, FrameTiming, SystemRunResult
 from repro.soc.dma import DMAEngine
@@ -101,4 +113,9 @@ __all__ = [
     "LostIRQFault",
     "SEUFault",
     "ACNETFault",
+    "TaintClass",
+    "FrameTaint",
+    "classify_events",
+    "taint_of",
+    "speculation_mask",
 ]

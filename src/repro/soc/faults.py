@@ -354,13 +354,27 @@ class FaultSchedule:
         by_frame: Dict[int, List[FaultEvent]] = {}
         for e in self.events:
             by_frame.setdefault(e.frame_index, []).append(e)
-        object.__setattr__(
-            self, "_by_frame",
-            {f: tuple(evs) for f, evs in by_frame.items()},
+        frozen = {f: tuple(evs) for f, evs in by_frame.items()}
+        # Dense per-frame index over the schedule's own window: the
+        # speculative runtime calls for_frame twice per frame (mask
+        # build + replay ladder), so the common case must be a plain
+        # list index, not a hash probe.  The dict is kept only for
+        # out-of-window queries, which hash mostly-empty frames anyway.
+        dense: Tuple[Tuple[FaultEvent, ...], ...] = tuple(
+            frozen.get(self.start + i, ()) for i in range(self.n_frames)
         )
+        object.__setattr__(self, "_dense", dense)
+        object.__setattr__(self, "_by_frame", frozen)
 
     def for_frame(self, frame_index: int) -> Tuple[FaultEvent, ...]:
-        """Events hitting *frame_index* (empty tuple when clean)."""
+        """Events hitting *frame_index* (empty tuple when clean).
+
+        O(1): a dense tuple lookup inside the schedule's window, a dict
+        fallback outside it.
+        """
+        i = frame_index - self.start
+        if 0 <= i < self.n_frames:
+            return self._dense[i]
         return self._by_frame.get(frame_index, ())
 
     def counts(self) -> Dict[str, int]:
@@ -432,7 +446,7 @@ def fault_counter_names() -> Tuple[str, ...]:
 #: Event-counter prefixes the runtime maintains that belong in a metrics
 #: snapshot: injected faults plus the health tallies derived from them.
 HEALTH_COUNTER_PREFIXES = ("fault.", "frame.", "watchdog.", "guard.",
-                           "hub.", "acnet.", "degrade.")
+                           "hub.", "acnet.", "degrade.", "spec.")
 
 
 def fold_health_counters(counters, metrics) -> None:

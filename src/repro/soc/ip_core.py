@@ -120,7 +120,9 @@ class NeuralIPCore:
         self.runs += 1
         return self.compute_latency_s + extra_busy_s
 
-    def precompute_raw_outputs(self, frames: np.ndarray) -> np.ndarray:
+    def precompute_raw_outputs(self, frames: np.ndarray,
+                               valid_mask: Optional[np.ndarray] = None
+                               ) -> np.ndarray:
         """Batched forward pass → per-frame raw output words.
 
         Runs the whole block through one :meth:`HLSModel.predict` call and
@@ -131,6 +133,15 @@ class NeuralIPCore:
         a compiled plan installed (:meth:`HLSModel.compile`), ``predict``
         dispatches to it — bit-identical by the compiler's contract, so
         nothing here needs to care which executor ran.
+
+        ``valid_mask`` (shape ``(n,)`` bool) is the speculative ladder's
+        hook: only masked-True rows are computed, the rest stay zero.
+        The caller promises never to consume an unmasked row, so zeros
+        are safe placeholders.  Bit-identity of the computed rows does
+        not depend on the mask shape: all sums are exact in float64, so
+        batching any *subset* of frames yields the same words as batching
+        all of them (the same invariance that makes
+        :data:`BATCH_BLOCK_FRAMES` chunking safe).
         """
         frames = np.asarray(frames, dtype=np.float64)
         if frames.ndim != 2 or frames.shape[1] != self._n_in:
@@ -138,6 +149,18 @@ class NeuralIPCore:
                 f"frames must be (n, {self._n_in}), got {frames.shape}"
             )
         n = frames.shape[0]
+        if valid_mask is not None:
+            valid_mask = np.asarray(valid_mask, dtype=bool)
+            if valid_mask.shape != (n,):
+                raise ValueError(
+                    f"valid_mask must have shape ({n},), got {valid_mask.shape}"
+                )
+            if not valid_mask.all():
+                out = np.zeros((n, self._n_out), dtype=np.int64)
+                idx = np.flatnonzero(valid_mask)
+                if idx.size:
+                    out[idx] = self.precompute_raw_outputs(frames[idx])
+                return out
         raw_in = to_raw(frames, self.input_format)
         x = from_raw(raw_in, self.input_format)
         x = x.reshape((n,) + tuple(self.hls_model.input_shape))

@@ -29,6 +29,20 @@ the per-frame outputs are bit-identical to the unhardened loop.  The
 :class:`HealthReport` summarises fault counts, degradation transitions
 and miss/dead-letter rates, backed by the runtime's
 :class:`~repro.soc.counters.PerformanceCounters` event counters.
+
+With an injector attached the runtime does not abandon the batched fast
+path: it runs a **speculative execution ladder** (``speculation=True``).
+The block's raw outputs are precomputed up front anyway, each frame is
+validated against the schedule's taint set
+(:mod:`repro.soc.taint`), and only frames a fault actually touched —
+input-tainted frames, the SEU hit and its propagation window, frames the
+hysteresis ladder moved to the fallback engine — are invalidated and
+replayed through the sequential reference path.  Timing faults (IP hang,
+lost IRQ) and publish faults ride the speculative words: their raw
+outputs are bit-identical by construction, only the surrounding
+timing/publish behaviour differs.  Records stay bit-identical to the
+sequential reference under every schedule (pinned by the chaos matrix in
+``tests/test_degradation.py``).
 """
 
 from __future__ import annotations
@@ -52,6 +66,13 @@ from repro.soc.faults import (
     FrameFaults,
     FrameHangError,
     fold_health_counters,
+)
+from repro.soc.taint import (
+    CAUSE_FALLBACK,
+    CAUSE_INPUT,
+    CAUSE_MODEL_STATE,
+    classify_events,
+    speculation_mask,
 )
 from repro.utils.rng import SeedLike, default_rng
 
@@ -216,6 +237,11 @@ class HealthReport:
     publish_retries: int
     dead_letters: int
     dropped_out_of_order: int
+    # Speculative-ladder telemetry (zero when speculation never engaged,
+    # so pre-existing consumers see unchanged reports).
+    frames_speculated: int = 0
+    frames_replayed: int = 0
+    invalidation_counts: Dict[str, int] = field(default_factory=dict)
 
     def render(self) -> str:
         """Multi-line printable summary."""
@@ -235,6 +261,14 @@ class HealthReport:
             lines.append("  degradation transitions:")
             for frame, src, dst in self.transitions:
                 lines.append(f"    frame {frame}: {src} -> {dst}")
+        if self.frames_speculated or self.frames_replayed:
+            lines.append(f"  speculation: {self.frames_speculated} frames "
+                         f"rode the fast path, {self.frames_replayed} "
+                         f"replayed in-line")
+            for cause in sorted(self.invalidation_counts):
+                lines.append(
+                    f"    invalidated.{cause}: "
+                    f"{self.invalidation_counts[cause]}")
         lines.append(f"  deadline miss rate: {self.deadline_miss_rate:.2%}")
         lines.append(f"  watchdog trips: {self.watchdog_trips}")
         lines.append(f"  substituted hub slices: {self.substituted_slices}")
@@ -284,6 +318,15 @@ class CentralNodeRuntime:
     #: (``HLSModel.compile``) uses it on both the batched and the
     #: frame-at-a-time path, again without changing a bit.
     batch_inference: bool = True
+    #: Speculative fault-aware batching: with an injector attached, still
+    #: precompute the block's raw outputs and consume them on every frame
+    #: the schedule's taint set leaves clean, replaying only tainted
+    #: frames through the in-line reference path (see
+    #: :mod:`repro.soc.taint` and docs/robustness.md).  Disable to
+    #: restore the historical behaviour — any active schedule forces the
+    #: whole block sequential.  Only meaningful with ``batch_inference``;
+    #: bit-identical either way.
+    speculation: bool = True
     #: Observability bundle (:mod:`repro.obs`): tracer + metrics +
     #: flight recorder.  ``None`` (default) is the zero-cost no-op
     #: path; when attached, every frame emits a nested span tree, the
@@ -305,6 +348,10 @@ class CentralNodeRuntime:
     _hub_stale: Optional[np.ndarray] = field(default=None, init=False,
                                              repr=False)
     _last_sent_at: float = field(default=-np.inf, init=False, repr=False)
+    # Model-state taint carried across frames (and run() calls): True
+    # from an SEU hit until an in-line frame completes un-hung with no
+    # new hit, fully rewriting both RAM spans (the scrub).
+    _model_tainted: bool = field(default=False, init=False, repr=False)
 
     def __post_init__(self):
         if self.period_s <= 0:
@@ -424,16 +471,39 @@ class CentralNodeRuntime:
         # Frames that land on the fallback engine (hysteresis can engage
         # mid-block even fault-free, e.g. on jitter-spike deadline
         # misses) drop back to in-line compute frame by frame.
+        #
+        # With a schedule active and ``speculation`` enabled the block is
+        # precomputed *anyway*, masked by the schedule's static taint set
+        # (rows a fault is known to invalidate are never computed); the
+        # per-frame ladder then re-validates dynamically and replays only
+        # tainted frames through the in-line reference.
         obs = self.obs
         precomputed: Optional[np.ndarray] = None
-        if (self.batch_inference and schedule is None and n > 0
+        speculative = False
+        spec_valid: Optional[np.ndarray] = None
+        if (self.batch_inference and n > 0
                 and (self.fallback_board is None
                      or self.engine == ENGINE_PRIMARY)):
-            if obs is None:
-                precomputed = self.board.ip.precompute_raw_outputs(frames)
-            else:
-                with obs.tracer.span("batch_precompute", frames=n):
+            if schedule is None:
+                if obs is None:
                     precomputed = self.board.ip.precompute_raw_outputs(frames)
+                else:
+                    with obs.tracer.span("batch_precompute", frames=n):
+                        precomputed = self.board.ip.precompute_raw_outputs(
+                            frames)
+            elif self.speculation:
+                speculative = True
+                spec_valid = speculation_mask(
+                    schedule, start, n, model_tainted=self._model_tainted)
+                if obs is None:
+                    precomputed = self.board.ip.precompute_raw_outputs(
+                        frames, valid_mask=spec_valid)
+                else:
+                    with obs.tracer.span(
+                            "spec_precompute", frames=n,
+                            masked=int(n - int(spec_valid.sum()))):
+                        precomputed = self.board.ip.precompute_raw_outputs(
+                            frames, valid_mask=spec_valid)
 
         new_records = []
         for i in range(n):
@@ -443,11 +513,48 @@ class CentralNodeRuntime:
                 self.counters.increment(f"fault.{e.kind.value}")
             fault_kinds = tuple(sorted({e.kind.value for e in events}))
 
-            use_batched = (precomputed is not None and not events
-                           and (self.fallback_board is None
-                                or self.engine == ENGINE_PRIMARY))
+            # Frame validation ladder: decide whether this frame may
+            # consume its precomputed raw row, and if not, why.  The
+            # in-line replay is the unmodified sequential reference, so
+            # an invalidated frame is bit-identical by construction; a
+            # consuming frame is bit-identical because its input vector
+            # is untouched (no input taint) and the board's timing and
+            # RAM traffic are the same either way.
+            use_batched = False
+            invalidation_cause: Optional[str] = None
+            if precomputed is not None:
+                on_primary = (self.fallback_board is None
+                              or self.engine == ENGINE_PRIMARY)
+                if not speculative:
+                    use_batched = not events and on_primary
+                else:
+                    taint = classify_events(events)
+                    if not on_primary:
+                        # Hysteresis moved us to the fallback engine: the
+                        # precomputed rows are the primary model's words.
+                        # Recovery mid-block re-engages speculation for
+                        # free — rows are index-addressed and the mask
+                        # never depended on engine state.
+                        invalidation_cause = CAUSE_FALLBACK
+                    elif self._model_tainted or taint.model_state:
+                        invalidation_cause = CAUSE_MODEL_STATE
+                    elif taint.input:
+                        invalidation_cause = CAUSE_INPUT
+                    elif not spec_valid[i]:
+                        # Statically masked row (SEU propagation window
+                        # whose dynamic taint already cleared): the row
+                        # was never computed, so it cannot be consumed.
+                        invalidation_cause = CAUSE_MODEL_STATE
+                    else:
+                        use_batched = True
             if use_batched:
                 self.counters.increment("frame.batched")
+                if speculative:
+                    self.counters.increment("spec.speculated")
+            elif speculative:
+                self.counters.increment("spec.replayed")
+                self.counters.increment(
+                    f"spec.invalidated.{invalidation_cause}")
             raw_i = precomputed[i] if use_batched else None
             if obs is None:
                 record = self._process_one(
@@ -468,6 +575,19 @@ class CentralNodeRuntime:
                     sp.attrs["engine"] = record.engine
             new_records.append(record)
             self.counters.increment(f"frame.{record.status}")
+
+            # Model-state taint propagation: an SEU hit poisons the
+            # on-chip RAMs from this frame forward; a later *in-line*
+            # frame that completes un-hung rewrites both RAM spans in
+            # full and scrubs the taint.  A consuming (batched) frame or
+            # a watchdog-abandoned frame never scrubs — conservatively
+            # keep the taint alive, which costs a replay, never a bit.
+            if any(e.kind is FaultKind.SEU for e in events):
+                self._model_tainted = True
+            elif (self._model_tainted and not use_batched
+                    and record.status != STATUS_WATCHDOG):
+                self._model_tainted = False
+
             if obs is not None:
                 self._observe_frame(record, obs)
         self.records.extend(new_records)
@@ -760,6 +880,11 @@ class CentralNodeRuntime:
             for name, count in self.counters.counts().items()
             if name.startswith("fault.")
         }
+        invalidation_counts = {
+            name[len("spec.invalidated."):]: count
+            for name, count in self.counters.counts().items()
+            if name.startswith("spec.invalidated.")
+        }
         misses = sum(1 for r in self.records if not r.decision.deadline_met)
         return HealthReport(
             frames_total=len(self.records),
@@ -773,6 +898,9 @@ class CentralNodeRuntime:
             publish_retries=self.counters.count("acnet.retry"),
             dead_letters=self.counters.count("acnet.dead_letter"),
             dropped_out_of_order=self.acnet.dropped_out_of_order,
+            frames_speculated=self.counters.count("spec.speculated"),
+            frames_replayed=self.counters.count("spec.replayed"),
+            invalidation_counts=invalidation_counts,
         )
 
     # ------------------------------------------------------------------

@@ -11,7 +11,9 @@ pins some piece of that proof:
 * skipped requantization on grid-preserving kernels changes nothing,
 * the runtime's ``batch_inference`` path replays the sequential records
   exactly — fault-free, with a fallback board, and with an injector
-  (where the fast path must disengage),
+  (speculatively: tainted frames replay in-line, clean frames ride the
+  precomputed words; ``speculation=False`` restores the historical
+  whole-block disengage),
 * the vectorized round/saturate pipeline matches a scalar pure-Python
   reference on every rounding × overflow mode,
 * ``derive_stream_seeds`` decorrelates successive ``run()`` calls while
@@ -28,7 +30,15 @@ from repro.fixed import FixedPointFormat, from_raw, quantize, quantize_, to_raw
 from repro.fixed.format import Overflow, Rounding
 from repro.hls import HLSConfig, convert
 from repro.soc.board import AchillesBoard
-from repro.soc.faults import FaultInjector, HubDelayFault, NoisyMonitorFault
+from repro.soc.faults import (
+    ACNETFault,
+    FaultInjector,
+    HubDelayFault,
+    IPHangFault,
+    LostIRQFault,
+    NoisyMonitorFault,
+    SEUFault,
+)
 from repro.soc.runtime import (
     CentralNodeRuntime,
     DegradationPolicy,
@@ -51,7 +61,8 @@ def frames():
     return rng.normal(0.0, 1.0, size=(64, N_MONITORS))
 
 
-def make_runtime(hls_model, batch=True, specs=None, with_fallback=False):
+def make_runtime(hls_model, batch=True, specs=None, with_fallback=False,
+                 speculation=True):
     return CentralNodeRuntime(
         board=AchillesBoard(hls_model),
         fallback_board=AchillesBoard(hls_model) if with_fallback else None,
@@ -61,6 +72,7 @@ def make_runtime(hls_model, batch=True, specs=None, with_fallback=False):
                   if specs is not None else None),
         policy=DegradationPolicy(),
         batch_inference=batch,
+        speculation=speculation,
     )
 
 
@@ -174,11 +186,13 @@ class TestRuntimeFastPath:
         slow = make_runtime(tiny_hls, batch=False, with_fallback=True)
         assert fast.run(frames, seed=4) == slow.run(frames, seed=4)
 
-    def test_injector_disengages_fast_path(self, tiny_hls, frames):
+    def test_injector_disengages_without_speculation(self, tiny_hls, frames):
+        """speculation=False pins the historical behaviour: any active
+        schedule forces the whole block sequential."""
         specs = [NoisyMonitorFault(rate=0.4, sigma=0.5),
                  HubDelayFault(rate=0.3, delay_s=1e-4)]
         fast = make_runtime(tiny_hls, batch=True, specs=specs,
-                            with_fallback=True)
+                            with_fallback=True, speculation=False)
         slow = make_runtime(tiny_hls, batch=False, specs=specs,
                             with_fallback=True)
         rec_fast = fast.run(frames, seed=11)
@@ -186,6 +200,8 @@ class TestRuntimeFastPath:
         assert rec_fast == rec_slow
         assert any(r.fault_kinds for r in rec_fast)
         assert fast.counters.count("frame.batched") == 0
+        assert fast.counters.count("spec.speculated") == 0
+        assert fast.counters.count("spec.replayed") == 0
 
     def test_successive_runs_identical(self, tiny_hls, frames):
         """The fast path composes across run() calls like the slow one."""
@@ -194,6 +210,111 @@ class TestRuntimeFastPath:
         for lo, hi in ((0, 20), (20, 50), (50, 64)):
             assert (fast.run(frames[lo:hi], seed=8)
                     == slow.run(frames[lo:hi], seed=8))
+
+    def test_fault_free_run_has_no_spec_counters(self, tiny_hls, frames):
+        """Without an injector the speculative ladder never engages —
+        the plain batched path keeps its original counters only."""
+        fast = make_runtime(tiny_hls, batch=True)
+        fast.run(frames, seed=11)
+        assert fast.counters.count("spec.speculated") == 0
+        assert fast.counters.count("spec.replayed") == 0
+
+
+# ----------------------------------------------------------------------
+# Speculative fault-aware batching
+# ----------------------------------------------------------------------
+class TestSpeculativeLadder:
+    def test_mixed_chaos_bit_identical_and_majority_batched(
+            self, tiny_hls, frames):
+        specs = [NoisyMonitorFault(rate=0.1, sigma=0.5),
+                 HubDelayFault(rate=0.1, delay_s=1e-4),
+                 ACNETFault(rate=0.1),
+                 SEUFault(rate=0.05),
+                 LostIRQFault(rate=0.05)]
+        fast = make_runtime(tiny_hls, batch=True, specs=specs,
+                            with_fallback=True)
+        slow = make_runtime(tiny_hls, batch=False, specs=specs,
+                            with_fallback=True)
+        rec_fast = fast.run(frames, seed=11)
+        rec_slow = slow.run(frames, seed=11)
+        assert rec_fast == rec_slow
+        assert any(r.fault_kinds for r in rec_fast)
+        spec = fast.counters.count("spec.speculated")
+        replayed = fast.counters.count("spec.replayed")
+        assert spec == fast.counters.count("frame.batched")
+        assert spec + replayed == len(frames)
+        # The point of the ladder: most of the block rides the fast path.
+        assert spec > len(frames) // 2
+
+    def test_timing_and_publish_faults_ride_speculation(self, tiny_hls,
+                                                        frames):
+        """TIMING/POST taint never invalidates raw words: every frame of
+        a block under pure hang/IRQ/publish chaos stays batched."""
+        specs = [IPHangFault(rate=0.2, extra_s=5e-3),
+                 LostIRQFault(rate=0.1),
+                 ACNETFault(rate=0.2)]
+        fast = make_runtime(tiny_hls, batch=True, specs=specs)
+        slow = make_runtime(tiny_hls, batch=False, specs=specs)
+        rec_fast = fast.run(frames, seed=11)
+        rec_slow = slow.run(frames, seed=11)
+        assert rec_fast == rec_slow
+        assert any(r.fault_kinds for r in rec_fast)
+        assert fast.counters.count("spec.speculated") == len(frames)
+        assert fast.counters.count("spec.replayed") == 0
+
+    def test_seu_taint_propagates_one_scrub_frame(self, tiny_hls, frames):
+        """A RAM upset invalidates the hit frame and the next (the scrub
+        pass); speculation re-engages right after."""
+        hit = 10
+        specs = [SEUFault(rate=1.0, start=hit, stop=hit + 1)]
+        fast = make_runtime(tiny_hls, batch=True, specs=specs)
+        slow = make_runtime(tiny_hls, batch=False, specs=specs)
+        rec_fast = fast.run(frames, seed=11)
+        assert rec_fast == slow.run(frames, seed=11)
+        assert rec_fast[hit].fault_kinds == ("seu",)
+        assert fast.counters.count("spec.replayed") == 2
+        assert fast.counters.count("spec.speculated") == len(frames) - 2
+        inval = fast.health_report().invalidation_counts
+        assert inval == {"model_state": 2}
+
+    def test_input_taint_replays_only_touched_frames(self, tiny_hls,
+                                                     frames):
+        hit = 7
+        specs = [NoisyMonitorFault(rate=1.0, sigma=0.5,
+                                   start=hit, stop=hit + 3)]
+        fast = make_runtime(tiny_hls, batch=True, specs=specs)
+        slow = make_runtime(tiny_hls, batch=False, specs=specs)
+        assert fast.run(frames, seed=11) == slow.run(frames, seed=11)
+        assert fast.counters.count("spec.replayed") == 3
+        assert fast.counters.count("spec.speculated") == len(frames) - 3
+        assert fast.health_report().invalidation_counts == {"input": 3}
+
+    def test_health_report_surfaces_speculation_stats(self, tiny_hls,
+                                                      frames):
+        specs = [NoisyMonitorFault(rate=0.2, sigma=0.5)]
+        fast = make_runtime(tiny_hls, batch=True, specs=specs)
+        fast.run(frames, seed=11)
+        report = fast.health_report()
+        assert report.frames_speculated == fast.counters.count(
+            "spec.speculated")
+        assert report.frames_replayed == fast.counters.count("spec.replayed")
+        assert report.frames_speculated + report.frames_replayed == len(frames)
+        assert sum(report.invalidation_counts.values()) == \
+            report.frames_replayed
+        assert "speculation:" in report.render()
+
+    def test_taint_carries_across_run_calls(self, tiny_hls, frames):
+        """An SEU on the last frame of a block leaves the model tainted;
+        the next run() call's first frame replays in-line as the scrub."""
+        specs = [SEUFault(rate=1.0, start=19, stop=20)]
+        fast = make_runtime(tiny_hls, batch=True, specs=specs)
+        slow = make_runtime(tiny_hls, batch=False, specs=specs)
+        for lo, hi in ((0, 20), (20, 40)):
+            assert (fast.run(frames[lo:hi], seed=8)
+                    == slow.run(frames[lo:hi], seed=8))
+        # frame 19 (the hit) and frame 20 (the cross-block scrub) replay.
+        assert fast.counters.count("spec.replayed") == 2
+        assert fast.health_report().invalidation_counts == {"model_state": 2}
 
     def test_precomputed_words_match_inline_run(self, tiny_hls, frames):
         board = AchillesBoard(tiny_hls)

@@ -326,3 +326,100 @@ class TestControllerSatellites:
         assert not d.deadline_met
         assert ctl.decisions == [d]
         assert ctl.trip_counts()[None] == 1
+
+
+# ----------------------------------------------------------------------
+# Fault-taint model (repro.soc.taint)
+# ----------------------------------------------------------------------
+class TestTaintModel:
+    def test_every_fault_kind_is_classified(self):
+        """Exhaustiveness pin: a new FaultKind must pick a taint class
+        explicitly — it can never default to speculation-safe."""
+        from repro.soc.taint import TAINT_OF, taint_of
+
+        assert set(TAINT_OF) == set(FaultKind)
+        for kind in FaultKind:
+            assert taint_of(kind) is TAINT_OF[kind]
+
+    def test_classification_matches_corruption_surface(self):
+        from repro.soc.taint import TAINT_OF, TaintClass
+
+        assert {k for k, t in TAINT_OF.items()
+                if t is TaintClass.INPUT} == {
+            FaultKind.HUB_DROP, FaultKind.HUB_DELAY,
+            FaultKind.STUCK_MONITOR, FaultKind.NOISY_MONITOR}
+        assert TAINT_OF[FaultKind.SEU] is TaintClass.MODEL_STATE
+        assert {k for k, t in TAINT_OF.items()
+                if t is TaintClass.TIMING} == {
+            FaultKind.IP_HANG, FaultKind.LOST_IRQ}
+        assert TAINT_OF[FaultKind.ACNET_FAIL] is TaintClass.POST
+
+    def test_classify_events_folds_flags(self):
+        from repro.soc.faults import FaultEvent
+        from repro.soc.taint import classify_events
+
+        clean = classify_events(())
+        assert clean.clean and not clean.invalidates_raw
+        mixed = classify_events((
+            FaultEvent(0, FaultKind.LOST_IRQ),
+            FaultEvent(0, FaultKind.SEU, detail="output"),
+        ))
+        assert mixed.timing and mixed.model_state
+        assert not mixed.input and not mixed.post
+        assert mixed.invalidates_raw
+        timing_only = classify_events((FaultEvent(0, FaultKind.IP_HANG),))
+        assert not timing_only.invalidates_raw
+
+    def test_speculation_mask_rules(self):
+        """INPUT and SEU frames are masked, SEU also masks its scrub
+        frame; TIMING/POST frames stay valid; carried-in model taint
+        masks frame 0."""
+        from repro.soc.taint import speculation_mask
+
+        specs = [StuckMonitorFault(monitor=1, rate=1.0, start=2, stop=3),
+                 SEUFault(rate=1.0, start=5, stop=6),
+                 IPHangFault(rate=1.0, start=8, stop=9),
+                 ACNETFault(rate=1.0, start=9, stop=10)]
+        sched = FaultInjector(specs, seed=0).plan(0, 12)
+        mask = speculation_mask(sched, 0, 12)
+        expect = np.ones(12, dtype=bool)
+        expect[2] = False           # input taint
+        expect[5] = False           # SEU hit
+        expect[6] = False           # its scrub frame
+        assert np.array_equal(mask, expect)
+
+        carried = speculation_mask(sched, 0, 12, model_tainted=True)
+        assert not carried[0]
+        assert np.array_equal(carried[1:], expect[1:])
+
+    def test_seu_on_last_frame_masks_nothing_beyond_block(self):
+        from repro.soc.taint import speculation_mask
+
+        sched = FaultInjector([SEUFault(rate=1.0, start=9, stop=10)],
+                              seed=0).plan(0, 10)
+        mask = speculation_mask(sched, 0, 10)
+        assert not mask[9]
+        assert mask[:9].all()
+
+
+class TestScheduleIndex:
+    """FaultSchedule.for_frame is O(1): a dense tuple index inside the
+    window, dict fallback outside."""
+
+    def test_dense_and_fallback_agree(self):
+        specs = [IPHangFault(rate=0.3), SEUFault(rate=0.2)]
+        inj = FaultInjector(specs, seed=12)
+        sched = inj.plan(10, 50)
+        for f in range(10, 60):
+            assert sched.for_frame(f) == inj.events_for_frame(f)
+        # Out-of-window queries stay well-defined (and empty).
+        assert sched.for_frame(0) == ()
+        assert sched.for_frame(9) == ()
+        assert sched.for_frame(60) == ()
+        assert sched.for_frame(-3) == ()
+
+    def test_dense_index_covers_window(self):
+        sched = FaultInjector([LostIRQFault(rate=1.0)], seed=0).plan(5, 4)
+        assert len(sched._dense) == 4
+        for i, fi in enumerate(range(5, 9)):
+            assert sched._dense[i] == sched.for_frame(fi)

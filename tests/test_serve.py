@@ -38,6 +38,17 @@ from repro.serve import (
 from repro.serve.batching import backlog_arrivals, stream_arrivals
 from repro.serve.merge import merge_histogram_summaries
 from repro.soc.board import FRAME_PERIOD_S
+from repro.soc.faults import (
+    ACNETFault,
+    FaultInjector,
+    HubDelayFault,
+    HubDropFault,
+    IPHangFault,
+    LostIRQFault,
+    NoisyMonitorFault,
+    SEUFault,
+    StuckMonitorFault,
+)
 
 N_MONITORS = 16
 
@@ -233,6 +244,78 @@ class TestCrashRecovery:
             WorkerPool(spec, 0)
         with pytest.raises(ValueError):
             WorkerPool(spec, 1, max_restarts=-1)
+
+
+# ----------------------------------------------------------------------
+# Farm-level chaos: speculation keeps pool == sequential, bit for bit
+# ----------------------------------------------------------------------
+class TestFarmChaos:
+    SPECS = [
+        HubDropFault(rate=0.03),
+        HubDelayFault(rate=0.02, delay_s=4e-3),
+        StuckMonitorFault(monitor=5, value=4.0, rate=0.03),
+        NoisyMonitorFault(monitor=12, sigma=8.0, rate=0.03),
+        IPHangFault(rate=0.02, extra_s=5e-3),
+        LostIRQFault(rate=0.02),
+        SEUFault(rate=0.03, ram="output", bit=15),
+        ACNETFault(rate=0.03, failures=1),
+    ]
+
+    def chaos_farm(self, hls, *, speculation=True, obs=None):
+        return build_farm(
+            hls,
+            config=RuntimeConfig(min_votes=1, speculation=speculation),
+            obs=obs,
+            injector=FaultInjector(self.SPECS, seed=99),
+            n_shards=3,
+            batching=BatchingPolicy(max_batch=16),
+            seed=3,
+            arrival_mode="backlog",
+        )
+
+    def test_pool_matches_reference_under_chaos(self, tiny_hls):
+        frames = frames_for(220)
+        farm = self.chaos_farm(tiny_hls)
+        reference = farm.serve_reference(frames)
+
+        # The speculative farm is bit-identical to the same farm with
+        # speculation disabled (the all-sequential fault path).
+        sequential = self.chaos_farm(tiny_hls, speculation=False)
+        seq_ref = sequential.serve_reference(frames)
+        assert reference.records == seq_ref.records
+        assert seq_ref.health.frames_speculated == 0
+
+        # The ladder actually engaged: faults fired, yet the majority of
+        # the block rode the precomputed fast path.
+        h = reference.health
+        assert h.fault_counts, "chaos farm injected no faults"
+        assert h.frames_speculated + h.frames_replayed == 220
+        assert h.frames_speculated > 110
+        assert sum(h.invalidation_counts.values()) == h.frames_replayed
+        assert "speculation:" in h.render()
+
+        for workers in (1, 2, 4):
+            result = farm.serve(frames, workers=workers)
+            assert result.records == reference.records, \
+                f"workers={workers} diverged under chaos"
+            assert np.array_equal(result.outputs, reference.outputs)
+            rh = result.health
+            assert rh.frames_speculated == h.frames_speculated
+            assert rh.frames_replayed == h.frames_replayed
+            assert rh.invalidation_counts == h.invalidation_counts
+
+    def test_merged_obs_snapshot_carries_spec_counters(self, tiny_hls):
+        frames = frames_for(36)
+        farm = self.chaos_farm(tiny_hls, obs=ObsConfig(flight_frames=8))
+        result = farm.serve(frames, workers=2)
+        counters = result.obs["metrics"]["counters"]
+        assert counters["spec.speculated"] == result.health.frames_speculated
+        assert (counters.get("spec.replayed", 0)
+                == result.health.frames_replayed)
+        assert result.health.frames_speculated > 0
+        per_shard = sum(s["metrics"]["counters"].get("spec.speculated", 0)
+                        for s in result.obs["shards"])
+        assert per_shard == counters["spec.speculated"]
 
 
 # ----------------------------------------------------------------------

@@ -1,12 +1,12 @@
 """Inference-throughput benchmark report.
 
 Measures the simulation's frame throughput on the reference U-Net design
-in seven configurations — model-level ``HLSModel.predict`` (per-frame
-loop, one batched call on the naive executor, and the compiled graph
-plan) and the full ``CentralNodeRuntime`` control loop (sequential,
-batched, batched-on-compiled-plan, and the compiled loop with the
-``repro.obs`` tracing layer on) — and writes the results to
-``BENCH_inference.json``:
+across model-level ``HLSModel.predict`` configurations (per-frame loop,
+one batched call on the naive executor, and the compiled graph plan) and
+the full ``CentralNodeRuntime`` control loop (sequential, batched,
+batched-on-compiled-plan, the compiled loop with the ``repro.obs``
+tracing layer on, and the fault-active chaos pair) — and writes the
+results to ``BENCH_inference.json``:
 
 * ``fps`` — frames per second (wall clock, best of ``rounds``),
 * ``latency_p50_ms`` / ``latency_p99_ms`` — per-frame wall-clock latency
@@ -22,6 +22,14 @@ batched, batched-on-compiled-plan, and the compiled loop with the
   ratios, plus the traced-over-untraced ``obs_overhead`` ratio (the run
   fails when tracing costs more than ``1 - OBS_OVERHEAD_FLOOR`` of fps),
 * ``obs`` — the metrics/spans/recorder snapshot from the traced round,
+* ``runtime_chaos_sequential`` / ``chaos_compiled`` — the control loop
+  under an active fault schedule (every fault class at moderate rates),
+  frame-at-a-time versus the speculative fault-aware fast path on the
+  compiled plan.  The speculative run is asserted bit-identical to the
+  sequential chaos reference before timing, and the run fails when the
+  within-run ``chaos_speculation`` speedup drops below
+  ``CHAOS_SPECULATION_FLOOR`` — the whole point of the taint model is
+  that chaos no longer forfeits the fast path,
 * ``serve_reference`` / ``serve_pool4`` — the sharded serving front-end
   (:mod:`repro.serve`, backlog arrivals) executed sequentially
   in-process and on a 4-worker spawn pool.  Pool wall time includes
@@ -64,6 +72,11 @@ REGRESSION_FLOOR = 0.8
 #: fps (the obs layer's contract: near-zero overhead when on, zero when
 #: off).  Checked on every run, no baseline file needed.
 OBS_OVERHEAD_FLOOR = 0.9
+
+#: Speculative chaos fast path must beat the sequential fault-path
+#: baseline by at least this factor within the same run (no baseline
+#: file needed — both sides are timed on the same machine).
+CHAOS_SPECULATION_FLOOR = 1.5
 
 #: The design every number in the report refers to.
 STRATEGY = "Layer-based Precision ac_fixed<16, x>"
@@ -201,6 +214,50 @@ def build_report(quick: bool = False) -> Dict[str, object]:
 
     last_obs_snapshot: Dict[str, object] = {}
 
+    # Chaos fast path: the speculative ladder keeps the compiled batch
+    # engaged while a fault injector is live.  Moderate per-class rates —
+    # representative chaos, not a worst-case soak.
+    from repro.soc.faults import (ACNETFault, FaultInjector, HubDropFault,
+                                  IPHangFault, LostIRQFault,
+                                  NoisyMonitorFault, SEUFault)
+
+    def chaos_injector() -> FaultInjector:
+        return FaultInjector([
+            HubDropFault(rate=0.02),
+            NoisyMonitorFault(monitor=129, sigma=8.0, rate=0.03),
+            IPHangFault(rate=0.02, extra_s=5e-3),
+            LostIRQFault(rate=0.02),
+            SEUFault(rate=0.02, ram="output"),
+            ACNETFault(rate=0.03, failures=1),
+        ], seed=2024)
+
+    def chaos_round(m, batch: bool, sink: Dict[str, object] | None = None
+                    ) -> List[float]:
+        rt = CentralNodeRuntime(board=AchillesBoard(m),
+                                injector=chaos_injector(),
+                                batch_inference=batch)
+        t0 = time.perf_counter()
+        records = rt.run(frames, seed=7)
+        wall = time.perf_counter() - t0
+        if sink is not None:
+            sink["records"] = records
+            sink["health"] = rt.health_report()
+        return [wall / n_frames]
+
+    chaos_seq: Dict[str, object] = {}
+    chaos_spec: Dict[str, object] = {}
+    chaos_round(model, False, chaos_seq)
+    chaos_round(compiled_model, True, chaos_spec)
+    if chaos_spec["records"] != chaos_seq["records"]:
+        raise AssertionError(
+            "speculative chaos run diverged from the sequential fault-path "
+            "reference — taint model correctness contract broken")
+    chaos_health = chaos_spec["health"]
+    if not chaos_health.frames_speculated:
+        raise AssertionError(
+            "speculation never engaged under the chaos schedule — the "
+            "chaos_compiled benchmark would just re-time the slow path")
+
     # Sharded serving front-end: bit-identity gate first, timing after.
     from repro.core.api import RuntimeConfig, build_farm
     from repro.serve import BatchingPolicy
@@ -242,6 +299,10 @@ def build_report(quick: bool = False) -> Dict[str, object]:
         "runtime_compiled_traced": _bench(
             lambda: runtime_round(compiled_model, True, traced=True),
             rounds, n_frames),
+        "runtime_chaos_sequential": _bench(
+            lambda: chaos_round(model, False), rounds, n_frames),
+        "chaos_compiled": _bench(
+            lambda: chaos_round(compiled_model, True), rounds, n_frames),
         "serve_reference": _bench(lambda: serve_round(0), serve_rounds,
                                   n_frames),
         "serve_pool4": _bench(lambda: serve_round(4), serve_rounds,
@@ -261,6 +322,12 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                 "fused": len(compile_report.fused),
                 "folded_bn": len(compile_report.folded),
                 "arena_words": compile_report.arena_words,
+            },
+            "chaos": {
+                "frames_speculated": chaos_health.frames_speculated,
+                "frames_replayed": chaos_health.frames_replayed,
+                "invalidation_counts": dict(
+                    chaos_health.invalidation_counts),
             },
             "serve": {
                 "n_shards": SERVE_SHARDS,
@@ -285,6 +352,9 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                                 / benchmarks["runtime_batched"]["fps"]),
             "obs_overhead": (benchmarks["runtime_compiled_traced"]["fps"]
                              / benchmarks["runtime_compiled"]["fps"]),
+            "chaos_speculation": (
+                benchmarks["chaos_compiled"]["fps"]
+                / benchmarks["runtime_chaos_sequential"]["fps"]),
             "serve_pool": (benchmarks["serve_pool4"]["fps"]
                            / benchmarks["serve_reference"]["fps"]),
         },
@@ -327,7 +397,8 @@ def main(argv=None) -> int:
     print(f"wrote {args.out}")
     for name in ("predict_sequential", "predict_batched", "predict_compiled",
                  "runtime_sequential", "runtime_batched", "runtime_compiled",
-                 "runtime_compiled_traced", "serve_reference", "serve_pool4"):
+                 "runtime_compiled_traced", "runtime_chaos_sequential",
+                 "chaos_compiled", "serve_reference", "serve_pool4"):
         r = bm[name]
         print(f"  {name:20s} {r['fps']:8.1f} fps  "
               f"p50 {r['latency_p50_ms']:.3f} ms  "
@@ -342,12 +413,21 @@ def main(argv=None) -> int:
     print(f"  obs overhead: traced compiled loop at "
           f"{sp['obs_overhead']:.2f}x untraced fps "
           f"(floor {OBS_OVERHEAD_FLOOR:.2f}x)")
+    chaos = report["meta"]["chaos"]
+    print(f"  chaos: speculative compiled loop at "
+          f"{sp['chaos_speculation']:.2f}x the sequential fault-path "
+          f"baseline (floor {CHAOS_SPECULATION_FLOOR:.2f}x; "
+          f"{chaos['frames_speculated']} speculated, "
+          f"{chaos['frames_replayed']} replayed, bit-identity gated)")
     print(f"  serve: 4-worker pool at {sp['serve_pool']:.2f}x the "
           f"sequential farm reference (bit-identity gated, cold-start "
           f"wall, not baseline-gated)")
 
     if sp["obs_overhead"] < OBS_OVERHEAD_FLOOR:
         print("observability overhead beyond the floor", file=sys.stderr)
+        return 1
+    if sp["chaos_speculation"] < CHAOS_SPECULATION_FLOOR:
+        print("speculative chaos fast path below the floor", file=sys.stderr)
         return 1
     if args.baseline is not None:
         if not args.baseline.exists():
