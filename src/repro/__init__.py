@@ -15,7 +15,8 @@ The package rebuilds the paper's full system in pure Python/numpy:
 * :mod:`repro.core` — the ML/HLS co-design methodology (the paper's
   contribution) as a public API,
 * :mod:`repro.serve` — the deterministic sharded multi-worker serving
-  front-end (:func:`repro.build_farm` / :func:`repro.serve_frames`),
+  front-end (:func:`repro.build_farm` / :func:`repro.serve_frames`) and
+  the persistent socket daemon (:func:`repro.start_daemon`),
 * :mod:`repro.experiments` — one harness per paper table/figure,
 * :mod:`repro.paper` — every published constant, with section refs.
 
@@ -43,6 +44,7 @@ from repro.core.api import (
     load_pretrained,
     run_control_loop,
     serve_frames,
+    start_daemon,
 )
 from repro.obs import ObsConfig, Observability
 
@@ -59,5 +61,6 @@ __all__ = [
     "run_control_loop",
     "build_farm",
     "serve_frames",
+    "start_daemon",
     "codesign_and_deploy",
 ]

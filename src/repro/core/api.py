@@ -56,6 +56,7 @@ __all__ = [
     "run_control_loop",
     "build_farm",
     "serve_frames",
+    "start_daemon",
     "codesign_and_deploy",
 ]
 
@@ -323,6 +324,57 @@ def serve_frames(model, frames: np.ndarray, *,
                           seed=seed, arrival_mode=arrival_mode)
     return farm.serve(np.asarray(frames, dtype=np.float64),
                       workers=workers, **serve_kwargs)
+
+
+def start_daemon(model: ModelLike, *,
+                 fallback: Optional[ModelLike] = None,
+                 config: Optional[RuntimeConfig] = None,
+                 obs: Optional[ObsConfig] = None,
+                 injector: Optional[FaultInjector] = None,
+                 workers: int = 4,
+                 batching=None,
+                 seed: Optional[int] = 0,
+                 queue_limit: int = 64,
+                 arrival_mode: str = "stream",
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 **daemon_kwargs):
+    """Launch the persistent serving daemon; returns a ``DaemonHandle``.
+
+    The daemon listens on ``(host, port)`` (port 0 picks a free one —
+    read ``handle.address``), spawns *workers* persistent warm worker
+    processes once, and serves any number of concurrent client streams
+    over the length-prefixed ``repro-serve/1`` protocol
+    (:mod:`repro.serve.protocol`).  Each stream runs on its own
+    persistent runtime replica with micro-batching per *batching*,
+    bit-identical to the sequential per-stream reference
+    (:func:`repro.serve.daemon.serve_streams_reference`).
+
+    *queue_limit* bounds each stream's accepted-but-uncompleted queue;
+    frames beyond it are shed at admission (reported per frame to the
+    client and counted in ``FarmHealth.frames_shed``).  Use
+    ``handle.drain()`` for the end-of-epoch report, ``handle.reload()``
+    to swap in fresh workers without dropping the listener, and
+    ``handle.stop()`` (or a ``with`` block) to tear down.
+
+    Model/obs validation matches :func:`build_farm`.
+    """
+    from repro.serve import FarmSpec
+    from repro.serve.daemon import DaemonHandle
+
+    if isinstance(obs, Observability):
+        raise TypeError(
+            "start_daemon needs a per-replica ObsConfig (or None), not a "
+            "ready Observability — replicas cannot share one bundle")
+    if not (obs is None or isinstance(obs, ObsConfig)):
+        raise TypeError(f"obs must be ObsConfig or None, got {type(obs)!r}")
+    spec = FarmSpec(model=model, fallback=fallback,
+                    config=config or RuntimeConfig(), obs=obs,
+                    injector=injector)
+    return DaemonHandle.launch(spec, workers=workers, batching=batching,
+                               seed=seed, queue_limit=queue_limit,
+                               arrival_mode=arrival_mode, host=host,
+                               port=port, **daemon_kwargs)
 
 
 def codesign_and_deploy(

@@ -4,8 +4,8 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.experiments import (ablations, fig3, fig5, obsreport, robustness,
-                               servebench, table1, table2, table3)
+from repro.experiments import (ablations, daemonbench, fig3, fig5, obsreport,
+                               robustness, servebench, table1, table2, table3)
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["REGISTRY", "get_experiment"]
@@ -30,6 +30,7 @@ REGISTRY: Dict[str, Harness] = {
     "robustness": robustness.run,
     "obs-report": obsreport.run,
     "serve-bench": servebench.run,
+    "daemon-bench": daemonbench.run,
 }
 
 

@@ -20,27 +20,47 @@ Layering (bottom up):
   into one ``repro-obs/1`` export,
 * :mod:`repro.serve.health` — :class:`FarmHealth` aggregation,
 * :mod:`repro.serve.farm` — :class:`ShardedNodeFarm`, tying it all
-  together.
+  together,
+* :mod:`repro.serve.protocol` — the ``repro-serve/1`` length-prefixed
+  wire protocol (sans-io decoder + blocking :class:`StreamClient`),
+* :mod:`repro.serve.daemon` — :class:`ServingDaemon`, the persistent
+  socket-serving front: warm worker pool, per-stream micro-batching,
+  admission control, drain/reload.
 
 See docs/serving.md for the architecture and the determinism contract;
 ``repro.core.api`` exposes the :func:`~repro.core.api.build_farm` /
-:func:`~repro.core.api.serve_frames` facade.
+:func:`~repro.core.api.serve_frames` /
+:func:`~repro.core.api.start_daemon` facade.
 """
 
 from repro.serve.batching import BatchingPolicy, MicroBatcher, plan_microbatches
+from repro.serve.daemon import (
+    DaemonHandle,
+    DaemonReport,
+    ServingDaemon,
+    StreamIngress,
+    serve_streams_reference,
+)
 from repro.serve.farm import FarmPlan, FarmResult, ShardedNodeFarm
 from repro.serve.health import FarmHealth, merge_shard_health
 from repro.serve.merge import merge_metrics_snapshots, merge_obs_snapshots
+from repro.serve.protocol import MessageDecoder, MsgKind, ProtocolError, StreamClient
 from repro.serve.sharding import ShardPlan, shard_seed
 from repro.serve.workers import (
     OUTPUT_COLUMNS,
     STATUS_CODES,
+    BlockHandle,
     FarmSpec,
+    PoolStats,
+    ReplicaSource,
     ShardTask,
+    StreamFinish,
+    StreamTask,
     TaskResult,
     WorkerCrashError,
     WorkerPool,
     execute_shard_task,
+    execute_stream_task,
 )
 
 __all__ = [
@@ -58,10 +78,25 @@ __all__ = [
     "shard_seed",
     "FarmSpec",
     "ShardTask",
+    "StreamTask",
+    "StreamFinish",
     "TaskResult",
     "WorkerCrashError",
     "WorkerPool",
+    "PoolStats",
+    "BlockHandle",
+    "ReplicaSource",
     "execute_shard_task",
+    "execute_stream_task",
     "OUTPUT_COLUMNS",
     "STATUS_CODES",
+    "ServingDaemon",
+    "DaemonHandle",
+    "DaemonReport",
+    "StreamIngress",
+    "serve_streams_reference",
+    "MessageDecoder",
+    "MsgKind",
+    "ProtocolError",
+    "StreamClient",
 ]

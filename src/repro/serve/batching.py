@@ -125,6 +125,12 @@ def plan_microbatches(arrivals_s: Sequence[float],
     ``0..len(arrivals)-1`` exactly once, in order.
     """
     arrivals = np.asarray(arrivals_s, dtype=np.float64)
+    if np.any(np.isnan(arrivals)):
+        # NaN compares false against everything, so it would sail
+        # through the monotonicity check below and then poison every
+        # deadline comparison downstream (batch boundaries — and hence
+        # seeds and records — would silently depend on NaN semantics).
+        raise ValueError("arrival times must not contain NaN")
     if arrivals.size and np.any(np.diff(arrivals) < 0):
         raise ValueError("arrival times must be non-decreasing")
     mb = MicroBatcher(policy)
@@ -145,6 +151,16 @@ def stream_arrivals(n: int, period_s: float = FRAME_PERIOD_S) -> np.ndarray:
 
 
 def backlog_arrivals(n: int) -> np.ndarray:
-    """Arrival times of a replayed backlog: everything queued at t=0,
-    so the batcher fills every batch to ``max_batch``."""
+    """Arrival times of a replayed backlog: everything queued at t=0.
+
+    With the cost model off (``est_cost_per_frame_s == 0``, the
+    default) the batcher fills every batch to ``max_batch``.  With a
+    positive cost estimate the deadline check still applies at t=0 —
+    the oldest queued frame's dispatch deadline is ``slack_s`` after
+    arrival regardless of when it arrived — so backlogs split as soon
+    as ``est_cost_per_frame_s * (len + 1) > slack_s``, which may be
+    well before ``max_batch``.  That is deliberate: a backlog must not
+    be allowed to blow the per-frame latency budget just because it is
+    a backlog.
+    """
     return np.zeros(n, dtype=np.float64)

@@ -1,0 +1,834 @@
+"""``repro.serve.daemon`` — the persistent async serving front-end.
+
+Architecture (one process, three concurrency domains):
+
+* **asyncio event loop** — accepts many concurrent client connections
+  (:mod:`repro.serve.protocol` framing), runs per-stream admission
+  control + micro-batching (:class:`StreamIngress`, sans-io so the
+  deterministic parts are unit-testable without sockets), and awaits
+  batch completions.
+* **one pool-driver thread** (:class:`_PoolDriver`) — the *only* owner
+  of the started :class:`~repro.serve.workers.WorkerPool`: it
+  serialises submissions, pumps supervision (crash detection, respawn,
+  requeue), and resolves futures the event loop awaits.  Single
+  ownership means no pool state is ever touched from two threads.
+* **persistent worker processes** — spawned once, each holding a warm
+  :class:`~repro.serve.workers.ReplicaSource` and the live per-stream
+  runtime replicas (stream → worker affinity lives in the pool).
+
+Determinism contract — the daemon extension of docs/serving.md:
+
+* Batch boundaries are a pure function of each stream's *accepted*
+  frame sequence: the ingress clock is ``accepted_index * period_s``
+  (``"stream"`` mode) or all-zeros (``"backlog"`` mode), never wall
+  time.  Two runs that accept the same frames produce the same
+  batches, seeds, and records.
+* Each stream is served by one persistent runtime replica fed its
+  batches in order — exactly the sequential reference
+  (:func:`serve_streams_reference`) — so concurrent streams are
+  bit-identical to serving each stream alone.
+* Crash recovery replays: when a stream's home worker dies, the next
+  batch ships the stream's full accepted history
+  (``StreamTask.replay_batches``); the fresh replica re-runs history
+  batch-by-batch and lands in the lost state bit-exactly.  The daemon
+  retains accepted frames per stream for this (the documented memory
+  cost of a crash-survivable stream).
+* Shedding is *admission-time*: a refused frame never enters the
+  stream, so the accepted subsequence — and therefore every record —
+  is exactly what a client that never sent the shed frames would get.
+  Shed counts are reported in ``FarmHealth.frames_shed`` and the
+  ``serve.frames_shed`` counter of the merged ``repro-obs/1`` export.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import dataclasses
+import queue as queue_mod
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.serve.batching import (
+    BatchingPolicy,
+    MicroBatcher,
+    backlog_arrivals,
+    plan_microbatches,
+    stream_arrivals,
+)
+from repro.serve.health import FarmHealth, merge_shard_health
+from repro.serve.merge import merge_obs_snapshots
+from repro.serve.protocol import (
+    ASSIGN_STREAM,
+    MessageDecoder,
+    MsgKind,
+    ProtocolError,
+    StreamClient,
+    pack_eos,
+    pack_error,
+    pack_result,
+    pack_shed,
+    pack_welcome,
+    unpack_frame,
+    unpack_hello,
+)
+from repro.serve.sharding import shard_seed
+from repro.serve.workers import (
+    OUTPUT_COLUMNS,
+    FarmSpec,
+    StreamFinish,
+    StreamTask,
+    TaskResult,
+    WorkerPool,
+    output_row_writer,
+)
+from repro.soc.board import FRAME_PERIOD_S
+from repro.soc.runtime import FrameRecord
+
+__all__ = [
+    "StreamIngress",
+    "ServingDaemon",
+    "DaemonHandle",
+    "DaemonReport",
+    "ReferenceStream",
+    "serve_streams_reference",
+]
+
+#: Recognised ingress arrival models (same semantics as the farm's).
+ARRIVAL_MODES = ("stream", "backlog")
+
+
+def _spec_n_monitors(spec: FarmSpec) -> int:
+    """Monitors per frame, from the spec's model (0 = unknown)."""
+    model = spec.model
+    shape = getattr(model, "input_shape", None)
+    if shape is None:
+        inputs = getattr(model, "inputs", None)
+        if inputs:
+            shape = getattr(inputs[0], "shape", None)
+    if shape is None:
+        return 0
+    try:
+        return int(np.prod(tuple(shape)))
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return 0
+
+
+# ----------------------------------------------------------------------
+# Sans-io per-stream admission + batching
+# ----------------------------------------------------------------------
+class StreamIngress:
+    """Admission control + micro-batching for one stream (sans-io).
+
+    Deterministic by construction: :meth:`offer` decides shed-or-accept
+    from the queue depth (``accepted - completed`` vs ``queue_limit``)
+    and stamps accepted frames on the simulated arrival clock
+    (``accepted_index * period_s``), so given the same sequence of
+    ``offer``/``mark_completed`` calls the accepted set, the batch
+    boundaries, and the shed count are all reproducible — which is how
+    the overload tests pin shedding exactly, with no sockets involved.
+    """
+
+    def __init__(self, stream_id: int, *,
+                 policy: Optional[BatchingPolicy] = None,
+                 period_s: float = FRAME_PERIOD_S,
+                 queue_limit: int = 64,
+                 arrival_mode: str = "stream"):
+        if queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        if arrival_mode not in ARRIVAL_MODES:
+            raise ValueError(f"arrival_mode must be one of {ARRIVAL_MODES}, "
+                             f"got {arrival_mode!r}")
+        self.stream_id = stream_id
+        self.policy = policy or BatchingPolicy()
+        self.period_s = period_s
+        self.queue_limit = queue_limit
+        self.arrival_mode = arrival_mode
+        self.frames: List[np.ndarray] = []   # accepted, stream-local order
+        self.ready: Deque[Tuple[int, int]] = deque()
+        self.accepted = 0
+        self.completed = 0
+        self.shed = 0
+        self.ended = False
+        self._batcher = MicroBatcher(self.policy)
+
+    @property
+    def queue_depth(self) -> int:
+        """Accepted frames not yet completed (in queue or in flight)."""
+        return self.accepted - self.completed
+
+    def offer(self, frame: np.ndarray) -> bool:
+        """Admit or shed one frame; True when accepted."""
+        if self.ended or self.queue_depth >= self.queue_limit:
+            self.shed += 1
+            return False
+        t = (0.0 if self.arrival_mode == "backlog"
+             else self.accepted * self.period_s)
+        flushed = self._batcher.push(t)
+        if flushed is not None:
+            self.ready.append(flushed)
+        self.frames.append(np.asarray(frame, dtype=np.float64))
+        self.accepted += 1
+        return True
+
+    def end(self) -> None:
+        """End of stream: flush the tail batch, refuse further frames."""
+        if self.ended:
+            return
+        self.ended = True
+        tail = self._batcher.flush()
+        if tail is not None:
+            self.ready.append(tail)
+
+    def next_ready(self) -> Optional[Tuple[int, int]]:
+        return self.ready.popleft() if self.ready else None
+
+    def mark_completed(self, n: int) -> None:
+        self.completed += n
+
+    @property
+    def drained(self) -> bool:
+        """Ended, nothing queued, nothing in flight."""
+        return self.ended and not self.ready and self.completed == self.accepted
+
+
+# ----------------------------------------------------------------------
+# Pool driver thread
+# ----------------------------------------------------------------------
+class _PoolDriver(threading.Thread):
+    """Single thread owning the started pool; resolves submit futures.
+
+    The event loop never touches the pool directly (except the
+    read-only ``stream_home`` peek, whose staleness is self-correcting:
+    a wrong guess fails the block and the daemon retries with replay).
+    """
+
+    def __init__(self, pool: WorkerPool):
+        super().__init__(daemon=True, name="repro-serve-pool")
+        self.pool = pool
+        self.error: Optional[BaseException] = None
+        self._inbox: queue_mod.SimpleQueue = queue_mod.SimpleQueue()
+        self._live: List[Tuple[Any, concurrent.futures.Future]] = []
+        self._stopping = threading.Event()
+
+    def submit(self, frames: np.ndarray,
+               tasks: Sequence[Any]) -> concurrent.futures.Future:
+        fut: concurrent.futures.Future = concurrent.futures.Future()
+        if self.error is not None:
+            fut.set_exception(self.error)
+            return fut
+        self._inbox.put((frames, tasks, fut))
+        return fut
+
+    def stop(self) -> None:
+        self._stopping.set()
+
+    def run(self) -> None:
+        try:
+            self.pool.start()
+            while True:
+                try:
+                    item = self._inbox.get(
+                        timeout=0.002 if self._live else 0.05)
+                except queue_mod.Empty:
+                    item = None
+                if item is not None:
+                    frames, tasks, fut = item
+                    try:
+                        handle = self.pool.submit(frames, tasks)
+                    except BaseException as exc:
+                        fut.set_exception(exc)
+                    else:
+                        self._live.append((handle, fut))
+                self.pool.pump(0.02)
+                if self._live:
+                    still = []
+                    for handle, fut in self._live:
+                        if handle.done:
+                            fut.set_result(handle)
+                        else:
+                            still.append((handle, fut))
+                    self._live = still
+                if (self._stopping.is_set() and not self._live
+                        and self._inbox.empty()):
+                    return
+        except BaseException as exc:
+            self.error = exc
+            for _handle, fut in self._live:
+                if not fut.done():
+                    fut.set_exception(exc)
+            self._live = []
+            while True:
+                try:
+                    _f, _t, fut = self._inbox.get_nowait()
+                except queue_mod.Empty:
+                    break
+                if not fut.done():
+                    fut.set_exception(exc)
+        finally:
+            self.pool.close()
+
+
+# ----------------------------------------------------------------------
+# Daemon
+# ----------------------------------------------------------------------
+@dataclass
+class DaemonReport:
+    """Final accounting of one daemon epoch (between start and drain)."""
+
+    health: FarmHealth
+    obs: Optional[Dict[str, Any]]
+    streams: int
+    frames_total: int
+    frames_shed: int
+    batches: int
+    worker_restarts: int
+    requeued_tasks: int
+
+
+class _Stream:
+    __slots__ = ("sid", "ingress", "writer", "seqs", "history",
+                 "inflight", "last_health", "obs_snapshot", "drained",
+                 "failed")
+
+    def __init__(self, sid: int, ingress: StreamIngress, writer):
+        self.sid = sid
+        self.ingress = ingress
+        self.writer = writer
+        self.seqs: List[int] = []        # client seq per accepted frame
+        self.history: List[Tuple[int, int]] = []   # completed batches
+        self.inflight = False
+        self.last_health: Dict[str, Any] = {}
+        self.obs_snapshot: Optional[Dict[str, Any]] = None
+        self.drained = asyncio.Event()
+        self.failed: Optional[BaseException] = None
+
+
+class ServingDaemon:
+    """Persistent asyncio serving front over a warm worker pool.
+
+    Lifecycle: ``await start()`` spawns the pool (in its driver thread)
+    and begins listening; clients connect, HELLO a stream id, and
+    stream frames; ``await drain()`` stops admission, flushes every
+    accepted frame, and returns the epoch's :class:`DaemonReport`;
+    ``await reload()`` drains and then swaps in a fresh pool (same or
+    new spec) without dropping the listener; ``await stop()`` drains
+    and tears everything down.  Synchronous callers use
+    :class:`DaemonHandle`.
+    """
+
+    def __init__(self, spec: FarmSpec, *, workers: int = 4,
+                 batching: Optional[BatchingPolicy] = None,
+                 seed: Optional[int] = 0,
+                 queue_limit: int = 64,
+                 arrival_mode: str = "stream",
+                 host: str = "127.0.0.1", port: int = 0,
+                 max_restarts: int = 32,
+                 pool_kwargs: Optional[Dict[str, Any]] = None):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if arrival_mode not in ARRIVAL_MODES:
+            raise ValueError(f"arrival_mode must be one of {ARRIVAL_MODES}, "
+                             f"got {arrival_mode!r}")
+        self.spec = spec
+        self.workers = workers
+        self.batching = batching or BatchingPolicy()
+        self.seed = seed
+        self.queue_limit = queue_limit
+        self.arrival_mode = arrival_mode
+        self.host = host
+        self.port = port
+        self.max_restarts = max_restarts
+        self.pool_kwargs = dict(pool_kwargs or {})
+        self.n_monitors = _spec_n_monitors(spec)
+        self._streams: Dict[int, _Stream] = {}
+        self._retired: List[_Stream] = []
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._driver: Optional[_PoolDriver] = None
+        self._pool: Optional[WorkerPool] = None
+        self._tasks: set = set()
+        self._next_tid = 0
+        self._next_auto_sid = 0
+        self._draining = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def period_s(self) -> float:
+        cfg = self.spec.config
+        return cfg.period_s if cfg is not None else FRAME_PERIOD_S
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        if self._server is None:
+            raise RuntimeError("daemon is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> "ServingDaemon":
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        self._start_pool()
+        self._server = await asyncio.start_server(
+            self._handle_conn, host=self.host, port=self.port)
+        return self
+
+    def _start_pool(self) -> None:
+        self._pool = WorkerPool(self.spec, self.workers,
+                                max_restarts=self.max_restarts,
+                                **self.pool_kwargs)
+        self._driver = _PoolDriver(self._pool)
+        self._driver.start()
+
+    async def drain(self) -> DaemonReport:
+        """Stop admission, flush all accepted frames, report the epoch.
+
+        Every frame accepted before the drain is still executed and its
+        result delivered; frames arriving during the drain are shed.
+        Idempotent per epoch (a second drain reports the same totals).
+        """
+        self._draining = True
+        streams = list(self._streams.values())
+        for s in streams:
+            s.ingress.end()
+            self._maybe_dispatch(s)
+        for s in streams:
+            await s.drained.wait()
+        for s in streams:
+            if s.failed is not None:
+                raise s.failed
+        await self._finish_streams(streams)
+        return self._report(streams + self._retired)
+
+    async def reload(self, spec: Optional[FarmSpec] = None) -> DaemonReport:
+        """Drain, then swap in a fresh pool (optionally a new spec).
+
+        The listener stays up throughout; live client connections are
+        closed after their results are delivered (clients reconnect to
+        the new epoch).  Stream ids may be reused after the reload.
+        """
+        report = await self.drain()
+        for s in list(self._streams.values()):
+            if s.writer is not None:
+                try:
+                    s.writer.close()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+        driver = self._driver
+        driver.stop()
+        await asyncio.get_running_loop().run_in_executor(None, driver.join)
+        if spec is not None:
+            self.spec = spec
+            self.n_monitors = _spec_n_monitors(spec)
+        self._streams.clear()
+        self._retired = []
+        self._start_pool()
+        self._draining = False
+        return report
+
+    async def stop(self) -> DaemonReport:
+        """Drain, close the listener, tear down the pool."""
+        report = await self.drain()
+        self._closed = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for s in list(self._streams.values()):
+            if s.writer is not None:
+                try:
+                    s.writer.close()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+        driver = self._driver
+        driver.stop()
+        await asyncio.get_running_loop().run_in_executor(None, driver.join)
+        return report
+
+    # -- per-connection handler ----------------------------------------
+    def _allocate_sid(self, requested: int) -> Optional[int]:
+        if requested != ASSIGN_STREAM:
+            if requested in self._streams:
+                return None
+            return requested
+        while self._next_auto_sid in self._streams:
+            self._next_auto_sid += 1
+        sid = self._next_auto_sid
+        self._next_auto_sid += 1
+        return sid
+
+    async def _handle_conn(self, reader: asyncio.StreamReader,
+                           writer: asyncio.StreamWriter) -> None:
+        decoder = MessageDecoder()
+        stream: Optional[_Stream] = None
+        try:
+            while True:
+                data = await reader.read(1 << 16)
+                if not data:
+                    break
+                try:
+                    decoder.feed(data)
+                    msgs = list(decoder)
+                except ProtocolError as exc:
+                    writer.write(pack_error(f"protocol error: {exc}"))
+                    await writer.drain()
+                    break
+                for kind, payload in msgs:
+                    if kind == MsgKind.HELLO:
+                        try:
+                            requested = unpack_hello(payload)
+                        except ProtocolError as exc:
+                            writer.write(pack_error(str(exc)))
+                            await writer.drain()
+                            return
+                        if stream is not None:
+                            writer.write(pack_error("duplicate HELLO"))
+                            await writer.drain()
+                            return
+                        if self._draining or self._closed:
+                            writer.write(pack_error("daemon is draining"))
+                            await writer.drain()
+                            return
+                        sid = self._allocate_sid(requested)
+                        if sid is None:
+                            writer.write(pack_error(
+                                "stream id already in use"))
+                            await writer.drain()
+                            return
+                        ingress = StreamIngress(
+                            sid, policy=self.batching,
+                            period_s=self.period_s,
+                            queue_limit=self.queue_limit,
+                            arrival_mode=self.arrival_mode)
+                        stream = _Stream(sid, ingress, writer)
+                        self._streams[sid] = stream
+                        writer.write(pack_welcome(sid, self.n_monitors))
+                        await writer.drain()
+                        continue
+                    if stream is None:
+                        writer.write(pack_error("HELLO required first"))
+                        await writer.drain()
+                        return
+                    if kind == MsgKind.FRAME:
+                        try:
+                            seq, vec = unpack_frame(payload)
+                        except ProtocolError as exc:
+                            writer.write(pack_error(str(exc)))
+                            await writer.drain()
+                            return
+                        if self.n_monitors and len(vec) != self.n_monitors:
+                            writer.write(pack_error(
+                                f"frame has {len(vec)} samples, stream "
+                                f"expects {self.n_monitors}"))
+                            await writer.drain()
+                            return
+                        if self._draining or not stream.ingress.offer(vec):
+                            if self._draining:
+                                stream.ingress.shed += 1
+                            writer.write(pack_shed(seq))
+                            await writer.drain()
+                            continue
+                        stream.seqs.append(seq)
+                        self._maybe_dispatch(stream)
+                    elif kind == MsgKind.EOS:
+                        stream.ingress.end()
+                        self._maybe_dispatch(stream)
+                        await stream.drained.wait()
+                        if stream.failed is not None:
+                            writer.write(pack_error(
+                                f"stream failed: {stream.failed}"))
+                        else:
+                            writer.write(pack_eos())
+                        await writer.drain()
+                        return
+                    else:
+                        writer.write(pack_error(
+                            f"unexpected {kind.name} from client"))
+                        await writer.drain()
+                        return
+        finally:
+            if stream is not None:
+                # Disconnect without EOS: accepted frames still run to
+                # completion (drain must lose nothing), results are
+                # discarded at the dead socket.
+                stream.ingress.end()
+                stream.writer = None
+                self._maybe_dispatch(stream)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    # -- batch dispatch ------------------------------------------------
+    def _maybe_dispatch(self, s: _Stream) -> None:
+        if s.failed is not None:
+            s.drained.set()
+            return
+        if not s.inflight:
+            nxt = s.ingress.next_ready()
+            if nxt is not None:
+                s.inflight = True
+                task = asyncio.get_running_loop().create_task(
+                    self._run_batch(s, *nxt))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+                return
+        if s.ingress.drained and not s.inflight:
+            s.drained.set()
+
+    async def _run_batch(self, s: _Stream, a: int, b: int) -> None:
+        try:
+            rows, result = await self._execute_batch(s, a, b)
+            s.history.append((a, b))
+            s.last_health = result.health
+            s.ingress.mark_completed(b - a)
+            if s.writer is not None:
+                try:
+                    for i, seq in enumerate(s.seqs[a:b]):
+                        s.writer.write(pack_result(seq, rows[i]))
+                    await s.writer.drain()
+                except (ConnectionError, RuntimeError):
+                    s.writer = None
+        except BaseException as exc:
+            s.failed = exc
+        finally:
+            s.inflight = False
+            self._maybe_dispatch(s)
+
+    async def _execute_batch(self, s: _Stream, a: int,
+                             b: int) -> Tuple[np.ndarray, TaskResult]:
+        new = np.asarray(s.ingress.frames[a:b], dtype=np.float64)
+        attempts = 0
+        while True:
+            # Peek the stream's home; a stale answer only costs one
+            # failed block (the pool fails unroutable continuations
+            # back instead of guessing, and we retry with replay).
+            need_replay = a > 0 and self._pool.stream_home(s.sid) is None
+            if need_replay:
+                frames_block = np.concatenate(
+                    [np.asarray(s.ingress.frames[:a], dtype=np.float64),
+                     new])
+                replay = tuple(s.history)
+            else:
+                frames_block = new
+                replay = ()
+            task = StreamTask(
+                task_id=self._alloc_tid(),
+                stream=s.sid,
+                seed_entropy=self.seed,
+                start=a,
+                n_frames=b - a,
+                replay_batches=replay,
+            )
+            fut = self._driver.submit(frames_block, [task])
+            handle = await asyncio.wrap_future(fut)
+            if not handle.failed:
+                return handle.outputs, handle.results[task.task_id]
+            attempts += 1
+            if attempts > 2:
+                raise RuntimeError(
+                    f"stream {s.sid}: batch ({a}, {b}) failed "
+                    f"{attempts} times (home worker kept dying)")
+
+    def _alloc_tid(self) -> int:
+        tid = self._next_tid
+        self._next_tid += 1
+        return tid
+
+    # -- reporting -----------------------------------------------------
+    async def _finish_streams(self, streams: List[_Stream]) -> None:
+        """Collect final health/obs snapshots, dropping worker state."""
+        pending = []
+        for s in streams:
+            if not s.history or s.obs_snapshot is not None:
+                continue
+            task = StreamFinish(task_id=self._alloc_tid(), stream=s.sid)
+            fut = self._driver.submit(
+                np.empty((0, 1), dtype=np.float64), [task])
+            pending.append((s, task, fut))
+        for s, task, fut in pending:
+            handle = await asyncio.wrap_future(fut)
+            if handle.failed:
+                # Home died after its last batch; keep the last
+                # per-batch health (cumulative anyway), lose the obs
+                # snapshot for this stream.
+                continue
+            result = handle.results[task.task_id]
+            if result.health:
+                s.last_health = result.health
+            s.obs_snapshot = result.obs_snapshot
+
+    def _report(self, streams: List[_Stream]) -> DaemonReport:
+        streams = sorted(streams, key=lambda s: s.sid)
+        shard_health = [s.last_health for s in streams if s.last_health]
+        frames_total = sum(s.ingress.accepted for s in streams)
+        frames_shed = sum(s.ingress.shed for s in streams)
+        batches = sum(len(s.history) for s in streams)
+        stats = self._pool.stats
+        health = merge_shard_health(
+            shard_health,
+            n_shards=len(streams),
+            workers=self.workers,
+            batches=batches,
+            worker_restarts=stats.worker_restarts,
+            requeued_tasks=stats.requeued_tasks,
+            frames_shed=frames_shed,
+        )
+        obs = None
+        snaps = [s.obs_snapshot for s in streams if s.obs_snapshot]
+        if snaps:
+            obs = merge_obs_snapshots(
+                snaps, extra_meta={"streams": len(streams),
+                                   "workers": self.workers})
+            counters = obs.setdefault("metrics", {}).setdefault(
+                "counters", {})
+            counters["serve.frames_shed"] = frames_shed
+        return DaemonReport(
+            health=health,
+            obs=obs,
+            streams=len(streams),
+            frames_total=frames_total,
+            frames_shed=frames_shed,
+            batches=batches,
+            worker_restarts=stats.worker_restarts,
+            requeued_tasks=stats.requeued_tasks,
+        )
+
+
+# ----------------------------------------------------------------------
+# Synchronous wrapper
+# ----------------------------------------------------------------------
+class DaemonHandle:
+    """A :class:`ServingDaemon` on a background event loop.
+
+    The facade for synchronous callers (tests, benchmarks, the CLI):
+    ``DaemonHandle.launch(spec)`` returns once the daemon is listening;
+    ``handle.client()`` connects a :class:`StreamClient`;
+    ``drain()``/``reload()``/``stop()`` proxy the async calls.  Also a
+    context manager (``with`` stops the daemon on exit).
+    """
+
+    def __init__(self, daemon: ServingDaemon, loop: asyncio.AbstractEventLoop,
+                 thread: threading.Thread):
+        self.daemon = daemon
+        self._loop = loop
+        self._thread = thread
+        self._stopped = False
+
+    @classmethod
+    def launch(cls, spec: FarmSpec, *, timeout_s: float = 120.0,
+               **daemon_kwargs) -> "DaemonHandle":
+        loop = asyncio.new_event_loop()
+        thread = threading.Thread(target=loop.run_forever, daemon=True,
+                                  name="repro-serve-daemon")
+        thread.start()
+
+        async def boot() -> ServingDaemon:
+            daemon = ServingDaemon(spec, **daemon_kwargs)
+            await daemon.start()
+            return daemon
+
+        fut = asyncio.run_coroutine_threadsafe(boot(), loop)
+        try:
+            daemon = fut.result(timeout=timeout_s)
+        except Exception:
+            loop.call_soon_threadsafe(loop.stop)
+            thread.join(timeout=5.0)
+            raise
+        return cls(daemon, loop, thread)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.daemon.address
+
+    def client(self, stream_id: int = ASSIGN_STREAM,
+               **kwargs) -> StreamClient:
+        host, port = self.address
+        return StreamClient(host, port, stream_id=stream_id, **kwargs)
+
+    def _call(self, coro, timeout_s: float):
+        fut = asyncio.run_coroutine_threadsafe(coro, self._loop)
+        return fut.result(timeout=timeout_s)
+
+    def drain(self, timeout_s: float = 300.0) -> DaemonReport:
+        return self._call(self.daemon.drain(), timeout_s)
+
+    def reload(self, spec: Optional[FarmSpec] = None,
+               timeout_s: float = 300.0) -> DaemonReport:
+        return self._call(self.daemon.reload(spec), timeout_s)
+
+    def stop(self, timeout_s: float = 300.0) -> Optional[DaemonReport]:
+        if self._stopped:
+            return None
+        report = self._call(self.daemon.stop(), timeout_s)
+        self._stopped = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10.0)
+        return report
+
+    def __enter__(self) -> "DaemonHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ----------------------------------------------------------------------
+# Sequential reference
+# ----------------------------------------------------------------------
+@dataclass
+class ReferenceStream:
+    """One stream's sequential-reference output."""
+
+    records: List[FrameRecord]
+    rows: np.ndarray                    # (n, len(OUTPUT_COLUMNS))
+    batches: List[Tuple[int, int]]
+    health: Dict[str, Any] = field(default_factory=dict)
+
+
+def serve_streams_reference(spec: FarmSpec,
+                            stream_frames: Mapping[int, np.ndarray], *,
+                            batching: Optional[BatchingPolicy] = None,
+                            seed: Optional[int] = 0,
+                            arrival_mode: str = "stream",
+                            period_s: Optional[float] = None,
+                            ) -> Dict[int, ReferenceStream]:
+    """The daemon's bit-identity reference, sequential and in-process.
+
+    One persistent replica per stream, fed the same micro-batch plan
+    the daemon's ingress produces for the same accepted frames (the
+    plan is a pure function of accepted count, policy, and arrival
+    mode).  A daemon serving these frames — any worker count, any
+    interleaving, with or without crash replays — must reproduce these
+    records and output rows bit-exactly.
+    """
+    policy = batching or BatchingPolicy()
+    if period_s is None:
+        cfg = spec.config
+        period_s = cfg.period_s if cfg is not None else FRAME_PERIOD_S
+    out: Dict[int, ReferenceStream] = {}
+    for sid, frames in stream_frames.items():
+        frames = np.ascontiguousarray(frames, dtype=np.float64)
+        n = frames.shape[0]
+        arrivals = (backlog_arrivals(n) if arrival_mode == "backlog"
+                    else stream_arrivals(n, period_s))
+        plan = plan_microbatches(arrivals, policy)
+        runtime = spec.build_runtime()
+        stream_seed = shard_seed(seed, sid)
+        records: List[FrameRecord] = []
+        for a, b in plan:
+            records.extend(runtime.run(frames[a:b], seed=stream_seed))
+        rows = np.full((n, len(OUTPUT_COLUMNS)), np.nan)
+        row = output_row_writer(runtime)
+        for i, r in enumerate(records):
+            rows[i, :] = row(r)
+        out[sid] = ReferenceStream(
+            records=records,
+            rows=rows,
+            batches=plan,
+            health=dataclasses.asdict(runtime.health_report()),
+        )
+    return out

@@ -133,6 +133,42 @@ class ShardedNodeFarm:
         self.batching = batching or BatchingPolicy()
         self.seed = seed
         self.arrival_mode = arrival_mode
+        self._pool: Optional[WorkerPool] = None
+
+    # ------------------------------------------------------------------
+    def start_pool(self, workers: int = 4, **pool_kwargs) -> WorkerPool:
+        """Spawn a persistent warm pool reused by every later serve().
+
+        Spawn + replica cold-start then happen once instead of once per
+        :meth:`serve` call — the steady-state serving mode.  Restart and
+        requeue budgets are cumulative over the pool's lifetime; the
+        per-call ``FarmHealth`` still reports per-call deltas.  Close
+        with :meth:`close` (or use the farm as a context manager).
+        """
+        if self._pool is not None:
+            raise RuntimeError("farm already holds a started pool")
+        pool = WorkerPool(self.spec, min(workers, self.n_shards),
+                          **pool_kwargs)
+        pool.start()
+        self._pool = pool
+        return pool
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The persistent pool, when :meth:`start_pool` was called."""
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the persistent pool (no-op without one)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedNodeFarm":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     @property
@@ -173,9 +209,15 @@ class ShardedNodeFarm:
               **pool_kwargs) -> FarmResult:
         """Run a frame block through the farm.
 
-        ``workers >= 1`` uses the spawn worker pool; ``workers == 0``
-        executes the same plan sequentially in-process (the
-        bit-identity reference).  *chaos_crash_shards* hard-kills the
+        ``workers >= 1`` uses the spawn worker pool — the persistent
+        one when :meth:`start_pool` was called (warm, no spawn or
+        replica cold-start in the call), else a pool built and torn
+        down inside the call; ``workers == 0`` executes the same plan
+        sequentially in-process (the bit-identity reference).  Warm
+        and cold runs are bit-identical: the warm replica template is
+        the deterministic product of the same spec (see
+        :class:`~repro.serve.workers.ReplicaSource`).
+        *chaos_crash_shards* hard-kills the
         worker first claiming each listed shard's task (test hook;
         requires ``workers >= 1``); the supervisor restarts and
         requeues, and the results must still be bit-identical.
@@ -191,8 +233,15 @@ class ShardedNodeFarm:
 
         t0 = time.perf_counter()
         if workers >= 1:
-            pool = WorkerPool(self.spec, min(workers, self.n_shards),
-                              **pool_kwargs)
+            if self._pool is not None:
+                # Warm path: reuse the persistent pool's live workers.
+                if pool_kwargs:
+                    raise ValueError(
+                        "pool kwargs are fixed at start_pool() time")
+                pool = self._pool
+            else:
+                pool = WorkerPool(self.spec, min(workers, self.n_shards),
+                                  **pool_kwargs)
             results, outputs, stats = pool.run(frames, list(plan.tasks))
             restarts, requeued = stats.worker_restarts, stats.requeued_tasks
             n_workers = pool.n_workers

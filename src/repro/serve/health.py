@@ -48,6 +48,10 @@ class FarmHealth:
     frames_speculated: int = 0
     frames_replayed: int = 0
     invalidation_counts: Dict[str, int] = field(default_factory=dict)
+    # Frames refused by daemon admission control (bounded per-stream
+    # queues).  Always 0 for pre-planned farm runs, which admit
+    # everything by construction.
+    frames_shed: int = 0
 
     def render(self) -> str:
         """Multi-line printable summary (farm first, then per shard)."""
@@ -59,6 +63,9 @@ class FarmHealth:
         if self.worker_restarts or self.requeued_tasks:
             lines.append(f"  worker restarts: {self.worker_restarts}, "
                          f"requeued shard tasks: {self.requeued_tasks}")
+        if self.frames_shed:
+            lines.append(f"  frames shed (admission control): "
+                         f"{self.frames_shed}")
         for status, count in sorted(self.status_counts.items()):
             lines.append(f"    {status}: {count}")
         if self.fault_counts:
@@ -89,7 +96,8 @@ class FarmHealth:
 
 def merge_shard_health(shard_health, *, n_shards: int, workers: int,
                        batches: int, worker_restarts: int = 0,
-                       requeued_tasks: int = 0) -> FarmHealth:
+                       requeued_tasks: int = 0,
+                       frames_shed: int = 0) -> FarmHealth:
     """Fold per-shard :class:`HealthReport` dicts into a FarmHealth.
 
     *shard_health* is a sequence of ``dataclasses.asdict(HealthReport)``
@@ -127,4 +135,5 @@ def merge_shard_health(shard_health, *, n_shards: int, workers: int,
                             for h in shard_health),
         invalidation_counts=_sum_dicts(h.get("invalidation_counts", {})
                                        for h in shard_health),
+        frames_shed=frames_shed,
     )

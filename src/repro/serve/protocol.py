@@ -1,0 +1,348 @@
+"""Length-prefixed wire protocol for the serving daemon (``repro-serve/1``).
+
+Every message is a 9-byte header — magic ``b"RSRV"``, kind (u8),
+payload length (u32), network byte order — followed by the payload:
+
+========  =========  =====================================================
+kind      direction  payload
+========  =========  =====================================================
+HELLO     c → s      u32 requested stream id (``ASSIGN_STREAM`` = pick one)
+WELCOME   s → c      u32 stream id, u32 n_monitors (0 = not enforced)
+FRAME     c → s      u64 client sequence number + n_monitors f64 samples
+RESULT    s → c      u64 sequence number + 7 f64 (:data:`OUTPUT_COLUMNS`)
+SHED      s → c      u64 sequence number (frame refused by admission)
+EOS       c ↔ s      empty (client: no more frames; server: all results
+                     for the accepted frames have been sent)
+ERROR     s → c      UTF-8 text; the connection closes after it
+========  =========  =====================================================
+
+The framing layer is **sans-io**: :class:`MessageDecoder` consumes raw
+bytes and yields ``(kind, payload)`` pairs, so the same code path runs
+under asyncio in the daemon, over a blocking socket in
+:class:`StreamClient`, and byte-at-a-time in unit tests.  All numeric
+payloads are little-endian float64 — the dtype frames already have in
+the farm's shared-memory blocks, so a result row is bit-identical to
+the row the worker wrote.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import time
+from enum import IntEnum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "MAGIC",
+    "ASSIGN_STREAM",
+    "MsgKind",
+    "ProtocolError",
+    "MessageDecoder",
+    "StreamClient",
+    "pack",
+    "pack_hello",
+    "pack_welcome",
+    "pack_frame",
+    "pack_result",
+    "pack_shed",
+    "pack_eos",
+    "pack_error",
+    "unpack_hello",
+    "unpack_welcome",
+    "unpack_frame",
+    "unpack_result",
+    "unpack_seq",
+]
+
+MAGIC = b"RSRV"
+_HEADER = struct.Struct("!4sBI")
+_U32 = struct.Struct("!I")
+_U32x2 = struct.Struct("!II")
+_U64 = struct.Struct("!Q")
+
+#: Payloads above this are a protocol violation (guards the decoder
+#: against allocating unbounded buffers for a corrupt length field).
+MAX_PAYLOAD = 1 << 24
+
+#: HELLO stream id meaning "server assigns".
+ASSIGN_STREAM = 0xFFFFFFFF
+
+
+class MsgKind(IntEnum):
+    HELLO = 1
+    WELCOME = 2
+    FRAME = 3
+    RESULT = 4
+    SHED = 5
+    EOS = 6
+    ERROR = 7
+
+
+class ProtocolError(ValueError):
+    """Malformed framing or payload."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def pack(kind: MsgKind, payload: bytes = b"") -> bytes:
+    if len(payload) > MAX_PAYLOAD:
+        raise ProtocolError(f"payload of {len(payload)} bytes exceeds "
+                            f"MAX_PAYLOAD ({MAX_PAYLOAD})")
+    return _HEADER.pack(MAGIC, int(kind), len(payload)) + payload
+
+
+def pack_hello(stream_id: int = ASSIGN_STREAM) -> bytes:
+    return pack(MsgKind.HELLO, _U32.pack(stream_id))
+
+
+def pack_welcome(stream_id: int, n_monitors: int) -> bytes:
+    return pack(MsgKind.WELCOME, _U32x2.pack(stream_id, n_monitors))
+
+
+def pack_frame(seq: int, vec: np.ndarray) -> bytes:
+    data = np.ascontiguousarray(vec, dtype="<f8").tobytes()
+    return pack(MsgKind.FRAME, _U64.pack(seq) + data)
+
+
+def pack_result(seq: int, row: np.ndarray) -> bytes:
+    data = np.ascontiguousarray(row, dtype="<f8").tobytes()
+    return pack(MsgKind.RESULT, _U64.pack(seq) + data)
+
+
+def pack_shed(seq: int) -> bytes:
+    return pack(MsgKind.SHED, _U64.pack(seq))
+
+
+def pack_eos() -> bytes:
+    return pack(MsgKind.EOS)
+
+
+def pack_error(text: str) -> bytes:
+    return pack(MsgKind.ERROR, text.encode("utf-8", "replace"))
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+def unpack_hello(payload: bytes) -> int:
+    if len(payload) != _U32.size:
+        raise ProtocolError(f"HELLO payload must be {_U32.size} bytes")
+    return _U32.unpack(payload)[0]
+
+
+def unpack_welcome(payload: bytes) -> Tuple[int, int]:
+    if len(payload) != _U32x2.size:
+        raise ProtocolError(f"WELCOME payload must be {_U32x2.size} bytes")
+    return _U32x2.unpack(payload)
+
+
+def _seq_and_floats(payload: bytes, what: str) -> Tuple[int, np.ndarray]:
+    if len(payload) < _U64.size or (len(payload) - _U64.size) % 8:
+        raise ProtocolError(f"{what} payload must be 8 + 8k bytes, "
+                            f"got {len(payload)}")
+    seq = _U64.unpack_from(payload)[0]
+    values = np.frombuffer(payload, dtype="<f8", offset=_U64.size).copy()
+    return seq, values
+
+
+def unpack_frame(payload: bytes) -> Tuple[int, np.ndarray]:
+    return _seq_and_floats(payload, "FRAME")
+
+
+def unpack_result(payload: bytes) -> Tuple[int, np.ndarray]:
+    return _seq_and_floats(payload, "RESULT")
+
+
+def unpack_seq(payload: bytes) -> int:
+    if len(payload) != _U64.size:
+        raise ProtocolError(f"payload must be {_U64.size} bytes")
+    return _U64.unpack(payload)[0]
+
+
+class MessageDecoder:
+    """Incremental sans-io frame decoder.
+
+    ``feed`` raw bytes in any fragmentation; iterate to drain complete
+    ``(kind, payload)`` messages.  Framing violations raise
+    :class:`ProtocolError` and poison the decoder (a stream that lost
+    sync cannot be trusted again).
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+        self._poisoned = False
+
+    def feed(self, data: bytes) -> None:
+        if self._poisoned:
+            raise ProtocolError("decoder is poisoned after a framing error")
+        self._buf.extend(data)
+
+    def __iter__(self) -> Iterator[Tuple[MsgKind, bytes]]:
+        while True:
+            msg = self.next_message()
+            if msg is None:
+                return
+            yield msg
+
+    def next_message(self) -> Optional[Tuple[MsgKind, bytes]]:
+        if self._poisoned:
+            raise ProtocolError("decoder is poisoned after a framing error")
+        if len(self._buf) < _HEADER.size:
+            return None
+        magic, kind, length = _HEADER.unpack_from(self._buf)
+        if magic != MAGIC:
+            self._poisoned = True
+            raise ProtocolError(f"bad magic {bytes(magic)!r}")
+        if length > MAX_PAYLOAD:
+            self._poisoned = True
+            raise ProtocolError(f"payload length {length} exceeds "
+                                f"MAX_PAYLOAD ({MAX_PAYLOAD})")
+        try:
+            kind = MsgKind(kind)
+        except ValueError:
+            self._poisoned = True
+            raise ProtocolError(f"unknown message kind {kind}") from None
+        if len(self._buf) < _HEADER.size + length:
+            return None
+        payload = bytes(self._buf[_HEADER.size:_HEADER.size + length])
+        del self._buf[:_HEADER.size + length]
+        return kind, payload
+
+
+# ----------------------------------------------------------------------
+# Blocking client (tests, benchmarks, experiments)
+# ----------------------------------------------------------------------
+class StreamClient:
+    """One daemon stream over a blocking socket.
+
+    Small by design — send frames, pump the socket, collect results —
+    so tests and benchmarks can drive many interleaved streams from a
+    single thread.  ``results`` maps the client's sequence numbers to
+    :data:`~repro.serve.workers.OUTPUT_COLUMNS` rows; ``shed`` holds
+    the sequence numbers the daemon refused under admission control.
+    """
+
+    def __init__(self, host: str, port: int,
+                 stream_id: int = ASSIGN_STREAM,
+                 connect_timeout_s: float = 30.0):
+        self.sock = socket.create_connection((host, port),
+                                             timeout=connect_timeout_s)
+        self.sock.setblocking(False)
+        self._decoder = MessageDecoder()
+        self.results: Dict[int, np.ndarray] = {}
+        self.shed: List[int] = []
+        self.errors: List[str] = []
+        self.eos_seen = False
+        self._next_seq = 0
+        self._send_all(pack_hello(stream_id))
+        self.stream_id, self.n_monitors = self._await_welcome(
+            connect_timeout_s)
+
+    # -- plumbing ------------------------------------------------------
+    def _send_all(self, data: bytes) -> None:
+        view = memoryview(data)
+        while view:
+            try:
+                sent = self.sock.send(view)
+            except BlockingIOError:
+                # Socket buffer full: keep draining server pushes so a
+                # send-heavy client can never deadlock against a
+                # result-heavy server.
+                self.pump()
+                time.sleep(0.001)
+                continue
+            view = view[sent:]
+
+    def _await_welcome(self, timeout_s: float) -> Tuple[int, int]:
+        deadline = time.monotonic() + timeout_s
+        while time.monotonic() < deadline:
+            self.pump()
+            if hasattr(self, "_welcome"):
+                return self._welcome
+            if self.errors:
+                raise ProtocolError(f"server error: {self.errors[0]}")
+            time.sleep(0.002)
+        raise TimeoutError("no WELCOME from daemon")
+
+    # -- public --------------------------------------------------------
+    def send(self, vec: np.ndarray, seq: Optional[int] = None) -> int:
+        """Ship one frame; returns its sequence number."""
+        if seq is None:
+            seq = self._next_seq
+        self._next_seq = max(self._next_seq, seq + 1)
+        self._send_all(pack_frame(seq, vec))
+        return seq
+
+    def send_eos(self) -> None:
+        self._send_all(pack_eos())
+
+    def pump(self) -> None:
+        """Drain whatever the socket has buffered (non-blocking)."""
+        while True:
+            try:
+                data = self.sock.recv(1 << 16)
+            except BlockingIOError:
+                return
+            except OSError:
+                return
+            if not data:
+                return
+            self._decoder.feed(data)
+            for kind, payload in self._decoder:
+                if kind == MsgKind.RESULT:
+                    seq, row = unpack_result(payload)
+                    self.results[seq] = row
+                elif kind == MsgKind.SHED:
+                    self.shed.append(unpack_seq(payload))
+                elif kind == MsgKind.EOS:
+                    self.eos_seen = True
+                elif kind == MsgKind.WELCOME:
+                    self._welcome = unpack_welcome(payload)
+                elif kind == MsgKind.ERROR:
+                    self.errors.append(payload.decode("utf-8", "replace"))
+
+    def settled(self) -> bool:
+        """Every sent frame is accounted for (result or shed)."""
+        return len(self.results) + len(self.shed) >= self._next_seq
+
+    def wait_settled(self, timeout_s: float = 60.0) -> None:
+        deadline = time.monotonic() + timeout_s
+        while not self.settled():
+            if self.errors:
+                raise ProtocolError(f"server error: {self.errors[0]}")
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"stream {self.stream_id}: "
+                    f"{len(self.results)} results + {len(self.shed)} shed "
+                    f"of {self._next_seq} frames after {timeout_s:.0f}s")
+            self.pump()
+            time.sleep(0.001)
+
+    def finish(self, timeout_s: float = 60.0) -> None:
+        """EOS handshake: flush the tail batch, wait for all results."""
+        self.send_eos()
+        deadline = time.monotonic() + timeout_s
+        while not (self.eos_seen and self.settled()):
+            if self.errors:
+                raise ProtocolError(f"server error: {self.errors[0]}")
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"stream {self.stream_id}: no EOS "
+                                   f"after {timeout_s:.0f}s")
+            self.pump()
+            time.sleep(0.001)
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    def __enter__(self) -> "StreamClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -16,7 +16,7 @@ class TestRegistry:
                     "ablation-buffers", "ablation-standardization",
                     "ablation-interface-style", "ablation-qat",
                     "ablation-pipelining", "robustness", "obs-report",
-                    "serve-bench"}
+                    "serve-bench", "daemon-bench"}
         assert expected == set(REGISTRY)
 
     def test_unknown_name(self):

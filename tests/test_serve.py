@@ -16,6 +16,10 @@ The load-bearing guarantees pinned here:
   validates its inputs and round-trips through the farm.
 """
 
+import os
+import signal
+import time
+
 import numpy as np
 import pytest
 
@@ -439,3 +443,100 @@ class TestServeFacade:
         plan = farm.plan(10)
         assert plan.n_batches == sum(len(t.batches) for t in plan.tasks)
         assert plan.tasks[1].batches == ((0, 3),)      # 3 frames, 1 batch
+
+
+# ----------------------------------------------------------------------
+# Batching contracts: NaN rejection, backlog x cost-model interaction
+# ----------------------------------------------------------------------
+class TestBatchingContracts:
+    def test_nan_arrivals_rejected(self):
+        # NaN compares false against everything, so without the explicit
+        # check it would sail through the monotonicity guard and poison
+        # every deadline comparison (batch boundaries — and hence seeds
+        # and records — would silently depend on NaN semantics).
+        with pytest.raises(ValueError, match="NaN"):
+            plan_microbatches([0.0, float("nan"), 0.0], BatchingPolicy())
+        with pytest.raises(ValueError, match="NaN"):
+            plan_microbatches([float("nan")], BatchingPolicy())
+
+    def test_backlog_cost_model_splits_before_max_batch(self):
+        arr = backlog_arrivals(9)
+        # Cost model off (the default): batches fill to max_batch.
+        assert plan_microbatches(arr, BatchingPolicy(max_batch=4)) == [
+            (0, 4), (4, 8), (8, 9)]
+        # Positive per-frame cost: even though every frame arrived at
+        # t=0, the oldest frame's deadline is slack_s after arrival, so
+        # the batch splits as soon as cost * (len + 1) > slack — here
+        # at 3 frames, well before max_batch=8 (docstring contract of
+        # backlog_arrivals).
+        pol = BatchingPolicy(max_batch=8, slack_s=3e-3,
+                             est_cost_per_frame_s=1e-3)
+        assert plan_microbatches(arr, pol) == [(0, 3), (3, 6), (6, 9)]
+
+
+# ----------------------------------------------------------------------
+# Persistent warm pool: start_pool + supervision regressions
+# ----------------------------------------------------------------------
+class TestWarmPool:
+    def test_warm_serves_are_bit_identical_to_cold_reference(self, tiny_hls):
+        farm = farm_for(tiny_hls, n_shards=4)
+        frames = frames_for(24)
+        ref = farm.serve_reference(frames)
+        with farm:
+            pool = farm.start_pool(4)
+            r1 = farm.serve(frames)
+            r2 = farm.serve(frames)
+            assert r1.records == ref.records
+            assert r2.records == ref.records
+            assert np.array_equal(r2.outputs, ref.outputs)
+            assert pool.stats.worker_restarts == 0
+            assert pool.alive_workers() == 4
+            with pytest.raises(ValueError, match="fixed at start_pool"):
+                farm.serve(frames, max_restarts=1)
+            with pytest.raises(RuntimeError, match="already holds"):
+                farm.start_pool(4)
+        assert farm.pool is None
+
+    def test_idle_worker_crash_respawns_to_full_strength(self, tiny_hls):
+        # Regression: the old supervisor respawned only when *every*
+        # worker was gone, so an idle casualty with survivors left a
+        # 4-worker pool at 3 forever — and wasn't counted as a restart.
+        farm = farm_for(tiny_hls, n_shards=4)
+        frames = frames_for(24)
+        ref = farm.serve_reference(frames)
+        with farm:
+            pool = farm.start_pool(4)
+            farm.serve(frames)                       # pool is idle now
+            t_kill = time.monotonic()
+            wid = pool.worker_ids()[0]
+            os.kill(pool.worker_pid(wid), signal.SIGKILL)
+            deadline = time.monotonic() + 60
+            while (pool.stats.worker_restarts < 1
+                   and time.monotonic() < deadline):
+                pool.pump(0.02)
+            assert pool.stats.worker_restarts == 1   # counted
+            while (pool.alive_workers() < 4
+                   and time.monotonic() < deadline):
+                time.sleep(0.02)
+            assert pool.alive_workers() == 4         # held at strength
+            # Regression: the respawn must refresh the stall clock —
+            # recovery is progress, not a hang to time out on.
+            assert pool._last_progress >= t_kill
+            r = farm.serve(frames)
+            assert r.records == ref.records
+            assert r.health.worker_restarts == 0     # per-call delta
+        assert pool.stats.worker_restarts == 1       # cumulative
+
+    def test_drain_sleeps_instead_of_busy_spinning_without_pipes(
+            self, tiny_hls):
+        # Regression: with every result pipe down (workers mid-respawn
+        # after a mass crash) the supervisor used to spin a zero-timeout
+        # poll loop at 100% CPU.  A pipeless _drain must sleep.
+        pool = WorkerPool(FarmSpec(model=tiny_hls), 2)
+        t0_wall, t0_cpu = time.perf_counter(), time.process_time()
+        for _ in range(5):
+            assert pool._drain(0.03) is False
+        wall = time.perf_counter() - t0_wall
+        cpu = time.process_time() - t0_cpu
+        assert wall >= 0.12          # it actually waited
+        assert cpu < wall / 2        # ... by sleeping, not spinning

@@ -34,7 +34,14 @@ results to ``BENCH_inference.json``:
   (:mod:`repro.serve`, backlog arrivals) executed sequentially
   in-process and on a 4-worker spawn pool.  Pool wall time includes
   replica build and worker spawn, so it is a cold-start figure; the
-  ``serve_pool`` speedup is reported but not baseline-gated.
+  ``serve_pool`` speedup is reported but not baseline-gated,
+* ``serve_warm4`` / ``daemon_steady`` — the same block on the farm's
+  persistent warm pool (``start_pool``) and through the serving daemon
+  over real TCP at ``DAEMON_STREAMS`` concurrent streams.  Both are
+  bit-identity gated; the run additionally fails when the daemon's
+  steady-state fps drops below the cold-start pool
+  (``DAEMON_STEADY_FLOOR``) or its p99 simulated node latency breaks
+  the ``DAEMON_SLO_P99_MS`` machine-protection SLO.
 
 All fast paths (batched, compiled, farm pool) are asserted bit-identical
 to their reference before any timing, so the report can never quote a
@@ -89,6 +96,19 @@ GATED_BENCHMARKS = ("runtime_batched", "runtime_compiled")
 #: Farm geometry for the serve benchmarks.
 SERVE_SHARDS = 4
 SERVE_MAX_BATCH = 16
+
+#: Daemon steady-state serving: stream count and the hard SLO on the
+#: p99 *simulated* node latency (the paper's machine-protection budget
+#: is 3 ms end-to-end; the node share must stay under it with 4
+#: concurrent streams live).  Deterministic — not machine-dependent —
+#: so it is a hard gate with no baseline file.
+DAEMON_STREAMS = 4
+DAEMON_SLO_P99_MS = 3.0
+
+#: Steady-state daemon throughput must at least match the cold-start
+#: 4-worker pool within the same run (the daemon's reason to exist:
+#: spawn + replica build amortised away).
+DAEMON_STEADY_FLOOR = 1.0
 
 
 def _rss_kib() -> int:
@@ -284,6 +304,71 @@ def build_report(quick: bool = False) -> Dict[str, object]:
 
     serve_rounds = 1 if quick else 2
 
+    # Persistent daemon: 4 TCP streams fed round-robin slices of the
+    # same frame block, so stream s reproduces farm shard s bit-exactly
+    # (same shard_seed derivation, same backlog arrivals, same policy) —
+    # a cross-layer identity gate between the one-shot farm and the
+    # daemon.  One reference per (round, stream) because stream ids feed
+    # seed derivation and every round uses fresh ids on the warm pool.
+    from repro.core.api import start_daemon
+    from repro.serve.daemon import serve_streams_reference
+    from repro.serve.workers import OUTPUT_COLUMNS
+
+    node_lat_col = OUTPUT_COLUMNS.index("node_latency_s")
+    stream_frames = {s: frames[s::DAEMON_STREAMS]
+                     for s in range(DAEMON_STREAMS)}
+    daemon_rounds_total = serve_rounds + 1  # +1 warm-up
+    daemon_refs = serve_streams_reference(
+        farm.spec,
+        {sid: stream_frames[sid % DAEMON_STREAMS]
+         for sid in range(daemon_rounds_total * DAEMON_STREAMS)},
+        batching=BatchingPolicy(max_batch=SERVE_MAX_BATCH),
+        seed=7, arrival_mode="backlog")
+    for s in range(DAEMON_STREAMS):
+        if not np.array_equal(daemon_refs[s].rows,
+                              serve_ref.outputs[s::DAEMON_STREAMS]):
+            raise AssertionError(
+                "per-stream daemon reference diverged from the farm "
+                "shard reference — cross-layer determinism broken")
+
+    daemon_meta: Dict[str, object] = {"next_sid": 0, "node_p99_ms": 0.0}
+
+    def daemon_round(handle) -> List[float]:
+        base = daemon_meta["next_sid"]
+        daemon_meta["next_sid"] = base + DAEMON_STREAMS
+        t0 = time.perf_counter()
+        clients = {s: handle.client(stream_id=base + s)
+                   for s in range(DAEMON_STREAMS)}
+        lats: List[float] = []
+        try:
+            longest = max(f.shape[0] for f in stream_frames.values())
+            for i in range(longest):
+                for s, block in stream_frames.items():
+                    if i < block.shape[0]:
+                        clients[s].send(block[i])
+                    clients[s].pump()
+            for s, c in clients.items():
+                c.finish(timeout_s=600.0)
+                if c.shed:
+                    raise AssertionError(
+                        f"daemon shed {len(c.shed)} frames under the "
+                        f"benchmark load (queue_limit too small)")
+                n = stream_frames[s].shape[0]
+                got = np.asarray([c.results[i] for i in range(n)])
+                if not np.array_equal(got, daemon_refs[base + s].rows):
+                    raise AssertionError(
+                        f"daemon stream {base + s} diverged from the "
+                        f"sequential per-stream reference")
+                lats.extend(got[:, node_lat_col].tolist())
+        finally:
+            for c in clients.values():
+                c.close()
+        wall = time.perf_counter() - t0
+        daemon_meta["node_p99_ms"] = max(
+            daemon_meta["node_p99_ms"],
+            float(np.percentile(lats, 99) * 1e3))
+        return [wall / n_frames]
+
     benchmarks = {
         "predict_sequential": _bench(predict_sequential, rounds, n_frames),
         "predict_batched": _bench(lambda: predict_blocked(model), rounds,
@@ -308,6 +393,34 @@ def build_report(quick: bool = False) -> Dict[str, object]:
         "serve_pool4": _bench(lambda: serve_round(4), serve_rounds,
                               n_frames),
     }
+
+    # Warm pool: same farm, spawn + worker start paid once before the
+    # timed rounds (replica builds still happen per task, from the warm
+    # byte template).  Started only now so serve_pool4 above stays the
+    # cold-start figure.
+    with farm:
+        farm.start_pool(4)
+        serve_round(4)  # engage the live workers once, untimed
+        benchmarks["serve_warm4"] = _bench(lambda: serve_round(4),
+                                           serve_rounds, n_frames)
+
+    # Daemon steady state: spawn + listener up before timing; the first
+    # (untimed) round also pays the replica template cold build.
+    handle = start_daemon(model, config=RuntimeConfig(batch_inference=True),
+                          workers=DAEMON_STREAMS,
+                          batching=BatchingPolicy(max_batch=SERVE_MAX_BATCH),
+                          seed=7, arrival_mode="backlog",
+                          queue_limit=max(64, n_frames))
+    with handle:
+        daemon_round(handle)  # warm-up round, untimed
+        benchmarks["daemon_steady"] = _bench(
+            lambda: daemon_round(handle), serve_rounds, n_frames)
+        daemon_report = handle.drain()
+    if daemon_report.worker_restarts:
+        raise AssertionError(
+            f"daemon workers crashed {daemon_report.worker_restarts} "
+            f"time(s) during a fault-free benchmark")
+
     return {
         "meta": {
             "strategy": STRATEGY,
@@ -337,6 +450,17 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                 "arrival_mode": "backlog",
                 "n_batches": serve_ref.plan.n_batches,
             },
+            "daemon": {
+                "streams": DAEMON_STREAMS,
+                "rounds": serve_rounds,
+                "arrival_mode": "backlog",
+                "queue_limit": max(64, n_frames),
+                "node_p99_ms": daemon_meta["node_p99_ms"],
+                "slo_p99_ms": DAEMON_SLO_P99_MS,
+                "frames_total": daemon_report.frames_total,
+                "frames_shed": daemon_report.frames_shed,
+                "batches": daemon_report.batches,
+            },
         },
         "peak_rss_kib": _rss_kib(),
         "benchmarks": benchmarks,
@@ -357,6 +481,10 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                 / benchmarks["runtime_chaos_sequential"]["fps"]),
             "serve_pool": (benchmarks["serve_pool4"]["fps"]
                            / benchmarks["serve_reference"]["fps"]),
+            "serve_warm": (benchmarks["serve_warm4"]["fps"]
+                           / benchmarks["serve_pool4"]["fps"]),
+            "daemon_steady": (benchmarks["daemon_steady"]["fps"]
+                              / benchmarks["serve_pool4"]["fps"]),
         },
         "obs": last_obs_snapshot.get("snapshot"),
     }
@@ -398,7 +526,8 @@ def main(argv=None) -> int:
     for name in ("predict_sequential", "predict_batched", "predict_compiled",
                  "runtime_sequential", "runtime_batched", "runtime_compiled",
                  "runtime_compiled_traced", "runtime_chaos_sequential",
-                 "chaos_compiled", "serve_reference", "serve_pool4"):
+                 "chaos_compiled", "serve_reference", "serve_pool4",
+                 "serve_warm4", "daemon_steady"):
         r = bm[name]
         print(f"  {name:20s} {r['fps']:8.1f} fps  "
               f"p50 {r['latency_p50_ms']:.3f} ms  "
@@ -422,12 +551,26 @@ def main(argv=None) -> int:
     print(f"  serve: 4-worker pool at {sp['serve_pool']:.2f}x the "
           f"sequential farm reference (bit-identity gated, cold-start "
           f"wall, not baseline-gated)")
+    daemon = report["meta"]["daemon"]
+    print(f"  daemon: steady state at {sp['daemon_steady']:.2f}x the "
+          f"cold-start pool (floor {DAEMON_STEADY_FLOOR:.2f}x; warm pool "
+          f"at {sp['serve_warm']:.2f}x), p99 node latency "
+          f"{daemon['node_p99_ms']:.3f} ms at {daemon['streams']} "
+          f"concurrent streams (SLO {daemon['slo_p99_ms']:.1f} ms)")
 
     if sp["obs_overhead"] < OBS_OVERHEAD_FLOOR:
         print("observability overhead beyond the floor", file=sys.stderr)
         return 1
     if sp["chaos_speculation"] < CHAOS_SPECULATION_FLOOR:
         print("speculative chaos fast path below the floor", file=sys.stderr)
+        return 1
+    if daemon["node_p99_ms"] > DAEMON_SLO_P99_MS:
+        print(f"daemon p99 node latency {daemon['node_p99_ms']:.3f} ms "
+              f"breaks the {DAEMON_SLO_P99_MS:.1f} ms SLO", file=sys.stderr)
+        return 1
+    if sp["daemon_steady"] < DAEMON_STEADY_FLOOR:
+        print("daemon steady-state throughput below the cold-start pool",
+              file=sys.stderr)
         return 1
     if args.baseline is not None:
         if not args.baseline.exists():
