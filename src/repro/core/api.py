@@ -251,7 +251,8 @@ def build_farm(model: ModelLike, *,
                n_shards: int = 4,
                batching=None,
                seed: Optional[int] = 0,
-               arrival_mode: str = "stream"):
+               arrival_mode: str = "stream",
+               hosts=()):
     """Build a :class:`~repro.serve.ShardedNodeFarm` over *model*.
 
     Each of the *n_shards* stream shards gets its own runtime replica
@@ -271,6 +272,13 @@ def build_farm(model: ModelLike, *,
     fault schedules stay a pure function of (seed, spec, frame index)
     per shard, so worker count never perturbs the chaos (and the
     speculative ladder keeps the batched fast path live under it).
+
+    *hosts* is a sequence of ``"host:port"`` addresses of running
+    ``repro-hosts/1`` agents (``python -m repro.serve.remote``); when
+    non-empty, ``serve()`` dispatches shard groups across those agents
+    (plus any local workers) through a
+    :class:`~repro.serve.remote.HostPool` — bit-identical to the
+    single-machine run, with partition-aware crash recovery.
     """
     from repro.serve import FarmSpec, ShardedNodeFarm
 
@@ -284,7 +292,8 @@ def build_farm(model: ModelLike, *,
                     config=config or RuntimeConfig(), obs=obs,
                     injector=injector)
     return ShardedNodeFarm(spec, n_shards=n_shards, batching=batching,
-                           seed=seed, arrival_mode=arrival_mode)
+                           seed=seed, arrival_mode=arrival_mode,
+                           hosts=hosts)
 
 
 def serve_frames(model, frames: np.ndarray, *,

@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.experiments import (ablations, daemonbench, fig3, fig5, obsreport,
-                               robustness, servebench, table1, table2, table3)
+                               remotebench, replaybench, robustness,
+                               servebench, table1, table2, table3)
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["REGISTRY", "get_experiment"]
@@ -31,6 +32,8 @@ REGISTRY: Dict[str, Harness] = {
     "obs-report": obsreport.run,
     "serve-bench": servebench.run,
     "daemon-bench": daemonbench.run,
+    "remote-bench": remotebench.run,
+    "replay-bench": replaybench.run,
 }
 
 

@@ -25,7 +25,13 @@ Layering (bottom up):
   wire protocol (sans-io decoder + blocking :class:`StreamClient`),
 * :mod:`repro.serve.daemon` — :class:`ServingDaemon`, the persistent
   socket-serving front: warm worker pool, per-stream micro-batching,
-  admission control, drain/reload.
+  admission control, drain/reload,
+* :mod:`repro.serve.remote` — the ``repro-hosts/1`` cross-host shard
+  transport: :class:`HostAgent` processes execute shard tasks for a
+  :class:`HostPool` that dispatches across hosts + local workers with
+  partition-aware recovery,
+* :mod:`repro.serve.replay` — seeded bursty traffic-replay load
+  generation (deterministic admission simulation + live driver).
 
 See docs/serving.md for the architecture and the determinism contract;
 ``repro.core.api`` exposes the :func:`~repro.core.api.build_farm` /
@@ -45,6 +51,15 @@ from repro.serve.farm import FarmPlan, FarmResult, ShardedNodeFarm
 from repro.serve.health import FarmHealth, merge_shard_health
 from repro.serve.merge import merge_metrics_snapshots, merge_obs_snapshots
 from repro.serve.protocol import MessageDecoder, MsgKind, ProtocolError, StreamClient
+from repro.serve.replay import (
+    BurstModel,
+    ReplayReport,
+    ReplaySchedule,
+    ReplaySim,
+    replay_streams,
+    simulate_admission,
+    synth_schedule,
+)
 from repro.serve.sharding import ShardPlan, shard_seed
 from repro.serve.workers import (
     OUTPUT_COLUMNS,
@@ -99,4 +114,28 @@ __all__ = [
     "MsgKind",
     "ProtocolError",
     "StreamClient",
+    "HostAgent",
+    "HostPool",
+    "AgentProcess",
+    "spawn_agent",
+    "BurstModel",
+    "ReplaySchedule",
+    "ReplaySim",
+    "ReplayReport",
+    "synth_schedule",
+    "simulate_admission",
+    "replay_streams",
 ]
+
+# repro.serve.remote doubles as the host-agent entry point
+# (``python -m repro.serve.remote``); importing it eagerly here would
+# make runpy warn about the module being in sys.modules before it runs
+# as __main__.  Resolve its exports lazily instead (PEP 562).
+_REMOTE_EXPORTS = ("HostAgent", "HostPool", "AgentProcess", "spawn_agent")
+
+
+def __getattr__(name):
+    if name in _REMOTE_EXPORTS:
+        from repro.serve import remote
+        return getattr(remote, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

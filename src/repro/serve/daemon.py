@@ -46,6 +46,7 @@ import asyncio
 import concurrent.futures
 import dataclasses
 import queue as queue_mod
+import socket
 import threading
 import time
 from collections import deque
@@ -68,6 +69,7 @@ from repro.serve.protocol import (
     MessageDecoder,
     MsgKind,
     ProtocolError,
+    SERVE_PROTO_VERSION,
     StreamClient,
     pack_eos,
     pack_error,
@@ -464,6 +466,12 @@ class ServingDaemon:
                            writer: asyncio.StreamWriter) -> None:
         decoder = MessageDecoder()
         stream: Optional[_Stream] = None
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            # RESULT messages go out per frame; Nagle would park each
+            # one behind the previous unACKed write for up to a
+            # delayed-ACK interval.
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
             while True:
                 data = await reader.read(1 << 16)
@@ -479,9 +487,19 @@ class ServingDaemon:
                 for kind, payload in msgs:
                     if kind == MsgKind.HELLO:
                         try:
-                            requested = unpack_hello(payload)
+                            version, requested = unpack_hello(payload)
                         except ProtocolError as exc:
                             writer.write(pack_error(str(exc)))
+                            await writer.drain()
+                            return
+                        if version != SERVE_PROTO_VERSION:
+                            # Application-level refusal, not a framing
+                            # violation: a too-new client gets a clean
+                            # ERROR + close instead of decoder poison.
+                            writer.write(pack_error(
+                                f"unsupported repro-serve protocol "
+                                f"version {version} (server speaks "
+                                f"{SERVE_PROTO_VERSION})"))
                             await writer.drain()
                             return
                         if stream is not None:

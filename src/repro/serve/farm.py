@@ -117,12 +117,21 @@ class ShardedNodeFarm:
         (live serving; batch sizes follow the slack window).
         ``"backlog"`` — all frames are already queued (replay /
         throughput benchmarking; batches fill to ``max_batch``).
+    hosts:
+        ``"host:port"`` addresses of running
+        :class:`~repro.serve.remote.HostAgent` processes.  When given,
+        every pooled :meth:`serve` dispatches shard tasks uniformly
+        across the in-process workers (``workers`` of them; 0 = fully
+        remote) *and* the remote hosts through a
+        :class:`~repro.serve.remote.HostPool` — with partition-aware
+        crash recovery and the same bit-identity contract.
     """
 
     def __init__(self, spec: FarmSpec, *, n_shards: int = 4,
                  batching: Optional[BatchingPolicy] = None,
                  seed: Optional[int] = 0,
-                 arrival_mode: str = "stream"):
+                 arrival_mode: str = "stream",
+                 hosts: Sequence[Any] = ()):
         if n_shards < 1:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if arrival_mode not in ARRIVAL_MODES:
@@ -133,10 +142,20 @@ class ShardedNodeFarm:
         self.batching = batching or BatchingPolicy()
         self.seed = seed
         self.arrival_mode = arrival_mode
-        self._pool: Optional[WorkerPool] = None
+        self.hosts = tuple(hosts)
+        self._pool = None            # WorkerPool or HostPool
 
     # ------------------------------------------------------------------
-    def start_pool(self, workers: int = 4, **pool_kwargs) -> WorkerPool:
+    def _make_pool(self, workers: int, **pool_kwargs):
+        if self.hosts:
+            from repro.serve.remote import HostPool
+
+            return HostPool(self.spec, self.hosts, local_workers=workers,
+                            **pool_kwargs)
+        return WorkerPool(self.spec, min(workers, self.n_shards),
+                          **pool_kwargs)
+
+    def start_pool(self, workers: int = 4, **pool_kwargs):
         """Spawn a persistent warm pool reused by every later serve().
 
         Spawn + replica cold-start then happen once instead of once per
@@ -144,17 +163,20 @@ class ShardedNodeFarm:
         requeue budgets are cumulative over the pool's lifetime; the
         per-call ``FarmHealth`` still reports per-call deltas.  Close
         with :meth:`close` (or use the farm as a context manager).
+        With ``hosts`` configured this is a
+        :class:`~repro.serve.remote.HostPool` (*workers* = local
+        slots beside the remote hosts); otherwise a plain
+        :class:`WorkerPool`.
         """
         if self._pool is not None:
             raise RuntimeError("farm already holds a started pool")
-        pool = WorkerPool(self.spec, min(workers, self.n_shards),
-                          **pool_kwargs)
+        pool = self._make_pool(workers, **pool_kwargs)
         pool.start()
         self._pool = pool
         return pool
 
     @property
-    def pool(self) -> Optional[WorkerPool]:
+    def pool(self):
         """The persistent pool, when :meth:`start_pool` was called."""
         return self._pool
 
@@ -227,12 +249,15 @@ class ShardedNodeFarm:
             raise ValueError(f"frames must be 2-D, got {frames.shape}")
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
-        if chaos_crash_shards and workers < 1:
+        if chaos_crash_shards and workers < 1 and not self.hosts:
             raise ValueError("chaos_crash_shards requires workers >= 1")
         plan = self.plan(frames.shape[0], chaos_crash_shards)
 
         t0 = time.perf_counter()
-        if workers >= 1:
+        if workers >= 1 or self.hosts:
+            # With remote hosts configured even workers == 0 is a pool
+            # run (entirely remote); the in-process sequential
+            # reference stays reachable via serve_reference().
             if self._pool is not None:
                 # Warm path: reuse the persistent pool's live workers.
                 if pool_kwargs:
@@ -240,32 +265,53 @@ class ShardedNodeFarm:
                         "pool kwargs are fixed at start_pool() time")
                 pool = self._pool
             else:
-                pool = WorkerPool(self.spec, min(workers, self.n_shards),
-                                  **pool_kwargs)
+                pool = self._make_pool(workers, **pool_kwargs)
             results, outputs, stats = pool.run(frames, list(plan.tasks))
             restarts, requeued = stats.worker_restarts, stats.requeued_tasks
-            n_workers = pool.n_workers
+            host_failures = stats.host_failures
+            # Cold runs tear the pool down inside run(); the stats
+            # snapshot still carries the live worker/slot count.
+            n_workers = stats.workers or pool.n_workers
         else:
             outputs = np.full((frames.shape[0], len(OUTPUT_COLUMNS)), np.nan)
             results = [execute_shard_task(self.spec, t, frames, outputs)
                        for t in plan.tasks]
-            restarts = requeued = 0
+            restarts = requeued = host_failures = 0
             n_workers = 0
         wall = time.perf_counter() - t0
 
         return self._assemble(plan, results, outputs, wall,
                               workers=n_workers,
                               worker_restarts=restarts,
-                              requeued_tasks=requeued)
+                              requeued_tasks=requeued,
+                              host_failures=host_failures)
 
     def serve_reference(self, frames: np.ndarray) -> FarmResult:
-        """The sequential in-process reference (= ``serve(workers=0)``)."""
-        return self.serve(frames, workers=0)
+        """The sequential in-process reference.
+
+        Always executes the plan inline in this process — even on a
+        farm configured with remote ``hosts`` — because this is the
+        stream every other execution mode is asserted bit-identical
+        against.
+        """
+        frames = np.ascontiguousarray(frames, dtype=np.float64)
+        if frames.ndim != 2:
+            raise ValueError(f"frames must be 2-D, got {frames.shape}")
+        plan = self.plan(frames.shape[0])
+        t0 = time.perf_counter()
+        outputs = np.full((frames.shape[0], len(OUTPUT_COLUMNS)), np.nan)
+        results = [execute_shard_task(self.spec, t, frames, outputs)
+                   for t in plan.tasks]
+        wall = time.perf_counter() - t0
+        return self._assemble(plan, results, outputs, wall, workers=0,
+                              worker_restarts=0, requeued_tasks=0,
+                              host_failures=0)
 
     # ------------------------------------------------------------------
     def _assemble(self, plan: FarmPlan, results: List[TaskResult],
                   outputs: np.ndarray, wall_s: float, *, workers: int,
-                  worker_restarts: int, requeued_tasks: int) -> FarmResult:
+                  worker_restarts: int, requeued_tasks: int,
+                  host_failures: int = 0) -> FarmResult:
         by_shard = [r.records for r in results]
         records = plan.shard_plan.gather(by_shard)
         health = merge_shard_health(
@@ -275,6 +321,7 @@ class ShardedNodeFarm:
             batches=plan.n_batches,
             worker_restarts=worker_restarts,
             requeued_tasks=requeued_tasks,
+            host_failures=host_failures,
         )
         obs = None
         snaps = [r.obs_snapshot for r in results]

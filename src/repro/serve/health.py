@@ -52,6 +52,10 @@ class FarmHealth:
     # queues).  Always 0 for pre-planned farm runs, which admit
     # everything by construction.
     frames_shed: int = 0
+    # Remote host-agent connections lost mid-run (cross-host serving);
+    # each loss requeued the host's in-flight shards.  Always 0 on a
+    # single-machine farm.
+    host_failures: int = 0
 
     def render(self) -> str:
         """Multi-line printable summary (farm first, then per shard)."""
@@ -63,6 +67,9 @@ class FarmHealth:
         if self.worker_restarts or self.requeued_tasks:
             lines.append(f"  worker restarts: {self.worker_restarts}, "
                          f"requeued shard tasks: {self.requeued_tasks}")
+        if self.host_failures:
+            lines.append(f"  host partitions survived: "
+                         f"{self.host_failures}")
         if self.frames_shed:
             lines.append(f"  frames shed (admission control): "
                          f"{self.frames_shed}")
@@ -97,7 +104,8 @@ class FarmHealth:
 def merge_shard_health(shard_health, *, n_shards: int, workers: int,
                        batches: int, worker_restarts: int = 0,
                        requeued_tasks: int = 0,
-                       frames_shed: int = 0) -> FarmHealth:
+                       frames_shed: int = 0,
+                       host_failures: int = 0) -> FarmHealth:
     """Fold per-shard :class:`HealthReport` dicts into a FarmHealth.
 
     *shard_health* is a sequence of ``dataclasses.asdict(HealthReport)``
@@ -136,4 +144,5 @@ def merge_shard_health(shard_health, *, n_shards: int, workers: int,
         invalidation_counts=_sum_dicts(h.get("invalidation_counts", {})
                                        for h in shard_health),
         frames_shed=frames_shed,
+        host_failures=host_failures,
     )

@@ -77,6 +77,7 @@ __all__ = [
     "StreamTask",
     "StreamFinish",
     "TaskResult",
+    "localize_shard_task",
     "WorkerCrashError",
     "WorkerPool",
     "BlockHandle",
@@ -216,6 +217,25 @@ class ShardTask:
     global_indices: Tuple[int, ...]
     batches: Tuple[Tuple[int, int], ...]
     crash: bool = False
+
+
+def localize_shard_task(task: ShardTask,
+                        frames: np.ndarray) -> Tuple[ShardTask, np.ndarray]:
+    """Rewrite *task* against its own frame slice (cross-host shipping).
+
+    The host transport sends each shard only its own frames; the
+    returned task indexes that slice contiguously (``0..n-1``) while
+    keeping ``shard``/``seed_entropy``/``batches`` untouched, so the
+    replica sees exactly the frames, seed, and batch boundaries the
+    global task describes — bit-identical by construction.  The
+    caller scatters the n local output rows back to the original
+    ``global_indices``.
+    """
+    idx = np.asarray(task.global_indices, dtype=np.intp)
+    local = np.ascontiguousarray(frames[idx], dtype=np.float64)
+    localized = dataclasses.replace(
+        task, global_indices=tuple(range(len(idx))))
+    return localized, local
 
 
 @dataclass(frozen=True)
@@ -461,11 +481,24 @@ def _worker_main(worker_id: int, spec: FarmSpec, inbox, results) -> None:
     message (with traceback) before the worker dies, so the supervisor
     can fail loudly instead of requeue-looping a poisoned task.
     """
+    from queue import Empty
+
     source = ReplicaSource(spec)
     streams: Dict[int, dict] = {}
+    parent_pid = os.getppid()
     try:
         while True:
-            msg = inbox.get()
+            try:
+                msg = inbox.get(timeout=1.0)
+            except Empty:
+                # Orphan guard: if the supervising process vanished
+                # without the sentinel (SIGKILLed host agent, crashed
+                # parent), exit instead of blocking on the inbox
+                # forever.  getppid() changes the moment the parent
+                # dies (re-parented to init/subreaper).
+                if os.getppid() != parent_pid:
+                    break
+                continue
             if msg is None:
                 break
             kind = msg[0]
@@ -513,11 +546,17 @@ def _worker_main(worker_id: int, spec: FarmSpec, inbox, results) -> None:
 # ----------------------------------------------------------------------
 @dataclass
 class PoolStats:
-    """Supervisor bookkeeping (cumulative for a persistent pool)."""
+    """Supervisor bookkeeping (cumulative for a persistent pool).
+
+    ``host_failures`` counts remote host-agent connections lost by a
+    :class:`~repro.serve.remote.HostPool` (always 0 for a plain
+    in-process pool); each one requeued that host's in-flight shards.
+    """
 
     workers: int = 0
     worker_restarts: int = 0
     requeued_tasks: int = 0
+    host_failures: int = 0
 
 
 class _Entry:
@@ -731,6 +770,20 @@ class WorkerPool:
     def stream_home(self, stream: int) -> Optional[int]:
         """The worker holding *stream*'s replica state, if any."""
         return self._stream_homes.get(stream)
+
+    def result_connections(self) -> List[Any]:
+        """The live workers' result pipe ends (selectable objects).
+
+        For callers embedding the pool in their own event loop (the
+        host agent): each returned :class:`~multiprocessing.connection.
+        Connection` has a ``fileno()`` and becomes readable the moment
+        its worker posts a result, so it can sit in a selector beside
+        sockets instead of being poll-pumped on a timer.  Never read
+        them directly — readiness means "call :meth:`pump` now".  The
+        set changes when a worker dies or respawns; re-sync after every
+        pump.
+        """
+        return list(self._outpipes.values())
 
     def _outstanding(self) -> int:
         return len(self._pending) + sum(

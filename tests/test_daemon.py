@@ -116,7 +116,7 @@ class TestProtocol:
         assert kinds == [MsgKind.HELLO, MsgKind.WELCOME, MsgKind.FRAME,
                          MsgKind.RESULT, MsgKind.SHED, MsgKind.EOS,
                          MsgKind.ERROR]
-        assert unpack_hello(msgs[0][1]) == 9
+        assert unpack_hello(msgs[0][1]) == (1, 9)
         assert unpack_welcome(msgs[1][1]) == (9, N_MONITORS)
         seq, got_vec = unpack_frame(msgs[2][1])
         assert seq == 3
@@ -139,7 +139,7 @@ class TestProtocol:
         import struct
         dec = MessageDecoder()
         dec.feed(struct.pack("!4sBI", b"RSRV", 1, MAX_PAYLOAD + 1))
-        with pytest.raises(ProtocolError, match="MAX_PAYLOAD"):
+        with pytest.raises(ProtocolError, match="payload bound"):
             dec.next_message()
         dec2 = MessageDecoder()
         dec2.feed(struct.pack("!4sBI", b"RSRV", 200, 0))
@@ -376,6 +376,43 @@ class TestDaemonEndToEnd:
             raw.close()
             assert msg is not None and msg[0] == MsgKind.ERROR
             assert b"HELLO" in msg[1]
+
+    def test_unknown_protocol_version_refused_cleanly(self, tiny_hls):
+        # A HELLO advertising a future repro-serve version gets a clean
+        # application-level ERROR (naming both versions) and a close —
+        # never a framing poison — and the listener stays healthy for
+        # the next well-versioned client.
+        import socket as socket_mod
+        with launch(tiny_hls) as handle:
+            raw = socket_mod.create_connection(handle.address, timeout=30)
+            raw.sendall(pack_hello(0, version=99))
+            dec = MessageDecoder()
+            msg = None
+            deadline = time.monotonic() + 30
+            while msg is None and time.monotonic() < deadline:
+                data = raw.recv(1 << 16)
+                if not data:
+                    break
+                dec.feed(data)
+                msg = dec.next_message()
+            assert msg is not None and msg[0] == MsgKind.ERROR
+            assert b"version" in msg[1] and b"99" in msg[1]
+            # server closes after the refusal
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline:
+                data = raw.recv(1 << 16)
+                if not data:
+                    break
+                dec.feed(data)
+            raw.close()
+            # the daemon still serves properly-versioned clients
+            c = handle.client(stream_id=0)
+            frames = frames_for(4)
+            for i in range(4):
+                c.send(frames[i])
+            c.finish(timeout_s=120)
+            assert len(c.results) == 4 and not c.errors
+            c.close()
 
 
 # ----------------------------------------------------------------------

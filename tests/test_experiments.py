@@ -16,7 +16,8 @@ class TestRegistry:
                     "ablation-buffers", "ablation-standardization",
                     "ablation-interface-style", "ablation-qat",
                     "ablation-pipelining", "robustness", "obs-report",
-                    "serve-bench", "daemon-bench"}
+                    "serve-bench", "daemon-bench", "remote-bench",
+                    "replay-bench"}
         assert expected == set(REGISTRY)
 
     def test_unknown_name(self):

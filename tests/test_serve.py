@@ -40,7 +40,7 @@ from repro.serve import (
     shard_seed,
 )
 from repro.serve.batching import backlog_arrivals, stream_arrivals
-from repro.serve.merge import merge_histogram_summaries
+from repro.serve.merge import merge_histogram_summaries, merge_metrics_snapshots
 from repro.soc.board import FRAME_PERIOD_S
 from repro.soc.faults import (
     ACNETFault,
@@ -387,6 +387,76 @@ class TestObsMerge:
         assert merged["recorder"]["trips"] == 1
         assert "shards" not in merged
 
+    def test_heterogeneous_histogram_sets_merge(self):
+        # Cross-host merges see uneven shards: a host that served no
+        # frames ships no latency histogram at all, another ships an
+        # empty one.  Metrics present on only some shards must merge
+        # as if the others simply observed nothing.
+        buckets = (1e-3, 4e-3)
+        with_lat, without = MetricsRegistry(), MetricsRegistry()
+        for v in (0.5e-3, 2e-3, 9e-3):
+            with_lat.histogram("lat", buckets_s=buckets).observe(v)
+        without.histogram("other", buckets_s=buckets).observe(1e-3)
+        empty = MetricsRegistry()
+        empty.histogram("lat", buckets_s=buckets)      # declared, unused
+        snaps = [{"metrics": r.snapshot()}
+                 for r in (with_lat, without, empty)]
+        merged = merge_metrics_snapshots([s["metrics"] for s in snaps])
+        assert set(merged["histograms"]) == {"lat", "other"}
+        lat = merged["histograms"]["lat"]
+        assert lat["count"] == 3 and lat["max"] == 9e-3
+        solo = merge_histogram_summaries(
+            [with_lat.snapshot()["histograms"]["lat"]])
+        for q in ("count", "mean", "p50", "p90", "p99", "max"):
+            assert lat[q] == solo[q]
+        assert merged["histograms"]["other"]["count"] == 1
+
+    def test_all_empty_histograms_merge_to_zero(self):
+        merged = merge_histogram_summaries(
+            [{"count": 0, "mean": 0.0, "max": 0.0, "buckets": []},
+             {}])                           # host with no histogram data
+        assert merged == {"count": 0, "mean": 0.0, "p50": 0.0,
+                          "p90": 0.0, "p99": 0.0, "max": 0.0,
+                          "buckets": []}
+
+    def test_empty_counter_maps_and_mismatched_stages_merge(self):
+        # One shard with empty counters/gauges, one missing the metrics
+        # key entirely, and span stage sets that only partially overlap
+        # (a remote host that never ran the publish stage).
+        snaps = [
+            {"metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+             "spans": {"count": 1, "dropped": 0,
+                       "stages_sim": {"infer": {"count": 2,
+                                                "mean_s": 2.0,
+                                                "max_s": 3.0}},
+                       "stages_wall": {}}},
+            {"spans": {"count": 2, "dropped": 1,
+                       "stages_sim": {"infer": {"count": 2,
+                                                "mean_s": 4.0,
+                                                "max_s": 5.0},
+                                      "publish": {"count": 1,
+                                                  "mean_s": 1.0,
+                                                  "max_s": 1.0}},
+                       "stages_wall": {"io": {"count": 0}}}},
+            {"metrics": {"counters": {"frames.total": 4}}},
+        ]
+        merged = merge_obs_snapshots(snaps, include_shards=False,
+                                     extra_meta={"transport": "hosts"})
+        assert merged["meta"]["merged_shards"] == 3
+        assert merged["meta"]["transport"] == "hosts"
+        assert merged["metrics"]["counters"] == {"frames.total": 4}
+        assert merged["metrics"]["gauges"] == {}
+        stages = merged["spans"]["stages_sim"]
+        assert stages["infer"] == {"count": 4, "mean_s": 3.0,
+                                   "max_s": 5.0}   # count-weighted mean
+        assert stages["publish"] == {"count": 1, "mean_s": 1.0,
+                                     "max_s": 1.0}
+        # a stage present only with zero count folds to the zero row
+        assert merged["spans"]["stages_wall"]["io"] == {
+            "count": 0, "mean_s": 0.0, "max_s": 0.0}
+        assert merged["spans"]["count"] == 3
+        assert merged["recorder"]["frames_seen"] == 0
+
 
 # ----------------------------------------------------------------------
 # The facade
@@ -491,6 +561,11 @@ class TestWarmPool:
             assert np.array_equal(r2.outputs, ref.outputs)
             assert pool.stats.worker_restarts == 0
             assert pool.alive_workers() == 4
+            # The result pipes back the host agent's event loop: one
+            # selectable Connection per live worker.
+            conns = pool.result_connections()
+            assert len(conns) == 4
+            assert all(isinstance(c.fileno(), int) for c in conns)
             with pytest.raises(ValueError, match="fixed at start_pool"):
                 farm.serve(frames, max_restarts=1)
             with pytest.raises(RuntimeError, match="already holds"):

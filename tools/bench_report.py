@@ -41,7 +41,20 @@ results to ``BENCH_inference.json``:
   bit-identity gated; the run additionally fails when the daemon's
   steady-state fps drops below the cold-start pool
   (``DAEMON_STEADY_FLOOR``) or its p99 simulated node latency breaks
-  the ``DAEMON_SLO_P99_MS`` machine-protection SLO.
+  the ``DAEMON_SLO_P99_MS`` machine-protection SLO,
+* ``serve_remote2`` — the same block served across two localhost host
+  agents (``repro-hosts/1``, 2 workers each, zero local) from a warm
+  :class:`~repro.serve.remote.HostPool`.  Bit-identity gated against
+  the sequential farm reference shard by shard; the run fails when the
+  steady-state remote fps drops below ``REMOTE_STEADY_FLOOR`` of the
+  in-process warm pool at equal total workers,
+* ``replay_burst`` — 8 seeded bursty streams through a dedicated
+  daemon (:mod:`repro.serve.replay`).  Shed decisions and batch
+  boundaries are fixed offline by the deterministic admission
+  simulation (asserted rerun-stable); the admitted frames must
+  reproduce the sequential per-stream reference bit-exactly, and the
+  worst per-stream p99 *simulated* node latency is gated against the
+  same ``DAEMON_SLO_P99_MS`` budget.  Shed counts land in the meta.
 
 All fast paths (batched, compiled, farm pool) are asserted bit-identical
 to their reference before any timing, so the report can never quote a
@@ -109,6 +122,23 @@ DAEMON_SLO_P99_MS = 3.0
 #: 4-worker pool within the same run (the daemon's reason to exist:
 #: spawn + replica build amortised away).
 DAEMON_STEADY_FLOOR = 1.0
+
+#: Cross-host serving: two localhost agents, two workers each (equal
+#: total workers to the warm in-process pool), and the fps floor the
+#: warm remote pool must hold against ``serve_warm4`` — the transport
+#: tax budget.
+REMOTE_HOSTS = 2
+REMOTE_WORKERS_PER_HOST = 2
+REMOTE_STEADY_FLOOR = 0.9
+
+#: Bursty replay load: stream count, the admission queue bound fed to
+#: the deterministic simulation, and its service model (2 simulated
+#: batch slots, 1.2 ms/frame) — tuned so every stream's bursts
+#: overflow the bound and shed.
+REPLAY_STREAMS = 8
+REPLAY_QUEUE_LIMIT = 6
+REPLAY_SIM_WORKERS = 2
+REPLAY_SERVICE_PER_FRAME_S = 1.2e-3
 
 
 def _rss_kib() -> int:
@@ -421,6 +451,116 @@ def build_report(quick: bool = False) -> Dict[str, object]:
             f"daemon workers crashed {daemon_report.worker_restarts} "
             f"time(s) during a fault-free benchmark")
 
+    # Cross-host serving: two localhost agents take the farm's shards
+    # over repro-hosts/1.  Identity is gated shard by shard against
+    # the sequential reference (the remote pool scatters each shard's
+    # rows back by global index, so any transport corruption shows).
+    from repro.serve.farm import ShardedNodeFarm
+    from repro.serve.remote import spawn_agent
+
+    def remote_round(remote_farm) -> List[float]:
+        result = remote_farm.serve(frames, workers=0)
+        if result.records != serve_ref.records:
+            raise AssertionError(
+                "remote farm records diverged from the sequential farm "
+                "reference — cross-host determinism contract broken")
+        for s in range(SERVE_SHARDS):
+            if not np.array_equal(result.outputs[s::SERVE_SHARDS],
+                                  serve_ref.outputs[s::SERVE_SHARDS]):
+                raise AssertionError(
+                    f"remote shard {s} rows diverged from the in-process "
+                    f"shard {s} rows")
+        if result.health.host_failures:
+            raise AssertionError(
+                "host connections dropped during a fault-free benchmark")
+        return [result.wall_s / n_frames]
+
+    with spawn_agent(workers=REMOTE_WORKERS_PER_HOST) as a1, \
+            spawn_agent(workers=REMOTE_WORKERS_PER_HOST) as a2:
+        remote_farm = ShardedNodeFarm(
+            farm.spec, n_shards=SERVE_SHARDS,
+            batching=BatchingPolicy(max_batch=SERVE_MAX_BATCH),
+            seed=7, arrival_mode="backlog",
+            hosts=[a1.address, a2.address])
+        with remote_farm:
+            remote_farm.start_pool(workers=0)
+            remote_round(remote_farm)   # untimed: connect + replica build
+            benchmarks["serve_remote2"] = _bench(
+                lambda: remote_round(remote_farm), serve_rounds, n_frames)
+
+    # Bursty traffic replay: seeded arrivals, deterministic admission.
+    from repro.serve.replay import (BurstModel, accepted_frames,
+                                    replay_streams, simulate_admission,
+                                    synth_schedule)
+
+    replay_per_stream = 24 if quick else 48
+    replay_model = BurstModel(burst_mean=24.0, gap_mean_s=0.012)
+    replay_policy = BatchingPolicy(max_batch=SERVE_MAX_BATCH)
+
+    def replay_sim():
+        return simulate_admission(
+            synth_schedule(REPLAY_STREAMS, replay_per_stream, seed=11,
+                           model=replay_model),
+            batching=replay_policy, queue_limit=REPLAY_QUEUE_LIMIT,
+            workers=REPLAY_SIM_WORKERS,
+            service_per_frame_s=REPLAY_SERVICE_PER_FRAME_S)
+
+    sim = replay_sim()
+    if sim.signature() != replay_sim().signature():
+        raise AssertionError(
+            "replay admission simulation is not rerun-stable — seeded "
+            "determinism contract broken")
+    if sim.total_shed == 0:
+        raise AssertionError(
+            "bursty replay shed nothing — the load no longer exercises "
+            "admission control (retune the burst model)")
+    replay_frames = [b.dataset.x_eval[s * replay_per_stream:
+                                      (s + 1) * replay_per_stream]
+                     for s in range(REPLAY_STREAMS)]
+    admitted = accepted_frames(sim, replay_frames)
+    replay_refs = serve_streams_reference(
+        farm.spec, admitted, batching=replay_policy, seed=7,
+        arrival_mode="backlog")
+
+    replay_handle = start_daemon(
+        model, config=RuntimeConfig(batch_inference=True),
+        workers=DAEMON_STREAMS, batching=replay_policy, seed=7,
+        arrival_mode="backlog", queue_limit=4096)
+    with replay_handle:
+        replay_report = replay_streams(replay_handle, sim, replay_frames)
+    node_lats: List[float] = []
+    for s in range(REPLAY_STREAMS):
+        n = len(admitted[s])
+        got = np.asarray([replay_report.rows[s][i] for i in range(n)])
+        if n and not np.array_equal(got, replay_refs[s].rows):
+            raise AssertionError(
+                f"replay stream {s} diverged from the sequential "
+                f"per-stream reference")
+        node_lats.extend(replay_report.node_latency_s[s].tolist())
+    replay_bm = {
+        "fps": replay_report.aggregate_fps,
+        "wall_s": replay_report.wall_s,
+        "frames": replay_report.frames_executed,
+        "rounds": 1,
+        "peak_rss_kib": _rss_kib(),
+    }
+    replay_bm.update(_percentiles_ms(node_lats))
+    benchmarks["replay_burst"] = replay_bm
+    replay_meta = {
+        "streams": REPLAY_STREAMS,
+        "frames_per_stream": replay_per_stream,
+        "queue_limit": REPLAY_QUEUE_LIMIT,
+        "offered": sim.total_offered,
+        "accepted": sim.total_accepted,
+        "shed": sim.total_shed,
+        "shed_per_stream": [len(s.shed) for s in sim.streams],
+        "node_p99_ms_per_stream": [
+            replay_report.node_p(s, 99) * 1e3
+            for s in range(REPLAY_STREAMS)],
+        "worst_node_p99_ms": replay_report.worst_node_p99_ms(),
+        "slo_p99_ms": DAEMON_SLO_P99_MS,
+    }
+
     return {
         "meta": {
             "strategy": STRATEGY,
@@ -461,6 +601,14 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                 "frames_shed": daemon_report.frames_shed,
                 "batches": daemon_report.batches,
             },
+            "remote": {
+                "hosts": REMOTE_HOSTS,
+                "workers_per_host": REMOTE_WORKERS_PER_HOST,
+                "local_workers": 0,
+                "rounds": serve_rounds,
+                "floor_vs_warm": REMOTE_STEADY_FLOOR,
+            },
+            "replay": replay_meta,
         },
         "peak_rss_kib": _rss_kib(),
         "benchmarks": benchmarks,
@@ -485,6 +633,8 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                            / benchmarks["serve_pool4"]["fps"]),
             "daemon_steady": (benchmarks["daemon_steady"]["fps"]
                               / benchmarks["serve_pool4"]["fps"]),
+            "serve_remote": (benchmarks["serve_remote2"]["fps"]
+                             / benchmarks["serve_warm4"]["fps"]),
         },
         "obs": last_obs_snapshot.get("snapshot"),
     }
@@ -527,7 +677,8 @@ def main(argv=None) -> int:
                  "runtime_sequential", "runtime_batched", "runtime_compiled",
                  "runtime_compiled_traced", "runtime_chaos_sequential",
                  "chaos_compiled", "serve_reference", "serve_pool4",
-                 "serve_warm4", "daemon_steady"):
+                 "serve_warm4", "daemon_steady", "serve_remote2",
+                 "replay_burst"):
         r = bm[name]
         print(f"  {name:20s} {r['fps']:8.1f} fps  "
               f"p50 {r['latency_p50_ms']:.3f} ms  "
@@ -557,6 +708,18 @@ def main(argv=None) -> int:
           f"at {sp['serve_warm']:.2f}x), p99 node latency "
           f"{daemon['node_p99_ms']:.3f} ms at {daemon['streams']} "
           f"concurrent streams (SLO {daemon['slo_p99_ms']:.1f} ms)")
+    remote = report["meta"]["remote"]
+    print(f"  remote: {remote['hosts']} host agents x "
+          f"{remote['workers_per_host']} workers at "
+          f"{sp['serve_remote']:.2f}x the in-process warm pool "
+          f"(floor {REMOTE_STEADY_FLOOR:.2f}x, equal total workers, "
+          f"bit-identity gated shard by shard)")
+    replay = report["meta"]["replay"]
+    print(f"  replay: {replay['streams']} bursty streams, "
+          f"{replay['accepted']}/{replay['offered']} admitted "
+          f"({replay['shed']} shed, deterministic), worst per-stream "
+          f"p99 node latency {replay['worst_node_p99_ms']:.3f} ms "
+          f"(SLO {replay['slo_p99_ms']:.1f} ms)")
 
     if sp["obs_overhead"] < OBS_OVERHEAD_FLOOR:
         print("observability overhead beyond the floor", file=sys.stderr)
@@ -571,6 +734,16 @@ def main(argv=None) -> int:
     if sp["daemon_steady"] < DAEMON_STEADY_FLOOR:
         print("daemon steady-state throughput below the cold-start pool",
               file=sys.stderr)
+        return 1
+    if sp["serve_remote"] < REMOTE_STEADY_FLOOR:
+        print(f"cross-host serving at {sp['serve_remote']:.2f}x the warm "
+              f"pool is below the {REMOTE_STEADY_FLOOR:.2f}x floor",
+              file=sys.stderr)
+        return 1
+    if replay["worst_node_p99_ms"] > DAEMON_SLO_P99_MS:
+        print(f"bursty replay p99 node latency "
+              f"{replay['worst_node_p99_ms']:.3f} ms breaks the "
+              f"{DAEMON_SLO_P99_MS:.1f} ms SLO", file=sys.stderr)
         return 1
     if args.baseline is not None:
         if not args.baseline.exists():
