@@ -49,7 +49,7 @@ def main() -> None:
         config=repro.RuntimeConfig(compile_level=1),
         obs=repro.ObsConfig(flight_frames=64),
     )
-    node_ms = result.latencies_s * 1e3
+    node_ms = result.total_latencies_s * 1e3
     print(f"  frames processed : {result.health.frames_total} "
           f"(status: {result.health.status_counts})")
     print(f"  total latency     : mean {node_ms.mean():.3f} ms, "

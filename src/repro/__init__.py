@@ -17,6 +17,10 @@ The package rebuilds the paper's full system in pure Python/numpy:
 * :mod:`repro.serve` — the deterministic sharded multi-worker serving
   front-end (:func:`repro.build_farm` / :func:`repro.serve_frames`) and
   the persistent socket daemon (:func:`repro.start_daemon`),
+* :mod:`repro.plants` — pluggable workloads behind the
+  :class:`repro.Plant` interface: the paper's open-loop beam-loss
+  substrate (:class:`repro.BeamLossPlant`, the default everywhere) and
+  a closed-loop cartpole scenario (:class:`repro.CartpolePlant`),
 * :mod:`repro.experiments` — one harness per paper table/figure,
 * :mod:`repro.paper` — every published constant, with section refs.
 
@@ -47,6 +51,12 @@ from repro.core.api import (
     start_daemon,
 )
 from repro.obs import ObsConfig, Observability
+from repro.plants import (
+    BeamLossPlant,
+    CartpolePlant,
+    ControlQuality,
+    Plant,
+)
 
 __version__ = "1.0.0"
 
@@ -56,6 +66,10 @@ __all__ = [
     "ObsConfig",
     "Observability",
     "ControlLoopResult",
+    "Plant",
+    "BeamLossPlant",
+    "CartpolePlant",
+    "ControlQuality",
     "load_pretrained",
     "build_runtime",
     "run_control_loop",

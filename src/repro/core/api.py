@@ -15,6 +15,16 @@ Scale-out rides on the same facade: :func:`build_farm` /
 serving front-end (N runtime replicas, micro-batching, spawn worker
 pool) without changing any single-runtime call site.
 
+Every entry point is **plant-generic**: the workload — frame
+synthesis, hub topology, trip policy, actuation feedback,
+control-quality scoring — lives behind a
+:class:`~repro.plants.Plant` passed as ``plant=``.  The default is
+:class:`~repro.plants.BeamLossPlant` (the paper's open-loop
+de-blending workload), so every pre-plant call site behaves bit for
+bit as before; pass :class:`~repro.plants.CartpolePlant` (or your
+own plant) to run a closed-loop scenario through the same runtime,
+chaos and serving layers.
+
 Configuration travels in two keyword-only dataclasses —
 :class:`RuntimeConfig` for the datapath and
 :class:`~repro.obs.ObsConfig` for tracing/metrics/flight-recording —
@@ -24,7 +34,7 @@ so call sites read as named policy, not positional soup.
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple, Union
 
 import numpy as np
@@ -34,9 +44,14 @@ from repro.core.deployment import Deployment, deploy
 from repro.hls.converter import convert
 from repro.hls.model import HLSModel
 from repro.hls.precision import layer_based_config, uniform_config
-from repro.beamloss.controller import TripController
-from repro.beamloss.hubs import HubNetwork
 from repro.nn.model import Model
+from repro.plants import (
+    BeamLossPlant,
+    ControlQuality,
+    Plant,
+    fold_control_metrics,
+    run_closed_loop,
+)
 from repro.obs import ObsConfig, Observability
 from repro.pretrained.bundle import ReferenceBundle, load_reference_bundle
 from repro.soc.board import FRAME_PERIOD_S, AchillesBoard
@@ -89,10 +104,15 @@ class RuntimeConfig:
         Total width for the layer-based strategy when ``x_profile`` IS
         supplied to :func:`build_runtime`.
     n_hubs:
-        Concentrator count for the hub network (None = 7, clamped to
-        the monitor count).
+        Deprecated — hub topology belongs to the plant; set
+        ``BeamLossPlant(n_hubs=...)`` instead.  Non-``None`` values
+        still override a beam-loss plant (with a
+        ``DeprecationWarning``).
     min_votes:
-        Trip-controller vote floor.
+        Deprecated — the vote floor belongs to the plant; set
+        ``BeamLossPlant(min_votes=...)`` instead.  Non-``None``
+        values still override a beam-loss plant (with a
+        ``DeprecationWarning``).
     policy:
         Degradation ladder thresholds (watchdog, fallback, recovery).
     """
@@ -104,7 +124,7 @@ class RuntimeConfig:
     precision: Tuple[int, int] = (16, 7)
     profile_width: int = 16
     n_hubs: Optional[int] = None
-    min_votes: int = 3
+    min_votes: Optional[int] = None
     policy: DegradationPolicy = field(default_factory=DegradationPolicy)
 
     def __post_init__(self) -> None:
@@ -115,6 +135,17 @@ class RuntimeConfig:
         w, i = self.precision
         if w <= 0 or i < 0 or i > w:
             raise ValueError(f"invalid precision {self.precision}")
+        # stacklevel=3: __post_init__ ← dataclass __init__ ← caller.
+        if self.n_hubs is not None:
+            warnings.warn(
+                "RuntimeConfig.n_hubs is deprecated; hub topology is "
+                "plant policy — pass plant=BeamLossPlant(n_hubs=...)",
+                DeprecationWarning, stacklevel=3)
+        if self.min_votes is not None:
+            warnings.warn(
+                "RuntimeConfig.min_votes is deprecated; the vote floor "
+                "is plant policy — pass plant=BeamLossPlant(min_votes=...)",
+                DeprecationWarning, stacklevel=3)
 
 
 @dataclass
@@ -125,14 +156,27 @@ class ControlLoopResult:
     health: HealthReport
     runtime: CentralNodeRuntime
     obs: Optional[Observability] = None
+    #: Control-quality summary for the run (also on ``health.control``).
+    control: Optional[ControlQuality] = None
+    #: The plant that drove the run (``runtime.plant``).
+    plant: Optional[Plant] = None
 
     @property
-    def latencies_s(self) -> np.ndarray:
+    def total_latencies_s(self) -> np.ndarray:
         """Per-frame total latency (hub readout + node), frame order."""
         return np.array([r.total_latency_s for r in self.records])
 
+    @property
+    def latencies_s(self) -> np.ndarray:
+        """Deprecated alias of :attr:`total_latencies_s`."""
+        warnings.warn(
+            "ControlLoopResult.latencies_s is deprecated; use "
+            "total_latencies_s",
+            DeprecationWarning, stacklevel=2)
+        return self.total_latencies_s
 
-def load_pretrained(*, include_bn: bool = False,
+
+def load_pretrained(*, include_bn: Optional[bool] = None,
                     train_if_missing: bool = True) -> ReferenceBundle:
     """The reference bundle: trained U-Net + MLP + deblending dataset.
 
@@ -140,8 +184,20 @@ def load_pretrained(*, include_bn: bool = False,
     :func:`repro.pretrained.bundle.load_reference_bundle`; the only
     behavioural difference is that missing weights are trained by
     default (the quickstart should never dead-end on a fresh clone).
+
+    The bundle is beam-loss-specific (its dataset is the plant's
+    substrate); plant-generic code should take models from
+    ``plant.default_model()`` instead.  *include_bn* is deprecated
+    here — pass it to
+    :func:`repro.pretrained.bundle.load_reference_bundle` directly.
     """
-    return load_reference_bundle(include_bn=include_bn,
+    if include_bn is not None:
+        warnings.warn(
+            "load_pretrained(include_bn=...) is deprecated; call "
+            "repro.pretrained.bundle.load_reference_bundle for "
+            "variant-specific bundles",
+            DeprecationWarning, stacklevel=2)
+    return load_reference_bundle(include_bn=bool(include_bn),
                                  train_if_missing=train_if_missing)
 
 
@@ -161,12 +217,36 @@ def _as_hls(model: ModelLike, x_profile: Optional[np.ndarray],
     return convert(model, cfg)
 
 
+def _apply_deprecated_overrides(plant: Plant,
+                                config: RuntimeConfig) -> Plant:
+    """Honor deprecated ``RuntimeConfig`` plant fields on *plant*.
+
+    Applied via :func:`dataclasses.replace` on the **plant** (never by
+    rebuilding the config, which would re-fire the deprecation warning
+    from inside the library).
+    """
+    overrides = {}
+    if config.n_hubs is not None:
+        overrides["n_hubs"] = config.n_hubs
+    if config.min_votes is not None:
+        overrides["min_votes"] = config.min_votes
+    if not overrides:
+        return plant
+    if not isinstance(plant, BeamLossPlant):
+        raise ValueError(
+            f"deprecated RuntimeConfig fields {sorted(overrides)} only "
+            f"apply to BeamLossPlant; set them on the "
+            f"{type(plant).__name__} itself")
+    return replace(plant, **overrides)
+
+
 def build_runtime(model: ModelLike, *,
                   x_profile: Optional[np.ndarray] = None,
                   fallback: Optional[ModelLike] = None,
                   config: Optional[RuntimeConfig] = None,
                   obs: ObsLike = None,
                   injector: Optional[FaultInjector] = None,
+                  plant: Optional[Plant] = None,
                   ) -> CentralNodeRuntime:
     """Place *model* on a hardened central-node runtime.
 
@@ -176,8 +256,15 @@ def build_runtime(model: ModelLike, *,
     already-converted :class:`~repro.hls.HLSModel`, used as-is.
     *obs* may be an :class:`~repro.obs.ObsConfig` (a bundle is built),
     a ready :class:`~repro.obs.Observability`, or None (zero-cost off).
+
+    *plant* supplies the workload-specific wiring — hub topology and
+    trip controller — and rides on the runtime for closed-loop driving
+    and control-quality scoring downstream.  Default:
+    :class:`~repro.plants.BeamLossPlant` (exactly the pre-plant
+    wiring).
     """
     config = config or RuntimeConfig()
+    plant = _apply_deprecated_overrides(plant or BeamLossPlant(), config)
     hls = _as_hls(model, x_profile, config)
     if config.compile_level and not hls.compiled:
         hls.compile(level=config.compile_level)
@@ -196,37 +283,71 @@ def build_runtime(model: ModelLike, *,
                         f"got {type(obs)!r}")
 
     n_monitors = int(np.prod(hls.input_shape))
-    n_hubs = config.n_hubs if config.n_hubs is not None else min(7, n_monitors)
+    expected = plant.expected_monitors
+    if expected is not None and expected != n_monitors:
+        raise ValueError(
+            f"{type(plant).__name__} synthesises {expected}-monitor "
+            f"frames but the model reads {n_monitors} monitors")
     return CentralNodeRuntime(
         board=AchillesBoard(hls),
         fallback_board=fallback_board,
-        hubs=HubNetwork(n_monitors=n_monitors, n_hubs=n_hubs),
-        controller=TripController(min_votes=config.min_votes),
+        hubs=plant.hubs(n_monitors),
+        controller=plant.controller(),
         period_s=config.period_s,
         batch_inference=config.batch_inference,
         speculation=config.speculation,
         policy=config.policy,
         injector=injector,
         obs=obs,
+        plant=plant,
     )
 
 
 def run_control_loop(model: Union[ModelLike, CentralNodeRuntime],
-                     frames: np.ndarray, *,
+                     frames: Optional[np.ndarray] = None, *,
+                     n_frames: Optional[int] = None,
                      seed: int = 0,
                      x_profile: Optional[np.ndarray] = None,
                      fallback: Optional[ModelLike] = None,
                      config: Optional[RuntimeConfig] = None,
                      obs: ObsLike = None,
                      injector: Optional[FaultInjector] = None,
+                     plant: Optional[Plant] = None,
                      ) -> ControlLoopResult:
-    """Drive *frames* through the control loop and summarise the run.
+    """Drive the control loop and summarise the run.
 
     Accepts either something buildable (see :func:`build_runtime`) or a
     ready :class:`~repro.soc.runtime.CentralNodeRuntime` — the latter
-    lets callers reuse one runtime across stretches of frames.
+    lets callers reuse one runtime across stretches of frames (passing
+    any other build keyword alongside a ready runtime raises
+    ``ValueError``; it used to be silently ignored).
+
+    The workload comes from the runtime's plant:
+
+    * **open-loop plant** (e.g. the default
+      :class:`~repro.plants.BeamLossPlant`) — pass *frames* (exactly
+      the historical behavior, bit for bit), or pass *n_frames* to
+      let the plant synthesise them;
+    * **closed-loop plant** (``plant.closed_loop``) — pass *n_frames*
+      only; each published action feeds back through
+      ``session.apply`` before the next frame is synthesised
+      (:func:`repro.plants.run_closed_loop`).
+
+    The run is scored into a :class:`~repro.plants.ControlQuality`
+    (on ``result.control`` and ``result.health.control``, and folded
+    into the observability metrics as ``control.*`` gauges).
     """
     if isinstance(model, CentralNodeRuntime):
+        given = sorted(k for k, v in (("config", config),
+                                      ("x_profile", x_profile),
+                                      ("fallback", fallback),
+                                      ("injector", injector),
+                                      ("plant", plant)) if v is not None)
+        if given:
+            raise ValueError(
+                f"run_control_loop got a ready runtime plus build "
+                f"keywords {given}; configure them in build_runtime "
+                f"instead")
         runtime = model
         if obs is not None:
             if isinstance(obs, ObsConfig):
@@ -235,12 +356,48 @@ def run_control_loop(model: Union[ModelLike, CentralNodeRuntime],
     else:
         runtime = build_runtime(model, x_profile=x_profile,
                                 fallback=fallback, config=config,
-                                obs=obs, injector=injector)
-    records = runtime.run(np.asarray(frames, dtype=np.float64), seed=seed)
+                                obs=obs, injector=injector, plant=plant)
+
+    plant_obj = runtime.plant
+    session = None
+    if plant_obj is not None and plant_obj.closed_loop:
+        if frames is not None:
+            raise ValueError(
+                f"{type(plant_obj).__name__} is closed-loop: it "
+                f"synthesises its own frames — pass n_frames, not "
+                f"frames")
+        if n_frames is None:
+            raise ValueError("closed-loop runs need n_frames")
+        session = plant_obj.session(seed)
+        records = run_closed_loop(runtime, session, n_frames, seed=seed)
+    else:
+        if frames is None:
+            if n_frames is None:
+                raise ValueError("pass frames or n_frames")
+            if plant_obj is None:
+                raise ValueError(
+                    "n_frames needs a plant to synthesise frames")
+            session = plant_obj.session(seed)
+            frames = np.stack([session.next_frame()
+                               for _ in range(n_frames)])
+        elif n_frames is not None:
+            raise ValueError("pass frames or n_frames, not both")
+        records = runtime.run(np.asarray(frames, dtype=np.float64),
+                              seed=seed)
+
+    if session is not None:
+        control = session.quality(records)
+    else:
+        control = ControlQuality.from_records(records, runtime.period_s)
+    health = replace(runtime.health_report(), control=control)
+    if runtime.obs is not None:
+        fold_control_metrics(runtime.obs.metrics, control)
     return ControlLoopResult(records=records,
-                             health=runtime.health_report(),
+                             health=health,
                              runtime=runtime,
-                             obs=runtime.obs)
+                             obs=runtime.obs,
+                             control=control,
+                             plant=plant_obj)
 
 
 def build_farm(model: ModelLike, *,
@@ -248,6 +405,7 @@ def build_farm(model: ModelLike, *,
                config: Optional[RuntimeConfig] = None,
                obs: Optional[ObsConfig] = None,
                injector: Optional[FaultInjector] = None,
+               plant: Optional[Plant] = None,
                n_shards: int = 4,
                batching=None,
                seed: Optional[int] = 0,
@@ -279,6 +437,11 @@ def build_farm(model: ModelLike, *,
     (plus any local workers) through a
     :class:`~repro.serve.remote.HostPool` — bit-identical to the
     single-machine run, with partition-aware crash recovery.
+
+    *plant* rides the (picklable) spec to every replica.  Closed-loop
+    plants serve via ``farm.serve_plant(n_frames)``: each shard runs
+    its own ordered closed-loop session, so per-stream bit-identity
+    extends to the farm.
     """
     from repro.serve import FarmSpec, ShardedNodeFarm
 
@@ -290,7 +453,7 @@ def build_farm(model: ModelLike, *,
         raise TypeError(f"obs must be ObsConfig or None, got {type(obs)!r}")
     spec = FarmSpec(model=model, fallback=fallback,
                     config=config or RuntimeConfig(), obs=obs,
-                    injector=injector)
+                    injector=injector, plant=plant)
     return ShardedNodeFarm(spec, n_shards=n_shards, batching=batching,
                            seed=seed, arrival_mode=arrival_mode,
                            hosts=hosts)
@@ -301,6 +464,7 @@ def serve_frames(model, frames: np.ndarray, *,
                  fallback: Optional[ModelLike] = None,
                  config: Optional[RuntimeConfig] = None,
                  obs: Optional[ObsConfig] = None,
+                 plant: Optional[Plant] = None,
                  n_shards: int = 4,
                  batching=None,
                  seed: Optional[int] = 0,
@@ -320,7 +484,7 @@ def serve_frames(model, frames: np.ndarray, *,
 
     if isinstance(model, ShardedNodeFarm):
         overrides = {"fallback": fallback, "config": config, "obs": obs,
-                     "batching": batching}
+                     "batching": batching, "plant": plant}
         given = sorted(k for k, v in overrides.items() if v is not None)
         if given:
             raise TypeError(
@@ -328,9 +492,14 @@ def serve_frames(model, frames: np.ndarray, *,
                 f"{given}; configure them in build_farm instead")
         farm = model
     else:
+        if plant is not None and plant.closed_loop:
+            raise ValueError(
+                f"{type(plant).__name__} is closed-loop: it synthesises "
+                f"its own frames — use build_farm(...).serve_plant(...)")
         farm = build_farm(model, fallback=fallback, config=config,
-                          obs=obs, n_shards=n_shards, batching=batching,
-                          seed=seed, arrival_mode=arrival_mode)
+                          obs=obs, plant=plant, n_shards=n_shards,
+                          batching=batching, seed=seed,
+                          arrival_mode=arrival_mode)
     return farm.serve(np.asarray(frames, dtype=np.float64),
                       workers=workers, **serve_kwargs)
 
@@ -340,6 +509,7 @@ def start_daemon(model: ModelLike, *,
                  config: Optional[RuntimeConfig] = None,
                  obs: Optional[ObsConfig] = None,
                  injector: Optional[FaultInjector] = None,
+                 plant: Optional[Plant] = None,
                  workers: int = 4,
                  batching=None,
                  seed: Optional[int] = 0,
@@ -377,9 +547,14 @@ def start_daemon(model: ModelLike, *,
             "ready Observability — replicas cannot share one bundle")
     if not (obs is None or isinstance(obs, ObsConfig)):
         raise TypeError(f"obs must be ObsConfig or None, got {type(obs)!r}")
+    if plant is not None and plant.closed_loop:
+        raise ValueError(
+            f"{type(plant).__name__} is closed-loop: the daemon's "
+            f"stream protocol ships caller frames — run it through "
+            f"build_farm(...).serve_plant(...) instead")
     spec = FarmSpec(model=model, fallback=fallback,
                     config=config or RuntimeConfig(), obs=obs,
-                    injector=injector)
+                    injector=injector, plant=plant)
     return DaemonHandle.launch(spec, workers=workers, batching=batching,
                                seed=seed, queue_limit=queue_limit,
                                arrival_mode=arrival_mode, host=host,

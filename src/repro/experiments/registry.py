@@ -5,8 +5,9 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.experiments import (ablations, daemonbench, fig3, fig5, obsreport,
-                               remotebench, replaybench, robustness,
-                               servebench, table1, table2, table3)
+                               plantbench, remotebench, replaybench,
+                               robustness, servebench, table1, table2,
+                               table3)
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["REGISTRY", "get_experiment"]
@@ -31,6 +32,7 @@ REGISTRY: Dict[str, Harness] = {
     "robustness": robustness.run,
     "obs-report": obsreport.run,
     "serve-bench": servebench.run,
+    "plant-bench": plantbench.run,
     "daemon-bench": daemonbench.run,
     "remote-bench": remotebench.run,
     "replay-bench": replaybench.run,

@@ -1,0 +1,34 @@
+"""Pluggable workloads for the control stack (see docs/plants.md).
+
+A :class:`Plant` owns everything workload-specific — frame synthesis,
+hub topology, the trip controller, actuation feedback and
+control-quality scoring — so the facade, the chaos layer and the
+serving farm stay plant-generic.  Two plants ship:
+
+* :class:`BeamLossPlant` — the paper's open-loop de-blending workload
+  (bit-identical to the pre-plant facade wiring),
+* :class:`CartpolePlant` — a closed-loop inverted pendulum driven by a
+  hand-crafted quantized MLP.
+"""
+
+from repro.plants.base import (
+    ControlQuality,
+    Plant,
+    PlantSession,
+    fold_control_metrics,
+    merge_control_dicts,
+)
+from repro.plants.beamloss import BeamLossPlant
+from repro.plants.cartpole import CartpolePlant
+from repro.plants.loop import run_closed_loop
+
+__all__ = [
+    "Plant",
+    "PlantSession",
+    "ControlQuality",
+    "BeamLossPlant",
+    "CartpolePlant",
+    "run_closed_loop",
+    "fold_control_metrics",
+    "merge_control_dicts",
+]

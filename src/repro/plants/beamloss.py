@@ -1,0 +1,178 @@
+"""`BeamLossPlant`: the paper's de-blending workload as a plant.
+
+A pure re-packaging of the substrate the facade used to wire by hand —
+the reference de-blending dataset for frames, seven-hub concentration,
+and the MI/RR trip controller.  **Behavior-preserving by construction
+and by test**: :meth:`BeamLossPlant.hubs` / :meth:`controller` rebuild
+exactly what :func:`repro.core.api.build_runtime` built before the
+plant interface existed, and ``tests/test_plants.py`` replays golden
+pre-refactor run records (sequential, compiled, farm) against the
+refactored stack bit for bit.
+
+Open loop: trips mitigate the lossy machine but never change the beam,
+so :meth:`~_BeamLossSession.apply` ignores the action and the frames
+simply cycle the evaluation split.  Ground truth comes from the
+substrate's blended targets
+(:func:`repro.beamloss.metrics.ground_truth_machines`), which gives the
+quality report real trip precision/recall even though nothing feeds
+back.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.beamloss.controller import TripController
+from repro.beamloss.hubs import HubNetwork
+from repro.plants.base import (
+    ControlQuality,
+    Plant,
+    PlantSession,
+    score_against_truth,
+    summarize_records,
+)
+from repro.soc.board import FRAME_PERIOD_S
+
+__all__ = ["BeamLossPlant"]
+
+#: The facility's hub count; clamped to the monitor count for small
+#: models (matches the pre-plant facade default).
+DEFAULT_N_HUBS = 7
+
+#: Reference dataset geometry (matches
+#: :data:`repro.pretrained.bundle.REFERENCE_DATASET_KWARGS`).
+_REFERENCE_SHAPE = (1500, 300, 1000, 0)
+
+#: Process-wide dataset cache keyed by (n_train, n_val, n_eval, seed) —
+#: synthesis is deterministic, so sharing is safe, and plants stay
+#: lightweight to pickle (the cache never rides the plant).
+_DATASET_CACHE: dict = {}
+
+
+@dataclass(frozen=True)
+class BeamLossPlant(Plant):
+    """The beam-loss de-blending workload (open loop).
+
+    Parameters
+    ----------
+    n_hubs:
+        Hub concentrator count; ``None`` uses the facility's 7, clamped
+        to the model's monitor count (exactly the old facade default).
+    min_votes / probability_threshold:
+        Trip-controller policy (see
+        :class:`~repro.beamloss.controller.TripController`).
+    n_train / n_val / n_eval / dataset_seed:
+        De-blending dataset geometry; defaults are the reference
+        dataset every pretrained artefact was trained against.
+    """
+
+    n_hubs: Optional[int] = None
+    min_votes: int = 3
+    probability_threshold: float = 0.5
+    n_train: int = 1500
+    n_val: int = 300
+    n_eval: int = 1000
+    dataset_seed: int = 0
+
+    name = "beamloss"
+    closed_loop = False
+
+    @property
+    def machine_names(self) -> Tuple[str, ...]:
+        return ("MI", "RR")
+
+    def hubs(self, n_monitors: int) -> HubNetwork:
+        n_hubs = (self.n_hubs if self.n_hubs is not None
+                  else min(DEFAULT_N_HUBS, n_monitors))
+        return HubNetwork(n_monitors=n_monitors, n_hubs=n_hubs)
+
+    def controller(self) -> TripController:
+        return TripController(
+            machine_names=self.machine_names,
+            probability_threshold=self.probability_threshold,
+            min_votes=self.min_votes,
+        )
+
+    # ------------------------------------------------------------------
+    def dataset(self):
+        """The plant's :class:`~repro.beamloss.dataset.DeblendingDataset`
+        (process-cached; the reference geometry reuses the pretrained
+        bundle's cached dataset)."""
+        key = (self.n_train, self.n_val, self.n_eval, self.dataset_seed)
+        cached = _DATASET_CACHE.get(key)
+        if cached is not None:
+            return cached
+        if key == _REFERENCE_SHAPE:
+            from repro.pretrained.bundle import reference_dataset
+
+            ds = reference_dataset()
+        else:
+            from repro.beamloss.dataset import make_dataset
+
+            ds = make_dataset(n_train=self.n_train, n_val=self.n_val,
+                              n_eval=self.n_eval, seed=self.dataset_seed)
+        _DATASET_CACHE[key] = ds
+        return ds
+
+    def default_model(self):
+        """The pretrained reference U-Net (trained on first use)."""
+        from repro.pretrained.bundle import load_reference_bundle
+
+        return load_reference_bundle(train_if_missing=True).unet
+
+    def session(self, seed: Any = 0) -> "_BeamLossSession":
+        return _BeamLossSession(self, seed)
+
+
+class _BeamLossSession(PlantSession):
+    """Cycles the evaluation split; open loop (actions ignored)."""
+
+    def __init__(self, plant: BeamLossPlant, seed: Any):
+        self.plant = plant
+        ds = plant.dataset()
+        self._x = np.asarray(ds.x_eval, dtype=np.float64)
+        from repro.beamloss.metrics import ground_truth_machines
+
+        n_machines = len(plant.machine_names)
+        targets = np.asarray(ds.y_eval).reshape(
+            len(self._x), -1, n_machines)
+        self._eval_truth = ground_truth_machines(
+            targets, machine_names=plant.machine_names,
+            threshold=plant.probability_threshold,
+            min_monitors=plant.min_votes)
+        self._i = 0
+        self.truth: list = []
+        # Seeded for interface symmetry; the open-loop substrate is
+        # fully precomputed, so the stream is unused.
+        del seed
+
+    def next_frame(self) -> np.ndarray:
+        idx = self._i % len(self._x)
+        self._i += 1
+        self.truth.append(self._eval_truth[idx])
+        return self._x[idx]
+
+    def apply(self, action: Optional[str]) -> None:
+        pass  # open loop: the beam does not notice the trip
+
+    def quality(self, records: Sequence[Any]) -> ControlQuality:
+        period = FRAME_PERIOD_S
+        g = summarize_records(records, period)
+        truth = self.truth[:len(records)]
+        if len(truth) == len(records) and truth:
+            precision, recall = score_against_truth(
+                [r.decision.machine for r in records], truth)
+        else:
+            precision = recall = math.nan
+        return ControlQuality(
+            stabilization_time_s=math.nan,
+            stabilized=False,
+            trip_precision=precision,
+            trip_recall=recall,
+            rms_state_error=math.nan,
+            **g,
+        )

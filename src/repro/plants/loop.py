@@ -1,0 +1,59 @@
+"""Closed-loop driving: one frame per tick, actuation fed back.
+
+Open-loop runs hand the runtime a whole frame block at once — the block
+is known up front, so the batched/compiled fast path covers it in one
+precompute.  A *closed-loop* plant makes frame ``i+1`` depend on the
+published decision of frame ``i``, so the stream must be driven one
+frame at a time:
+
+* each tick synthesizes exactly one frame from the session,
+* the runtime processes it as a 1-frame block (every executor tier —
+  naive, batched, compiled, speculative — handles ``n == 1`` through
+  its normal path, so the bit-identity contract carries over
+  unchanged),
+* the resulting record actuates the plant before the next frame.
+
+Determinism across executors and processes: the runtime derives its
+per-block streams from ``(seed, start_frame)``
+(:func:`~repro.soc.runtime.derive_stream_seeds`), and here ``start``
+advances 0, 1, 2, … exactly as it would for any framing of the same
+stream — so a closed-loop run is a pure function of (plant, model,
+config, seed), wherever it executes.  Within a serving shard the loop
+runs in order on one replica, which is what lets the farm extend the
+bit-identity contract to closed-loop plants
+(:meth:`~repro.serve.farm.ShardedNodeFarm.serve_plant`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+import numpy as np
+
+from repro.plants.base import PlantSession
+
+__all__ = ["run_closed_loop"]
+
+
+def run_closed_loop(runtime, session: PlantSession, n_frames: int, *,
+                    seed: Any = 0) -> List[Any]:
+    """Drive *n_frames* ticks of *session* through *runtime*.
+
+    Returns the :class:`~repro.soc.runtime.FrameRecord` list (also
+    appended to ``runtime.records``, like ``runtime.run``).  The
+    runtime must start with no unrelated record history for the stream
+    to be reproducible — callers reuse a runtime only to *continue* the
+    same session.
+    """
+    if n_frames < 0:
+        raise ValueError(f"n_frames must be >= 0, got {n_frames}")
+    records: List[Any] = []
+    for _ in range(n_frames):
+        frame = np.asarray(session.next_frame(), dtype=np.float64)
+        if frame.ndim != 1:
+            raise ValueError(
+                f"session.next_frame() must be 1-D, got {frame.shape}")
+        recs = runtime.run(frame[None, :], seed=seed)
+        session.step(recs[0])
+        records.extend(recs)
+    return records

@@ -66,6 +66,7 @@ from repro.serve.workers import (
     STATUS_CODES,
     BlockHandle,
     FarmSpec,
+    PlantTask,
     PoolStats,
     ReplicaSource,
     ShardTask,
@@ -74,6 +75,7 @@ from repro.serve.workers import (
     TaskResult,
     WorkerCrashError,
     WorkerPool,
+    execute_plant_task,
     execute_shard_task,
     execute_stream_task,
 )
@@ -95,12 +97,14 @@ __all__ = [
     "ShardTask",
     "StreamTask",
     "StreamFinish",
+    "PlantTask",
     "TaskResult",
     "WorkerCrashError",
     "WorkerPool",
     "PoolStats",
     "BlockHandle",
     "ReplicaSource",
+    "execute_plant_task",
     "execute_shard_task",
     "execute_stream_task",
     "OUTPUT_COLUMNS",

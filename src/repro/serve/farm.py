@@ -47,9 +47,11 @@ from repro.serve.sharding import ShardPlan
 from repro.serve.workers import (
     OUTPUT_COLUMNS,
     FarmSpec,
+    PlantTask,
     ShardTask,
     TaskResult,
     WorkerPool,
+    execute_plant_task,
     execute_shard_task,
 )
 from repro.soc.board import FRAME_PERIOD_S
@@ -63,10 +65,15 @@ ARRIVAL_MODES = ("stream", "backlog")
 
 @dataclass(frozen=True)
 class FarmPlan:
-    """The deterministic execution plan for one frame block."""
+    """The deterministic execution plan for one frame block.
+
+    ``tasks`` are :class:`ShardTask`\\ s for a frame block
+    (:meth:`ShardedNodeFarm.plan`) or :class:`PlantTask`\\ s for a
+    closed-loop run (:meth:`ShardedNodeFarm.plan_plant`).
+    """
 
     shard_plan: ShardPlan
-    tasks: Tuple[ShardTask, ...]
+    tasks: Tuple[Any, ...]
 
     @property
     def n_batches(self) -> int:
@@ -244,6 +251,11 @@ class ShardedNodeFarm:
         requires ``workers >= 1``); the supervisor restarts and
         requeues, and the results must still be bit-identical.
         """
+        plant = self.spec.plant
+        if plant is not None and getattr(plant, "closed_loop", False):
+            raise ValueError(
+                f"{type(plant).__name__} is closed-loop: it synthesises "
+                f"its own frames — use serve_plant(n_frames)")
         frames = np.ascontiguousarray(frames, dtype=np.float64)
         if frames.ndim != 2:
             raise ValueError(f"frames must be 2-D, got {frames.shape}")
@@ -294,6 +306,11 @@ class ShardedNodeFarm:
         stream every other execution mode is asserted bit-identical
         against.
         """
+        plant = self.spec.plant
+        if plant is not None and getattr(plant, "closed_loop", False):
+            raise ValueError(
+                f"{type(plant).__name__} is closed-loop: it synthesises "
+                f"its own frames — use serve_plant_reference(n_frames)")
         frames = np.ascontiguousarray(frames, dtype=np.float64)
         if frames.ndim != 2:
             raise ValueError(f"frames must be 2-D, got {frames.shape}")
@@ -301,6 +318,107 @@ class ShardedNodeFarm:
         t0 = time.perf_counter()
         outputs = np.full((frames.shape[0], len(OUTPUT_COLUMNS)), np.nan)
         results = [execute_shard_task(self.spec, t, frames, outputs)
+                   for t in plan.tasks]
+        wall = time.perf_counter() - t0
+        return self._assemble(plan, results, outputs, wall, workers=0,
+                              worker_restarts=0, requeued_tasks=0,
+                              host_failures=0)
+
+    # ------------------------------------------------------------------
+    def plan_plant(self, n_frames: int,
+                   chaos_crash_shards: Sequence[int] = ()) -> FarmPlan:
+        """The deterministic closed-loop plan for *n_frames* frames.
+
+        One :class:`~repro.serve.workers.PlantTask` per shard: each
+        shard runs a complete, ordered closed-loop session over its
+        interleaved slice of the global frame order, seeded exactly
+        like the open-loop shards (``shard_seed(seed, s)``).
+        """
+        plant = self.spec.plant
+        if plant is None or not getattr(plant, "closed_loop", False):
+            raise ValueError(
+                "plan_plant needs a closed-loop plant on the farm spec "
+                "(build_farm(..., plant=...))")
+        shard_plan = ShardPlan(n_frames=n_frames, n_shards=self.n_shards)
+        crash_set = set(chaos_crash_shards)
+        unknown = crash_set - set(range(self.n_shards))
+        if unknown:
+            raise ValueError(f"chaos_crash_shards {sorted(unknown)} outside "
+                             f"[0, {self.n_shards})")
+        tasks = tuple(PlantTask(
+            task_id=s,
+            shard=s,
+            seed_entropy=self.seed,
+            global_indices=shard_plan.shard_globals(s),
+            crash=s in crash_set,
+        ) for s in range(self.n_shards))
+        return FarmPlan(shard_plan=shard_plan, tasks=tasks)
+
+    def serve_plant(self, n_frames: int, *, workers: int = 4,
+                    chaos_crash_shards: Sequence[int] = (),
+                    **pool_kwargs) -> FarmResult:
+        """Run *n_frames* of closed-loop sessions through the farm.
+
+        No frames travel: each shard's worker synthesises its stream
+        from the spec's plant and feeds every published action back
+        before the next frame, so actuation order within a shard is
+        total and the run is bit-identical to
+        :meth:`serve_plant_reference` for every worker count —
+        including under *chaos_crash_shards* (plant tasks are pure, so
+        the supervisor requeues a crashed shard's whole session).
+        Single-machine only: the host transport ships frame blocks,
+        not sessions.
+        """
+        if self.hosts:
+            raise ValueError(
+                "closed-loop plant serving is single-machine: the host "
+                "transport ships frame blocks, not plant sessions")
+        if n_frames < 1:
+            raise ValueError(f"n_frames must be >= 1, got {n_frames}")
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        if chaos_crash_shards and workers < 1:
+            raise ValueError("chaos_crash_shards requires workers >= 1")
+        plan = self.plan_plant(n_frames, chaos_crash_shards)
+
+        t0 = time.perf_counter()
+        if workers >= 1:
+            if self._pool is not None:
+                if pool_kwargs:
+                    raise ValueError(
+                        "pool kwargs are fixed at start_pool() time")
+                pool = self._pool
+            else:
+                pool = self._make_pool(workers, **pool_kwargs)
+            # Placeholder frame buffer: plant workers synthesise their
+            # own frames; the output matrix still spans all rows.
+            results, outputs, stats = pool.run(np.zeros((1, 1)),
+                                               list(plan.tasks))
+            restarts, requeued = stats.worker_restarts, stats.requeued_tasks
+            host_failures = stats.host_failures
+            n_workers = stats.workers or pool.n_workers
+        else:
+            outputs = np.full((n_frames, len(OUTPUT_COLUMNS)), np.nan)
+            results = [execute_plant_task(self.spec, t, out=outputs)
+                       for t in plan.tasks]
+            restarts = requeued = host_failures = 0
+            n_workers = 0
+        wall = time.perf_counter() - t0
+
+        return self._assemble(plan, results, outputs, wall,
+                              workers=n_workers,
+                              worker_restarts=restarts,
+                              requeued_tasks=requeued,
+                              host_failures=host_failures)
+
+    def serve_plant_reference(self, n_frames: int) -> FarmResult:
+        """The sequential in-process closed-loop reference."""
+        if n_frames < 1:
+            raise ValueError(f"n_frames must be >= 1, got {n_frames}")
+        plan = self.plan_plant(n_frames)
+        t0 = time.perf_counter()
+        outputs = np.full((n_frames, len(OUTPUT_COLUMNS)), np.nan)
+        results = [execute_plant_task(self.spec, t, out=outputs)
                    for t in plan.tasks]
         wall = time.perf_counter() - t0
         return self._assemble(plan, results, outputs, wall, workers=0,

@@ -11,7 +11,9 @@ back) and the pool statistics into one renderable summary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
+
+from repro.plants import merge_control_dicts
 
 __all__ = ["FarmHealth", "merge_shard_health"]
 
@@ -56,6 +58,10 @@ class FarmHealth:
     # each loss requeued the host's in-flight shards.  Always 0 on a
     # single-machine farm.
     host_failures: int = 0
+    # Farm-level control-quality summary (dict form of
+    # :class:`repro.plants.ControlQuality`, merged across shards); None
+    # when no shard scored its run.
+    control: Optional[Dict[str, Any]] = None
 
     def render(self) -> str:
         """Multi-line printable summary (farm first, then per shard)."""
@@ -93,6 +99,11 @@ class FarmHealth:
                      f"substituted hub slices: {self.substituted_slices}")
         lines.append(f"  publish retries: {self.publish_retries}, "
                      f"dead letters: {self.dead_letters}")
+        if self.control is not None:
+            c = self.control
+            lines.append(f"  control: {c.get('trips', 0)} trips over "
+                         f"{c.get('frames', 0)} frames, "
+                         f"stabilized={c.get('stabilized', False)}")
         for i, h in enumerate(self.shard_health):
             miss = h.get("deadline_miss_rate", 0.0)
             lines.append(f"  shard {i}: {h.get('frames_total', 0)} frames, "
@@ -145,4 +156,6 @@ def merge_shard_health(shard_health, *, n_shards: int, workers: int,
                                        for h in shard_health),
         frames_shed=frames_shed,
         host_failures=host_failures,
+        control=merge_control_dicts([h.get("control")
+                                     for h in shard_health]),
     )

@@ -15,13 +15,17 @@ and :class:`~repro.serve.daemon.ServingDaemon`:
   still share no mutable state (the cache holds bytes), and warm ==
   cold bit-exactly because conversion and compilation are
   deterministic.
-* :class:`ShardTask` / :class:`StreamTask` / :class:`TaskResult` —
-  units of work.  Shard tasks are **pure** (re-executing one from
-  scratch yields bit-identical results, which makes crash-requeue
-  provably safe).  Stream tasks are stateful continuations of a
-  long-lived per-stream replica; they become pure again when they carry
-  their stream's full ``replay_batches`` history (the crash-recovery
-  path).
+* :class:`ShardTask` / :class:`StreamTask` / :class:`PlantTask` /
+  :class:`TaskResult` — units of work.  Shard tasks are **pure**
+  (re-executing one from scratch yields bit-identical results, which
+  makes crash-requeue provably safe).  Stream tasks are stateful
+  continuations of a long-lived per-stream replica; they become pure
+  again when they carry their stream's full ``replay_batches`` history
+  (the crash-recovery path).  Plant tasks run one shard's complete
+  **closed-loop** session (the spec's plant synthesises every frame
+  and consumes every published action); like shard tasks they are pure
+  — the whole loop is a function of (spec, seed entropy, shard) — so
+  crash-requeue stays safe even though actions feed back.
 * :func:`execute_shard_task` / :func:`execute_stream_task` — the
   execution paths shared by the in-process reference and the workers.
 * :class:`WorkerPool` — a **persistent** ``multiprocessing`` (spawn)
@@ -76,6 +80,7 @@ __all__ = [
     "ShardTask",
     "StreamTask",
     "StreamFinish",
+    "PlantTask",
     "TaskResult",
     "localize_shard_task",
     "WorkerCrashError",
@@ -84,6 +89,7 @@ __all__ = [
     "PoolStats",
     "execute_shard_task",
     "execute_stream_task",
+    "execute_plant_task",
     "OUTPUT_COLUMNS",
     "STATUS_CODES",
 ]
@@ -118,6 +124,14 @@ class FarmSpec:
     shard's chaos is identical no matter which worker runs it, and the
     runtime's speculative ladder keeps the batched fast path live under
     the armed injector.
+
+    ``plant`` (a :class:`~repro.plants.Plant`, or None for the default
+    beam-loss wiring) rides the spec to every replica: it supplies the
+    hub topology and trip controller at build time, and — for
+    closed-loop plants — the per-shard session a :class:`PlantTask`
+    drives.  Plants are small frozen dataclasses, so the pickle
+    round-trip is cheap and every worker reconstructs the same
+    workload.
     """
 
     model: Any
@@ -125,6 +139,7 @@ class FarmSpec:
     config: Any = None          # RuntimeConfig (default built lazily)
     obs: Optional[ObsConfig] = None
     injector: Any = None        # FaultInjector (stateless, picklable)
+    plant: Any = None           # Plant (frozen, picklable)
 
     def build_runtime(self) -> CentralNodeRuntime:
         """A fresh, fully private runtime replica (cold build).
@@ -140,12 +155,15 @@ class FarmSpec:
                     if self.fallback is not None else None)
         injector = (pickle.loads(pickle.dumps(self.injector))
                     if self.injector is not None else None)
+        plant = (pickle.loads(pickle.dumps(self.plant))
+                 if self.plant is not None else None)
         return build_runtime(
             model,
             fallback=fallback,
             config=self.config or RuntimeConfig(),
             obs=Observability.from_config(self.obs),
             injector=injector,
+            plant=plant,
         )
 
 
@@ -190,6 +208,8 @@ class ReplicaSource:
         model, fallback = pickle.loads(self._template)
         injector = (pickle.loads(pickle.dumps(spec.injector))
                     if spec.injector is not None else None)
+        plant = (pickle.loads(pickle.dumps(spec.plant))
+                 if spec.plant is not None else None)
         self.warm_builds += 1
         return build_runtime(
             model,
@@ -197,6 +217,7 @@ class ReplicaSource:
             config=spec.config or RuntimeConfig(),
             obs=Observability.from_config(spec.obs),
             injector=injector,
+            plant=plant,
         )
 
 
@@ -236,6 +257,38 @@ def localize_shard_task(task: ShardTask,
     localized = dataclasses.replace(
         task, global_indices=tuple(range(len(idx))))
     return localized, local
+
+
+@dataclass(frozen=True)
+class PlantTask:
+    """One shard's complete closed-loop plant session.
+
+    The worker synthesises every frame from the spec's plant session
+    (seeded from ``(seed_entropy, shard)``) and feeds each published
+    action back before the next frame — no caller frames travel at
+    all.  ``global_indices`` are the rows of the block's output matrix
+    this shard fills (its frames in the farm's interleaved global
+    order).
+
+    Closed-loop streams never split across workers: the whole session
+    is one task, so actuation ordering within the shard is total and
+    the result is bit-identical to the in-process reference no matter
+    how many workers the pool runs.  The task is **pure** — a fresh
+    replica and a fresh session are a function of (spec, seed entropy,
+    shard) — so crash-requeue is as safe as for :class:`ShardTask`.
+    ``crash`` is the same die-before-executing test hook.
+    """
+
+    task_id: int
+    shard: int
+    seed_entropy: Optional[int]
+    global_indices: Tuple[int, ...]
+    crash: bool = False
+
+    @property
+    def batches(self) -> Tuple[Tuple[int, int], ...]:
+        """Closed-loop stepping is per-frame: one micro-batch each."""
+        return tuple((i, i + 1) for i in range(len(self.global_indices)))
 
 
 @dataclass(frozen=True)
@@ -366,6 +419,51 @@ def execute_shard_task(spec: FarmSpec, task: ShardTask, frames: np.ndarray,
         shard=task.shard,
         records=records,
         health=dataclasses.asdict(runtime.health_report()),
+        obs_snapshot=obs_snapshot,
+    )
+
+
+def execute_plant_task(spec: FarmSpec, task: PlantTask,
+                       frames: Optional[np.ndarray] = None,
+                       out: Optional[np.ndarray] = None, *,
+                       source: Optional[ReplicaSource] = None) -> TaskResult:
+    """Run one closed-loop plant session on a fresh replica.
+
+    *frames* is accepted (and ignored) so the worker dispatch path
+    stays uniform — a plant block ships a placeholder frame buffer.
+    *out* (when given) receives this shard's rows at
+    ``task.global_indices``.  Pure: session state dies with the call.
+    """
+    plant = spec.plant
+    if plant is None or not getattr(plant, "closed_loop", False):
+        raise ValueError(
+            f"PlantTask needs a closed-loop plant on the spec, got "
+            f"{type(plant).__name__ if plant is not None else None}")
+    from repro.plants import run_closed_loop
+
+    runtime = (source.build_runtime() if source is not None
+               else spec.build_runtime())
+    seed = shard_seed(task.seed_entropy, task.shard)
+    session = runtime.plant.session(seed)
+    records = run_closed_loop(runtime, session,
+                              len(task.global_indices), seed=seed)
+    if out is not None:
+        row = output_row_writer(runtime)
+        for g, r in zip(task.global_indices, records):
+            out[g, :] = row(r)
+    health = dataclasses.replace(runtime.health_report(),
+                                 control=session.quality(records))
+    if runtime.obs is not None:
+        from repro.plants import fold_control_metrics
+
+        fold_control_metrics(runtime.obs.metrics, health.control)
+    obs_snapshot = (runtime.obs.snapshot(runtime=runtime)
+                    if runtime.obs is not None else None)
+    return TaskResult(
+        task_id=task.task_id,
+        shard=task.shard,
+        records=records,
+        health=dataclasses.asdict(health),
         obs_snapshot=obs_snapshot,
     )
 
@@ -523,6 +621,9 @@ def _worker_main(worker_id: int, spec: FarmSpec, inbox, results) -> None:
                     if kind == "shard":
                         result = execute_shard_task(spec, task, frames, out,
                                                     source=source)
+                    elif kind == "plant":
+                        result = execute_plant_task(spec, task, frames, out,
+                                                    source=source)
                     else:
                         result = execute_stream_task(spec, task, frames, out,
                                                      source=source,
@@ -566,7 +667,7 @@ class _Entry:
 
     def __init__(self, task, kind: str, block: "BlockHandle"):
         self.task = task
-        self.kind = kind            # "shard" | "stream" | "finish"
+        self.kind = kind            # "shard" | "stream" | "finish" | "plant"
         self.block = block
         self.completed = False
 
@@ -824,6 +925,8 @@ class WorkerPool:
                 kinds.append("stream")
             elif isinstance(t, StreamFinish):
                 kinds.append("finish")
+            elif isinstance(t, PlantTask):
+                kinds.append("plant")
             else:
                 raise TypeError(f"unsupported task type {type(t).__name__}")
         if len(set(kinds)) > 1:
@@ -836,6 +939,11 @@ class WorkerPool:
             out_rows = tasks[0].n_frames
         elif kind == "shard":
             out_rows = frames.shape[0]
+        elif kind == "plant":
+            # Plant blocks ship a placeholder frame buffer — workers
+            # synthesise their own frames — but the output matrix still
+            # covers every global row the tasks will fill.
+            out_rows = sum(len(t.global_indices) for t in tasks)
         else:
             out_rows = 0
         out_shape = (out_rows, len(OUTPUT_COLUMNS))
@@ -906,8 +1014,8 @@ class WorkerPool:
 
     def _routable(self, entry: _Entry, wid: int) -> Optional[bool]:
         """Can *entry* run on *wid*?  None = unroutable anywhere."""
-        if entry.kind == "shard":
-            return True
+        if entry.kind in ("shard", "plant"):
+            return True  # pure tasks run anywhere
         home = self._stream_homes.get(entry.task.stream)
         if entry.kind == "finish":
             return None if home is None else home == wid
@@ -1006,7 +1114,7 @@ class WorkerPool:
                            if w == wid]:
                 del self._stream_homes[stream]
             if entry is not None and not entry.completed:
-                requeue = (entry.kind == "shard"
+                requeue = (entry.kind in ("shard", "plant")
                            or (entry.kind == "stream"
                                and entry.task.self_contained))
                 if requeue:

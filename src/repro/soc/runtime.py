@@ -49,7 +49,7 @@ from __future__ import annotations
 
 import time as _time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -242,6 +242,9 @@ class HealthReport:
     frames_speculated: int = 0
     frames_replayed: int = 0
     invalidation_counts: Dict[str, int] = field(default_factory=dict)
+    #: Control-quality summary (:class:`repro.plants.ControlQuality`)
+    #: when a plant scored the run; ``None`` for plain frame blocks.
+    control: Optional[Any] = None
 
     def render(self) -> str:
         """Multi-line printable summary."""
@@ -275,6 +278,9 @@ class HealthReport:
         lines.append(f"  publish retries: {self.publish_retries}, "
                      f"dead letters: {self.dead_letters}, "
                      f"dropped out-of-order: {self.dropped_out_of_order}")
+        if self.control is not None:
+            lines.extend("  " + line
+                         for line in self.control.render().splitlines())
         return "\n".join(lines)
 
 
@@ -334,6 +340,11 @@ class CentralNodeRuntime:
     #: recorder keeps the last N frames for post-mortems.  Purely
     #: observational: outputs are bit-identical either way.
     obs: Optional[Observability] = None
+    #: The :class:`~repro.plants.Plant` this runtime was built for
+    #: (``None`` when assembled by hand).  Purely descriptive at this
+    #: layer — the facade and the farm use it to drive closed-loop
+    #: sessions and attach control-quality scoring.
+    plant: Optional[Any] = None
 
     # Degradation state (persists across run() calls).
     engine: str = field(default=ENGINE_PRIMARY, init=False)

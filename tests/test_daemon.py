@@ -30,6 +30,7 @@ import numpy as np
 import pytest
 
 from repro.core.api import RuntimeConfig, start_daemon
+from repro.plants import BeamLossPlant
 from repro.hls import HLSConfig, convert
 from repro.nn import Conv1D, Dense, Flatten, Input, Model, ReLU, Sigmoid
 from repro.obs import ObsConfig, Observability
@@ -79,7 +80,8 @@ def tiny_hls():
 @pytest.fixture(scope="module")
 def tiny_spec(tiny_hls):
     return FarmSpec(model=tiny_hls,
-                    config=RuntimeConfig(min_votes=1, batch_inference=True))
+                    config=RuntimeConfig(batch_inference=True),
+                    plant=BeamLossPlant(min_votes=1))
 
 
 def frames_for(n, seed=77):
@@ -92,8 +94,8 @@ def launch(tiny_hls, **kwargs):
     kwargs.setdefault("batching", BatchingPolicy(max_batch=4))
     kwargs.setdefault("seed", 5)
     return start_daemon(tiny_hls,
-                        config=RuntimeConfig(min_votes=1,
-                                             batch_inference=True),
+                        config=RuntimeConfig(batch_inference=True),
+                        plant=BeamLossPlant(min_votes=1),
                         **kwargs)
 
 

@@ -23,6 +23,7 @@ import pytest
 
 import repro
 from repro.core.api import RuntimeConfig, build_runtime, run_control_loop
+from repro.plants import BeamLossPlant
 from repro.hls import HLSConfig, convert, uniform_config
 from repro.nn import Conv1D, Dense, Flatten, Input, Model, ReLU, Sigmoid
 from repro.obs import (
@@ -63,9 +64,9 @@ def frames_for(n, seed=99):
 def loop(hls, frames, *, obs=None, seed=5, level=0, batch=True,
          injector=None):
     """One control-loop run through the facade on a fresh conversion."""
-    cfg = RuntimeConfig(compile_level=level, batch_inference=batch,
-                        min_votes=1)
-    runtime = build_runtime(hls, config=cfg, obs=obs, injector=injector)
+    cfg = RuntimeConfig(compile_level=level, batch_inference=batch)
+    runtime = build_runtime(hls, config=cfg, obs=obs, injector=injector,
+                            plant=BeamLossPlant(min_votes=1))
     return run_control_loop(runtime, frames, seed=seed)
 
 
@@ -395,8 +396,8 @@ class TestFacade:
 
     def test_build_runtime_from_float_model(self, obs_model):
         rt = build_runtime(obs_model,
-                           config=RuntimeConfig(compile_level=1,
-                                                min_votes=1))
+                           config=RuntimeConfig(compile_level=1),
+                           plant=BeamLossPlant(min_votes=1))
         assert rt.board.ip.hls_model.compile_level == 1
         assert rt.hubs.n_monitors == N_MONITORS
         assert rt.obs is None            # zero-cost default: no tracer
@@ -410,14 +411,14 @@ class TestFacade:
 
     def test_run_control_loop_accepts_runtime_and_attaches_obs(self,
                                                                obs_hls):
-        rt = build_runtime(obs_hls, config=RuntimeConfig(min_votes=1))
+        rt = build_runtime(obs_hls, plant=BeamLossPlant(min_votes=1))
         result = run_control_loop(rt, frames_for(6), seed=2,
                                   obs=ObsConfig())
         assert result.runtime is rt
         assert result.obs is rt.obs
         assert len(result.records) == 6
         assert result.health.frames_total == 6
-        assert result.latencies_s.shape == (6,)
+        assert result.total_latencies_s.shape == (6,)
 
     def test_config_validation(self, obs_hls):
         with pytest.raises(ValueError):
@@ -434,7 +435,7 @@ class TestFacade:
     def test_fallback_model_converted_and_installed(self, obs_model,
                                                     obs_hls):
         rt = build_runtime(obs_hls, fallback=obs_model,
-                           config=RuntimeConfig(min_votes=1))
+                           plant=BeamLossPlant(min_votes=1))
         assert rt.fallback_board is not None
         assert rt.fallback_board.ip.hls_model is not obs_hls
 
@@ -459,7 +460,7 @@ class TestObsReattach:
     def test_reattach_matrix_clears_stale_kernel_tracer(self, obs_model,
                                                         obs_hls):
         rt = build_runtime(obs_hls, fallback=obs_model,
-                           config=RuntimeConfig(min_votes=1))
+                           plant=BeamLossPlant(min_votes=1))
         # Every transition of trace_kernels on/off/detached, twice over,
         # so each state is reached both from "on" and from "off".
         for trace_kernels in (True, False, None, True, None, False, True):
@@ -474,7 +475,7 @@ class TestObsReattach:
 
     def test_reattach_off_stops_kernel_spans(self, obs_hls):
         traced = Observability.from_config(ObsConfig(trace_kernels=True))
-        rt = build_runtime(obs_hls, config=RuntimeConfig(min_votes=1),
+        rt = build_runtime(obs_hls, plant=BeamLossPlant(min_votes=1),
                            obs=traced)
         rt.run(frames_for(2), seed=1)
         assert any(n.startswith("kernel.") for n in traced.tracer.names())

@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 
 from repro.core.api import RuntimeConfig, build_farm
+from repro.plants import BeamLossPlant
 from repro.hls import HLSConfig, convert
 from repro.nn import Conv1D, Dense, Flatten, Input, Model, ReLU, Sigmoid
 from repro.serve import BatchingPolicy, FarmSpec, ShardedNodeFarm
@@ -67,8 +68,8 @@ def frames_for(n, seed=77):
 def farm_for(hls, *, level=0, n_shards=3, hosts=(), seed=3):
     return build_farm(
         hls,
-        config=RuntimeConfig(compile_level=level, min_votes=1,
-                             batch_inference=True),
+        config=RuntimeConfig(compile_level=level, batch_inference=True),
+        plant=BeamLossPlant(min_votes=1),
         n_shards=n_shards,
         batching=BatchingPolicy(max_batch=4),
         seed=seed,

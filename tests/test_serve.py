@@ -25,6 +25,7 @@ import pytest
 
 import repro
 from repro.core.api import RuntimeConfig, build_farm, serve_frames
+from repro.plants import BeamLossPlant
 from repro.hls import HLSConfig, convert
 from repro.nn import Conv1D, Dense, Flatten, Input, Model, ReLU, Sigmoid
 from repro.obs import MetricsRegistry, ObsConfig, Observability
@@ -81,8 +82,8 @@ def farm_for(hls, *, level=0, n_shards=3, obs=None, max_batch=4,
              arrival_mode="backlog", seed=3):
     return build_farm(
         hls,
-        config=RuntimeConfig(compile_level=level, min_votes=1,
-                             batch_inference=True),
+        config=RuntimeConfig(compile_level=level, batch_inference=True),
+        plant=BeamLossPlant(min_votes=1),
         obs=obs,
         n_shards=n_shards,
         batching=BatchingPolicy(max_batch=max_batch),
@@ -268,7 +269,8 @@ class TestFarmChaos:
     def chaos_farm(self, hls, *, speculation=True, obs=None):
         return build_farm(
             hls,
-            config=RuntimeConfig(min_votes=1, speculation=speculation),
+            config=RuntimeConfig(speculation=speculation),
+            plant=BeamLossPlant(min_votes=1),
             obs=obs,
             injector=FaultInjector(self.SPECS, seed=99),
             n_shards=3,
@@ -469,7 +471,7 @@ class TestServeFacade:
     def test_serve_frames_builds_and_serves(self, tiny_hls):
         frames = frames_for(9)
         result = serve_frames(tiny_hls, frames, workers=0, n_shards=3,
-                              config=RuntimeConfig(min_votes=1),
+                              plant=BeamLossPlant(min_votes=1),
                               batching=BatchingPolicy(max_batch=4),
                               arrival_mode="backlog", seed=3)
         farm = farm_for(tiny_hls, max_batch=4)
@@ -482,7 +484,7 @@ class TestServeFacade:
         assert result.records == farm.serve_reference(frames).records
         with pytest.raises(TypeError, match="ready farm"):
             serve_frames(farm, frames, workers=0,
-                         config=RuntimeConfig(min_votes=1))
+                         config=RuntimeConfig())
 
     def test_build_farm_rejects_shared_observability(self, tiny_hls):
         with pytest.raises(TypeError, match="ObsConfig"):

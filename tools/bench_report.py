@@ -48,6 +48,13 @@ results to ``BENCH_inference.json``:
   the sequential farm reference shard by shard; the run fails when the
   steady-state remote fps drops below ``REMOTE_STEADY_FLOOR`` of the
   in-process warm pool at equal total workers,
+* ``cartpole_closedloop`` — the closed-loop cartpole plant
+  (:class:`repro.plants.CartpolePlant`) driven tick by tick on the
+  compiled fast path.  Closed loops pay one 1-frame block per tick, so
+  this is the small-batch figure the plant layer rides on.  The
+  compiled episode is asserted bit-identical to the naive sequential
+  executor, and the run fails if the quantized controller fails to
+  stabilise the pole,
 * ``replay_burst`` — 8 seeded bursty streams through a dedicated
   daemon (:mod:`repro.serve.replay`).  Shed decisions and batch
   boundaries are fixed offline by the deterministic admission
@@ -488,6 +495,43 @@ def build_report(quick: bool = False) -> Dict[str, object]:
             benchmarks["serve_remote2"] = _bench(
                 lambda: remote_round(remote_farm), serve_rounds, n_frames)
 
+    # Closed-loop plant: identity + stabilisation gates first, then the
+    # per-tick wall time of the compiled episode.
+    from repro.core.api import build_runtime, run_control_loop
+    from repro.plants import CartpolePlant, run_closed_loop
+
+    cartpole = CartpolePlant()
+    cartpole_frames = 64 if quick else 256
+    cartpole_config = RuntimeConfig(batch_inference=True, compile_level=2)
+
+    def cartpole_episode(config: RuntimeConfig):
+        return run_control_loop(cartpole.default_model(),
+                                n_frames=cartpole_frames, seed=3,
+                                config=config, plant=cartpole)
+
+    cartpole_ref = cartpole_episode(RuntimeConfig(batch_inference=False))
+    cartpole_fast = cartpole_episode(cartpole_config)
+    if cartpole_fast.records != cartpole_ref.records:
+        raise AssertionError(
+            "compiled closed-loop cartpole episode diverged from the "
+            "naive sequential executor — plant determinism contract "
+            "broken")
+    if not cartpole_fast.control.stabilized:
+        raise AssertionError(
+            "the quantized cartpole controller failed to stabilise the "
+            "pole — cartpole_closedloop would benchmark a broken loop")
+
+    def cartpole_round() -> List[float]:
+        rt = build_runtime(cartpole.default_model(),
+                           config=cartpole_config, plant=cartpole)
+        session = cartpole.session(3)
+        t0 = time.perf_counter()
+        run_closed_loop(rt, session, cartpole_frames, seed=3)
+        return [(time.perf_counter() - t0) / cartpole_frames]
+
+    benchmarks["cartpole_closedloop"] = _bench(cartpole_round, rounds,
+                                               cartpole_frames)
+
     # Bursty traffic replay: seeded arrivals, deterministic admission.
     from repro.serve.replay import (BurstModel, accepted_frames,
                                     replay_streams, simulate_admission,
@@ -608,6 +652,17 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                 "rounds": serve_rounds,
                 "floor_vs_warm": REMOTE_STEADY_FLOOR,
             },
+            "plant": {
+                "name": cartpole.name,
+                "episode_frames": cartpole_frames,
+                "seed": 3,
+                "stabilized": cartpole_fast.control.stabilized,
+                "stabilization_ms":
+                    cartpole_fast.control.stabilization_time_s * 1e3,
+                "trip_precision": cartpole_fast.control.trip_precision,
+                "trip_recall": cartpole_fast.control.trip_recall,
+                "rms_state_error": cartpole_fast.control.rms_state_error,
+            },
             "replay": replay_meta,
         },
         "peak_rss_kib": _rss_kib(),
@@ -678,7 +733,7 @@ def main(argv=None) -> int:
                  "runtime_compiled_traced", "runtime_chaos_sequential",
                  "chaos_compiled", "serve_reference", "serve_pool4",
                  "serve_warm4", "daemon_steady", "serve_remote2",
-                 "replay_burst"):
+                 "cartpole_closedloop", "replay_burst"):
         r = bm[name]
         print(f"  {name:20s} {r['fps']:8.1f} fps  "
               f"p50 {r['latency_p50_ms']:.3f} ms  "
@@ -714,6 +769,12 @@ def main(argv=None) -> int:
           f"{sp['serve_remote']:.2f}x the in-process warm pool "
           f"(floor {REMOTE_STEADY_FLOOR:.2f}x, equal total workers, "
           f"bit-identity gated shard by shard)")
+    plant = report["meta"]["plant"]
+    print(f"  plant: closed-loop {plant['name']} stabilised in "
+          f"{plant['stabilization_ms']:.0f} ms, trip precision/recall "
+          f"{plant['trip_precision']:.2f}/{plant['trip_recall']:.2f} "
+          f"(compiled tick loop, bit-identity gated against the naive "
+          f"executor)")
     replay = report["meta"]["replay"]
     print(f"  replay: {replay['streams']} bursty streams, "
           f"{replay['accepted']}/{replay['offered']} admitted "

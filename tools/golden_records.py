@@ -1,0 +1,127 @@
+"""Golden beam-loss run records for behavior-preservation tests.
+
+The `repro.plants` refactor moved the beam-loss data substrate behind
+the :class:`~repro.plants.BeamLossPlant` interface.  The refactor claims
+to be a pure re-plumbing: every run record the facade produced before
+must come out bit-identical after.  This tool captured the reference
+records *on the pre-refactor tree* and wrote them to
+``tests/data/golden_beamloss.json``; ``tests/test_plants.py`` replays
+the same three scenarios through the current code and compares the
+serialized streams byte for byte.
+
+Floats are serialized with ``float.hex()`` so the comparison is exact
+(no repr rounding, no JSON float round-trip ambiguity).
+
+Usage (only needed to regenerate after an *intentional* behavior
+change — never to paper over an accidental one)::
+
+    PYTHONPATH=src python tools/golden_records.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Frame-block length.  Small enough to keep the fixture and the replay
+#: test cheap, long enough to cross micro-batch boundaries on the farm.
+N_FRAMES = 24
+
+#: Farm geometry for the serve scenario.
+FARM_SHARDS = 2
+FARM_MAX_BATCH = 8
+
+SEED = 7
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "tests" / "data" / \
+    "golden_beamloss.json"
+
+
+def _hex(x: float) -> str:
+    return float(x).hex()
+
+
+def record_to_jsonable(rec) -> dict:
+    """Exact, stable serialization of one FrameRecord."""
+    d = rec.decision
+    return {
+        "frame_index": int(rec.frame_index),
+        "hub_delay_s": _hex(rec.hub_delay_s),
+        "node_latency_s": _hex(rec.node_latency_s),
+        "decision": {
+            "frame_index": int(d.frame_index),
+            "machine": d.machine,
+            "score": _hex(d.score),
+            "latency_s": _hex(d.latency_s),
+            "deadline_met": bool(d.deadline_met),
+        },
+        "status": rec.status,
+        "engine": rec.engine,
+        "fault_kinds": list(rec.fault_kinds),
+        "substituted_hubs": [int(h) for h in rec.substituted_hubs],
+        "publish_attempts": int(rec.publish_attempts),
+        "published": bool(rec.published),
+    }
+
+
+def serialize_records(records) -> list:
+    return [record_to_jsonable(r) for r in records]
+
+
+def capture() -> dict:
+    """Run the three scenarios on the current tree and serialize them."""
+    from repro.core.api import RuntimeConfig, build_farm, run_control_loop
+    from repro.pretrained import load_reference_bundle
+    from repro.serve import BatchingPolicy
+
+    bundle = load_reference_bundle(train_if_missing=False)
+    frames = bundle.dataset.x_eval[:N_FRAMES]
+
+    sequential = run_control_loop(
+        bundle.unet, frames, seed=SEED,
+        config=RuntimeConfig(batch_inference=False))
+    compiled = run_control_loop(
+        bundle.unet, frames, seed=SEED,
+        config=RuntimeConfig(batch_inference=True, compile_level=2))
+
+    farm = build_farm(bundle.unet,
+                      config=RuntimeConfig(batch_inference=True),
+                      n_shards=FARM_SHARDS,
+                      batching=BatchingPolicy(max_batch=FARM_MAX_BATCH),
+                      seed=SEED, arrival_mode="backlog")
+    served = farm.serve_reference(frames)
+
+    return {
+        "meta": {
+            "n_frames": N_FRAMES,
+            "seed": SEED,
+            "farm_shards": FARM_SHARDS,
+            "farm_max_batch": FARM_MAX_BATCH,
+            "scenarios": {
+                "sequential": "RuntimeConfig(batch_inference=False)",
+                "compiled": ("RuntimeConfig(batch_inference=True, "
+                             "compile_level=2)"),
+                "farm": (f"build_farm(n_shards={FARM_SHARDS}, "
+                         f"BatchingPolicy(max_batch={FARM_MAX_BATCH}), "
+                         f"arrival_mode='backlog').serve_reference"),
+            },
+        },
+        "sequential": serialize_records(sequential.records),
+        "compiled": serialize_records(compiled.records),
+        "farm": serialize_records(served.records),
+        "farm_outputs": [[_hex(v) for v in row] for row in served.outputs],
+    }
+
+
+def main() -> int:
+    golden = capture()
+    OUT_PATH.parent.mkdir(parents=True, exist_ok=True)
+    OUT_PATH.write_text(json.dumps(golden, indent=1) + "\n")
+    print(f"wrote {OUT_PATH} "
+          f"({len(golden['sequential'])} sequential records, "
+          f"{len(golden['compiled'])} compiled, {len(golden['farm'])} farm)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
