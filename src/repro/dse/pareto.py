@@ -1,0 +1,39 @@
+"""Non-dominated filtering for the multi-objective scores."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+__all__ = ["pareto_front", "dominates"]
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when *a* is at least as good as *b* everywhere and strictly
+    better somewhere (all objectives maximised)."""
+    if len(a) != len(b):
+        raise ValueError(f"objective arity mismatch: {len(a)} vs {len(b)}")
+    at_least = all(x >= y for x, y in zip(a, b))
+    strictly = any(x > y for x, y in zip(a, b))
+    return at_least and strictly
+
+
+def pareto_front(items: Sequence[T],
+                 objectives: Callable[[T], Tuple[float, ...]],
+                 tie_break: Callable[[T], str] = repr) -> List[T]:
+    """The non-dominated subset of *items*, sorted by *tie_break*.
+
+    ``objectives(item)`` returns a tuple where **larger is better** on
+    every axis (negate minimised quantities).  Duplicate objective
+    vectors all survive (none dominates the other); the output order is
+    the deterministic ``tie_break`` sort, independent of input order.
+    """
+    scored = [(objectives(item), item) for item in items]
+    front = []
+    for obj, item in scored:
+        # An item never dominates itself (no strict improvement), so no
+        # self-exclusion is needed.
+        if not any(dominates(other, obj) for other, _ in scored):
+            front.append(item)
+    return sorted(front, key=tie_break)

@@ -1,0 +1,408 @@
+"""Candidate scoring: estimator pre-filter + deterministic simulation.
+
+Scoring is two-staged, mirroring rule4ml's pre-fit estimator loop:
+
+1. **Pre-filter** (microseconds): convert the candidate's config and
+   run the structural :func:`~repro.hls.resources.estimate_resources` /
+   :func:`~repro.hls.latency.estimate_latency` models.  Candidates that
+   do not fit the device or blow the latency budget are rejected here
+   and never pay for simulation.
+2. **Simulation** (sub-second): fixed-point accuracy against the float
+   reference (or closed-loop :class:`~repro.plants.ControlQuality`),
+   plus simulated per-frame node latencies from the hardened runtime.
+
+Every number is a pure function of (candidate, problem seed):
+
+* accuracy — bit-exact fixed-point arithmetic;
+* node latency — the board's *simulated* latency model (seeded jitter);
+* throughput — an analytic service model over the deterministic
+  micro-batch plans of :mod:`repro.serve.batching` (constants below,
+  calibrated once against the measured bench fps ladder).
+
+The wall clock never enters a score, so a seeded rerun reproduces the
+Pareto front byte for byte.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.codesign import DesignConstraints
+from repro.dse.space import Candidate, build_config
+from repro.hls.latency import estimate_latency
+from repro.hls.model import HLSModel
+from repro.hls.converter import convert
+from repro.hls.profiling import profile_model
+from repro.hls.resources import estimate_resources
+from repro.plants import BeamLossPlant, Plant
+from repro.serve.batching import (BatchingPolicy, backlog_arrivals,
+                                  plan_microbatches, stream_arrivals)
+from repro.verify.comparators import close_enough_accuracy
+
+__all__ = ["ServiceModel", "CandidateScore", "DSEProblem",
+           "score_candidate", "unet_problem", "open_loop_problem",
+           "plant_problem"]
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """Calibrated wall-cost constants of the serving stack.
+
+    Fitted once against the committed bench ladder (sequential ≈116 fps,
+    batched level-0 ≈340 fps, compiled level-2 ≈550 fps on the reference
+    runner); they parameterise an *analytic* throughput model — the DSE
+    never times anything.
+    """
+
+    #: Fixed dispatch cost per micro-batch (plan + fast-path setup).
+    dispatch_overhead_s: float = 6.0e-3
+    #: Marginal per-frame cost inside a batch at compile level 0.
+    marginal_frame_cost_s: float = 2.6e-3
+    #: Speedup of the marginal cost at compile levels 0/1/2.
+    level_speedup: Tuple[float, float, float] = (1.0, 1.35, 1.7)
+    #: Relative marginal-cost factor of each forced conv formulation
+    #: ("auto" lets the tuner pick, modelled as the best of the three).
+    formulation_factor: Dict[str, float] = field(default_factory=lambda: {
+        "auto": 0.93, "im2col": 1.0, "tapflat": 0.93, "tap3d": 0.96})
+    #: Throughput scaling per extra busy worker (pool overheads).
+    worker_efficiency: float = 0.85
+
+    def marginal_cost_s(self, candidate: Candidate) -> float:
+        speed = self.level_speedup[candidate.compile_level]
+        factor = self.formulation_factor[candidate.conv_formulation]
+        return self.marginal_frame_cost_s * factor / speed
+
+    def throughput_fps(self, n_frames: int, candidate: Candidate) -> float:
+        """Modeled backlog (replay) throughput of the sharded farm."""
+        policy = BatchingPolicy(max_batch=candidate.batch_size)
+        plan = plan_microbatches(backlog_arrivals(n_frames), policy)
+        marginal = self.marginal_cost_s(candidate)
+        shard_total = sum(self.dispatch_overhead_s + (stop - start) * marginal
+                          for start, stop in plan)
+        shard_fps = n_frames / shard_total
+        busy = 1 if candidate.workers == 0 else min(candidate.n_shards,
+                                                    candidate.workers)
+        return shard_fps * (1.0 + (busy - 1) * self.worker_efficiency)
+
+    def served_latency_s(self, node_latencies_s: np.ndarray,
+                         candidate: Candidate) -> np.ndarray:
+        """Per-frame served latency on a live per-shard 3 ms stream:
+        micro-batch queueing wait + the frame's simulated node latency."""
+        n = len(node_latencies_s)
+        arrivals = stream_arrivals(n)
+        policy = BatchingPolicy(max_batch=candidate.batch_size)
+        waits = np.zeros(n)
+        for start, stop in plan_microbatches(arrivals, policy):
+            dispatch_t = arrivals[stop - 1]
+            waits[start:stop] = dispatch_t - arrivals[start:stop]
+        return waits + np.asarray(node_latencies_s, dtype=np.float64)
+
+
+DEFAULT_SERVICE_MODEL = ServiceModel()
+
+
+def _nearest_rank(values: np.ndarray, q: float) -> float:
+    """Deterministic nearest-rank percentile (no interpolation)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if len(v) == 0:
+        return math.nan
+    rank = min(len(v) - 1, max(0, math.ceil(q * len(v)) - 1))
+    return float(v[rank])
+
+
+@dataclass
+class CandidateScore:
+    """Everything one candidate scored (estimators + simulation)."""
+
+    candidate: Candidate
+    fits: bool
+    est_latency_ok: bool
+    simulated: bool
+    reject_reason: Optional[str] = None
+    accuracy: float = 0.0
+    accuracy_by_machine: Dict[str, float] = field(default_factory=dict)
+    fps: float = 0.0
+    node_p99_ms: float = math.nan
+    served_p99_ms: float = math.nan
+    est_ip_latency_ms: float = math.nan
+    alut_fraction: float = math.nan
+    register_fraction: float = math.nan
+    dsp_fraction: float = math.nan
+    m20k_fraction: float = math.nan
+    memory_bits_fraction: float = math.nan
+    control: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def resource_pressure(self) -> float:
+        """Worst utilisation fraction (the binding resource)."""
+        return max(self.alut_fraction, self.register_fraction,
+                   self.dsp_fraction, self.m20k_fraction,
+                   self.memory_bits_fraction)
+
+    @property
+    def feasible(self) -> bool:
+        return (self.simulated and self.fits and self.est_latency_ok
+                and self.reject_reason is None)
+
+    def objectives(self) -> Tuple[float, float, float, float]:
+        """Maximise: accuracy, fps, −node p99, −resource pressure."""
+        return (round(self.accuracy, 9), round(self.fps, 6),
+                round(-self.node_p99_ms, 6),
+                round(-self.resource_pressure, 6))
+
+    def to_dict(self) -> Dict[str, object]:
+        def r(x: float) -> float:
+            return round(float(x), 6) if not math.isnan(x) else float("nan")
+
+        return {
+            "candidate": self.candidate.to_dict(),
+            "fits": self.fits,
+            "feasible": self.feasible,
+            "simulated": self.simulated,
+            "reject_reason": self.reject_reason,
+            "accuracy": r(self.accuracy),
+            "accuracy_by_machine": {k: r(v) for k, v in
+                                    sorted(self.accuracy_by_machine.items())},
+            "fps": r(self.fps),
+            "node_p99_ms": r(self.node_p99_ms),
+            "served_p99_ms": r(self.served_p99_ms),
+            "est_ip_latency_ms": r(self.est_ip_latency_ms),
+            "alut_fraction": r(self.alut_fraction),
+            "register_fraction": r(self.register_fraction),
+            "dsp_fraction": r(self.dsp_fraction),
+            "m20k_fraction": r(self.m20k_fraction),
+            "memory_bits_fraction": r(self.memory_bits_fraction),
+            "control": {k: r(v) for k, v in sorted(self.control.items())},
+        }
+
+
+@dataclass
+class DSEProblem:
+    """One scoring problem: a model + plant + deterministic workload.
+
+    ``converted_lookup`` lets a problem reuse externally-cached
+    converted models (the experiment harnesses plug
+    :func:`repro.experiments.common.converted_at` in here) for
+    candidates at the paper's reference precision points; any other
+    candidate converts fresh.
+    """
+
+    name: str
+    model: object
+    plant: Plant
+    profiles: Dict[str, object]
+    constraints: DesignConstraints
+    seed: int = 0
+    eval_frames: int = 64
+    #: Open-loop: raw 2-D monitor frames for the runtime + model-shaped
+    #: eval inputs and the float reference outputs.  Closed-loop: None.
+    frames: Optional[np.ndarray] = None
+    x_eval: Optional[np.ndarray] = None
+    y_float: Optional[np.ndarray] = None
+    service: ServiceModel = field(default_factory=ServiceModel)
+    converted_lookup: Optional[Callable[[Candidate], Optional[HLSModel]]] = None
+
+    @property
+    def closed_loop(self) -> bool:
+        return self.plant.closed_loop
+
+
+def _converted_for(problem: DSEProblem, candidate: Candidate) -> HLSModel:
+    """A converted (not yet compiled) model for *candidate*."""
+    if problem.converted_lookup is not None:
+        cached = problem.converted_lookup(candidate)
+        if cached is not None:
+            return cached
+    config = build_config(candidate, problem.model, problem.profiles)
+    return convert(problem.model, config)
+
+
+def _compile_for(hls: HLSModel, candidate: Candidate) -> None:
+    """Bring *hls* to the candidate's compile level (idempotent for
+    cached models already sitting at the right level)."""
+    if candidate.conv_formulation == "auto":
+        if hls.compile_level != candidate.compile_level:
+            hls.compile(level=candidate.compile_level)
+    else:
+        hls.compile(level=candidate.compile_level,
+                    conv_formulation=candidate.conv_formulation)
+
+
+def score_candidate(problem: DSEProblem, candidate: Candidate,
+                    eval_frames: Optional[int] = None) -> CandidateScore:
+    """Score one candidate (pre-filter, then simulate if plausible)."""
+    from repro.core.api import RuntimeConfig, build_runtime, run_control_loop
+
+    hls = _converted_for(problem, candidate)
+    resources = estimate_resources(hls, problem.constraints.device)
+    latency = estimate_latency(hls)
+    est_total = latency.latency_s + problem.constraints.system_overhead_s
+    est_latency_ok = est_total <= problem.constraints.latency_budget_s
+    score = CandidateScore(
+        candidate=candidate,
+        fits=resources.fits,
+        est_latency_ok=est_latency_ok,
+        simulated=False,
+        est_ip_latency_ms=latency.latency_s * 1e3,
+        alut_fraction=resources.alut_fraction,
+        register_fraction=resources.register_fraction,
+        dsp_fraction=resources.dsp_fraction,
+        m20k_fraction=resources.m20k_fraction,
+        memory_bits_fraction=resources.memory_bits_fraction,
+    )
+    if not resources.fits:
+        score.reject_reason = "estimator: does not fit device"
+        return score
+    if not est_latency_ok:
+        score.reject_reason = "estimator: over latency budget"
+        return score
+    if eval_frames == 0:
+        # Estimator-only screening pass: fit-plausible, not simulated.
+        return score
+
+    # ------------------------------------------------------------ simulate
+    n_eval = min(eval_frames if eval_frames is not None
+                 else problem.eval_frames, problem.eval_frames)
+    _compile_for(hls, candidate)
+    config = RuntimeConfig(batch_inference=True)
+    if problem.closed_loop:
+        runtime = build_runtime(hls, config=config, plant=problem.plant)
+        result = run_control_loop(runtime, n_frames=n_eval,
+                                  seed=problem.seed)
+        records, quality = result.records, result.control
+        score.control = {
+            "stabilization_time_s": quality.stabilization_time_s,
+            "stabilized": float(quality.stabilized),
+            "trip_precision": quality.trip_precision,
+            "trip_recall": quality.trip_recall,
+            "rms_state_error": quality.rms_state_error,
+        }
+        pr = [v for v in (quality.trip_precision, quality.trip_recall)
+              if not math.isnan(v)]
+        accuracy = min(pr) if pr else 1.0
+        if not quality.stabilized:
+            accuracy = 0.0
+        score.accuracy = accuracy
+        score.accuracy_by_machine = {problem.plant.name: accuracy}
+    else:
+        y_fixed = hls.predict(problem.x_eval[:n_eval])
+        by_machine = close_enough_accuracy(
+            problem.y_float[:n_eval], y_fixed,
+            machine_names=problem.plant.machine_names)
+        score.accuracy_by_machine = dict(by_machine)
+        score.accuracy = min(by_machine.values())
+        runtime = build_runtime(hls, config=config, plant=problem.plant)
+        records = runtime.run(problem.frames[:n_eval], seed=problem.seed)
+
+    node_lats = np.array([r.node_latency_s for r in records])
+    score.node_p99_ms = _nearest_rank(node_lats, 0.99) * 1e3
+    served = problem.service.served_latency_s(node_lats, candidate)
+    score.served_p99_ms = _nearest_rank(served, 0.99) * 1e3
+    score.fps = problem.service.throughput_fps(n_eval, candidate)
+    score.simulated = True
+
+    if score.accuracy < problem.constraints.accuracy_floor:
+        score.reject_reason = "simulated: under accuracy floor"
+    elif (score.node_p99_ms * 1e-3 + problem.constraints.system_overhead_s
+          > problem.constraints.latency_budget_s):
+        score.reject_reason = "simulated: node p99 over budget"
+    return score
+
+
+# ----------------------------------------------------------------------
+# Problem constructors
+# ----------------------------------------------------------------------
+def open_loop_problem(model, x_profile: np.ndarray, *,
+                      plant: Optional[Plant] = None,
+                      constraints: Optional[DesignConstraints] = None,
+                      eval_frames: int = 64, seed: int = 0,
+                      profiles: Optional[dict] = None,
+                      name: str = "open-loop") -> DSEProblem:
+    """A generic open-loop problem from a float model + profile set.
+
+    *x_profile* is model-shaped; the runtime sees the same frames
+    flattened to raw monitor rows (hub ingestion is 2-D).
+    """
+    plant = plant or BeamLossPlant()
+    x_profile = np.asarray(x_profile, dtype=np.float64)
+    if profiles is None:
+        profiles = profile_model(model, x_profile)
+    n = min(eval_frames, x_profile.shape[0])
+    x_eval = x_profile[:n]
+    return DSEProblem(
+        name=name, model=model, plant=plant, profiles=profiles,
+        constraints=constraints or DesignConstraints(), seed=seed,
+        eval_frames=n, frames=x_eval.reshape(n, -1), x_eval=x_eval,
+        y_float=model.forward(x_eval),
+    )
+
+
+def unet_problem(*, fast: bool = False,
+                 constraints: Optional[DesignConstraints] = None,
+                 seed: int = 0,
+                 eval_frames: Optional[int] = None) -> DSEProblem:
+    """The paper's U-Net de-blending problem, wired to the experiment
+    harnesses' shared bundle and per-level converted-model cache."""
+    from repro.dse.space import REFERENCE_STRATEGIES
+    from repro.experiments import common
+
+    b = common.bundle()
+    profiles = common.unet_profiles()
+    n = eval_frames if eval_frames is not None else (48 if fast else 200)
+    frames = np.asarray(b.dataset.x_eval[:n], dtype=np.float64)
+    x_eval = b.dataset.unet_inputs(frames)
+    titles = dict(zip(REFERENCE_STRATEGIES,
+                      ["Uniform Precision ac_fixed<18, 10>",
+                       "Uniform Precision ac_fixed<16, 7>",
+                       "Layer-based Precision ac_fixed<16, x>"]))
+
+    def lookup(candidate: Candidate) -> Optional[HLSModel]:
+        # Reference precision points at the auto formulation ride the
+        # shared (strategy, level) cache; compile levels are reconciled
+        # by the scorer (cheap next to a reconvert).
+        if not candidate.is_reference_precision:
+            return None
+        if candidate.conv_formulation != "auto":
+            return None
+        title = titles.get(candidate.strategy)
+        if title is None:
+            return None
+        return common.converted_at(title, candidate.compile_level)
+
+    return DSEProblem(
+        name="unet-beamloss", model=b.unet, plant=BeamLossPlant(),
+        profiles=profiles, constraints=constraints or DesignConstraints(),
+        seed=seed, eval_frames=len(frames), frames=frames, x_eval=x_eval,
+        y_float=b.unet.forward(x_eval), converted_lookup=lookup,
+    )
+
+
+def plant_problem(plant: Plant, *,
+                  constraints: Optional[DesignConstraints] = None,
+                  eval_frames: int = 96, profile_frames: int = 128,
+                  seed: int = 0, name: Optional[str] = None) -> DSEProblem:
+    """A closed-loop problem for *plant* (e.g. the cartpole scenario).
+
+    Layer profiles come from driving the plant's float controller
+    through a seeded episode (``session.step_output`` feedback), so the
+    layer-based strategy sees realistic closed-loop activations.
+    """
+    model = plant.default_model()
+    session = plant.session(seed)
+    states: List[np.ndarray] = []
+    for _ in range(profile_frames):
+        frame = session.next_frame()
+        states.append(frame)
+        out = model.forward(frame[None])
+        session.step_output(out[0])
+    x_profile = np.stack(states)
+    profiles = profile_model(model, x_profile)
+    return DSEProblem(
+        name=name or plant.name, model=model, plant=plant,
+        profiles=profiles, constraints=constraints or DesignConstraints(),
+        seed=seed, eval_frames=eval_frames,
+    )

@@ -1,0 +1,258 @@
+"""The joint knob space: candidates, sampling, grids, mutations.
+
+A :class:`Candidate` is one point in the joint space of every knob the
+paper turns by hand (Section IV): precision strategy and per-layer
+integer bits, reuse factors, plus the reproduction's serving knobs
+(compile level, conv formulation, micro-batch size, shard and worker
+counts).  :class:`SearchSpace` enumerates/samples candidates
+deterministically — grids never touch an RNG, and random sampling
+draws only from generators handed in by the driver (all spawned from
+one ``SeedSequence``).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.hls.config import HLSConfig
+from repro.hls.precision import (DENSE_SIGMOID_REUSE, apply_reference_reuse,
+                                 layer_based_config, uniform_config)
+
+__all__ = ["Candidate", "SearchSpace", "build_config",
+           "REFERENCE_STRATEGIES"]
+
+#: The paper's strategy ladder, in its Table II order.
+REFERENCE_STRATEGIES = ("uniform<18,10>", "uniform<16,7>", "layer-based")
+
+
+def _parse_strategy(strategy: str) -> Tuple[str, int, int]:
+    """``"uniform<W,I>"`` → ("uniform", W, I); ``"layer-based"`` → 16-bit."""
+    if strategy == "layer-based":
+        return ("layer-based", 16, 0)
+    if strategy.startswith("uniform<") and strategy.endswith(">"):
+        w, i = strategy[len("uniform<"):-1].split(",")
+        return ("uniform", int(w), int(i))
+    raise ValueError(f"unknown strategy {strategy!r}; expected "
+                     f"'layer-based' or 'uniform<W,I>'")
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point in the joint quantization/reuse/serving knob space.
+
+    ``layer_deltas`` perturbs the layer-based strategy's profiled
+    per-layer integer bits by ±1 — the resolution the paper's own
+    margin-bit experiment (Fig 5b) works at — and is ignored (and
+    canonicalised away) for uniform strategies, as is ``margin_bits``.
+    """
+
+    strategy: str = "layer-based"
+    margin_bits: int = 0
+    layer_deltas: Tuple[Tuple[str, int], ...] = ()
+    default_reuse: int = 32
+    dense_sigmoid_reuse: int = DENSE_SIGMOID_REUSE
+    compile_level: int = 2
+    conv_formulation: str = "auto"
+    batch_size: int = 16
+    n_shards: int = 4
+    workers: int = 4
+
+    def __post_init__(self) -> None:
+        _parse_strategy(self.strategy)  # validate
+        if self.strategy != "layer-based" and (
+                self.margin_bits or self.layer_deltas):
+            # Canonical form: precision perturbations only exist on the
+            # layer-based strategy, so uniform candidates that differ
+            # only in ignored fields collapse to one key.
+            object.__setattr__(self, "margin_bits", 0)
+            object.__setattr__(self, "layer_deltas", ())
+        object.__setattr__(self, "layer_deltas",
+                           tuple(sorted((str(n), int(d))
+                                        for n, d in self.layer_deltas)))
+
+    @property
+    def is_reference_precision(self) -> bool:
+        """Exactly one of the paper's ladder points (cache-eligible)."""
+        return (self.margin_bits == 0 and not self.layer_deltas
+                and self.default_reuse == 32
+                and self.dense_sigmoid_reuse == DENSE_SIGMOID_REUSE)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "strategy": self.strategy,
+            "margin_bits": self.margin_bits,
+            "layer_deltas": [list(d) for d in self.layer_deltas],
+            "default_reuse": self.default_reuse,
+            "dense_sigmoid_reuse": self.dense_sigmoid_reuse,
+            "compile_level": self.compile_level,
+            "conv_formulation": self.conv_formulation,
+            "batch_size": self.batch_size,
+            "n_shards": self.n_shards,
+            "workers": self.workers,
+        }
+
+    def key(self) -> str:
+        """Canonical identity string (dedup + deterministic tie-breaks)."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def build_config(candidate: Candidate, model,
+                 profiles: Optional[dict] = None) -> HLSConfig:
+    """Materialise a candidate into an :class:`~repro.hls.HLSConfig`."""
+    kind, width, integer = _parse_strategy(candidate.strategy)
+    if kind == "uniform":
+        config = uniform_config(width, integer, model=model)
+    else:
+        config = layer_based_config(model, None, width=width,
+                                    margin_bits=candidate.margin_bits,
+                                    profiles=profiles)
+    apply_reference_reuse(config, model,
+                          default_reuse=candidate.default_reuse,
+                          dense_sigmoid_reuse=candidate.dense_sigmoid_reuse)
+    for name, delta in candidate.layer_deltas:
+        current = config.for_layer(name)
+        new_int = min(max(current.result.integer + delta, 1), width)
+        config.set_layer(name, result=current.result.with_(integer=new_int))
+    return config
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """Axis definitions of the joint space (all tuples are ordered)."""
+
+    strategies: Tuple[str, ...] = REFERENCE_STRATEGIES
+    margin_bits: Tuple[int, ...] = (0, 1)
+    layer_delta_values: Tuple[int, ...] = (-1, 1)
+    max_perturbed_layers: int = 2
+    default_reuse: Tuple[int, ...] = (16, 32, 64, 128)
+    dense_sigmoid_reuse: Tuple[int, ...] = (130, 260, 520)
+    compile_levels: Tuple[int, ...] = (0, 1, 2)
+    conv_formulations: Tuple[str, ...] = ("auto", "im2col", "tapflat",
+                                          "tap3d")
+    batch_sizes: Tuple[int, ...] = (8, 16, 32)
+    n_shards: Tuple[int, ...] = (1, 2, 4)
+    workers: Tuple[int, ...] = (0, 2, 4)
+    #: Names of layers whose integer bits may be perturbed (layer-based
+    #: strategy only); usually the profiled layers of the model.
+    layer_names: Tuple[str, ...] = ()
+
+    # ------------------------------------------------------------------
+    def anchors(self) -> List[Candidate]:
+        """The paper's strategy ladder at its deployed serving point.
+
+        Always injected first into every search mode, so the published
+        Table II comparison is on every Pareto front and the search can
+        only improve on the paper's hand-tuned design, never lose it.
+        """
+        level = max(self.compile_levels)
+        mid = lambda axis: axis[len(axis) // 2]
+        return [
+            Candidate(strategy=s, default_reuse=32,
+                      dense_sigmoid_reuse=DENSE_SIGMOID_REUSE,
+                      compile_level=level, conv_formulation="auto",
+                      batch_size=mid(self.batch_sizes),
+                      n_shards=mid(self.n_shards),
+                      workers=mid(self.workers))
+            for s in self.strategies
+        ]
+
+    # ------------------------------------------------------------------
+    def sample(self, rng: np.random.Generator) -> Candidate:
+        """One uniformly-sampled candidate (index draws only, so the
+        stream is stable across numpy versions)."""
+        pick = lambda axis: axis[int(rng.integers(len(axis)))]
+        strategy = pick(self.strategies)
+        margin = 0
+        deltas: Tuple[Tuple[str, int], ...] = ()
+        if strategy == "layer-based":
+            margin = pick(self.margin_bits)
+            if self.layer_names and self.max_perturbed_layers:
+                n_perturb = int(rng.integers(self.max_perturbed_layers + 1))
+                if n_perturb:
+                    idx = rng.choice(len(self.layer_names),
+                                     size=min(n_perturb,
+                                              len(self.layer_names)),
+                                     replace=False)
+                    deltas = tuple(
+                        (self.layer_names[int(i)],
+                         pick(self.layer_delta_values))
+                        for i in sorted(int(j) for j in idx))
+        return Candidate(
+            strategy=strategy, margin_bits=margin, layer_deltas=deltas,
+            default_reuse=pick(self.default_reuse),
+            dense_sigmoid_reuse=pick(self.dense_sigmoid_reuse),
+            compile_level=pick(self.compile_levels),
+            conv_formulation=pick(self.conv_formulations),
+            batch_size=pick(self.batch_sizes),
+            n_shards=pick(self.n_shards),
+            workers=pick(self.workers),
+        )
+
+    # ------------------------------------------------------------------
+    def grid(self, max_candidates: int) -> List[Candidate]:
+        """Deterministic lattice subsample of the full product grid.
+
+        Enumerates the mixed-radix product of every axis (precision
+        perturbations excluded — grids stay on the profiled bits) and
+        takes ``max_candidates`` evenly-strided points.  No RNG.
+        """
+        axes: List[Tuple] = [self.strategies, self.margin_bits,
+                             self.default_reuse, self.dense_sigmoid_reuse,
+                             self.compile_levels, self.conv_formulations,
+                             self.batch_sizes, self.n_shards, self.workers]
+        total = 1
+        for axis in axes:
+            total *= len(axis)
+        n = min(max_candidates, total)
+        out: List[Candidate] = []
+        seen = set()
+        for j in range(n):
+            flat = (j * (total - 1)) // max(n - 1, 1)
+            coords = []
+            for axis in reversed(axes):
+                flat, r = divmod(flat, len(axis))
+                coords.append(axis[r])
+            (wk, sh, bs, cf, lvl, dr2, dr, mb, st) = coords
+            cand = Candidate(strategy=st, margin_bits=mb,
+                             default_reuse=dr, dense_sigmoid_reuse=dr2,
+                             compile_level=lvl, conv_formulation=cf,
+                             batch_size=bs, n_shards=sh, workers=wk)
+            if cand.key() not in seen:
+                seen.add(cand.key())
+                out.append(cand)
+        return out
+
+    # ------------------------------------------------------------------
+    def mutate(self, candidate: Candidate,
+               rng: np.random.Generator) -> Candidate:
+        """Perturb one knob of *candidate* (adaptive-mode neighborhood)."""
+        knobs = ["default_reuse", "dense_sigmoid_reuse", "compile_level",
+                 "conv_formulation", "batch_size", "n_shards", "workers"]
+        if candidate.strategy == "layer-based":
+            knobs.append("margin_bits")
+            if self.layer_names:
+                knobs.append("layer_delta")
+        knob = knobs[int(rng.integers(len(knobs)))]
+        pick = lambda axis: axis[int(rng.integers(len(axis)))]
+        if knob == "layer_delta":
+            name = self.layer_names[int(rng.integers(len(self.layer_names)))]
+            delta = pick(self.layer_delta_values)
+            deltas = dict(candidate.layer_deltas)
+            deltas[name] = delta
+            items = sorted(deltas.items())[-self.max_perturbed_layers:] \
+                if self.max_perturbed_layers else []
+            return replace(candidate, layer_deltas=tuple(items))
+        axis = {"default_reuse": self.default_reuse,
+                "dense_sigmoid_reuse": self.dense_sigmoid_reuse,
+                "compile_level": self.compile_levels,
+                "conv_formulation": self.conv_formulations,
+                "batch_size": self.batch_sizes,
+                "n_shards": self.n_shards,
+                "workers": self.workers,
+                "margin_bits": self.margin_bits}[knob]
+        return replace(candidate, **{knob: pick(axis)})

@@ -8,9 +8,10 @@ every experiment in the paper ran against the one deployed bitstream.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -28,8 +29,12 @@ __all__ = [
     "unet_profiles",
     "reference_configs",
     "converted",
+    "converted_at",
     "set_compile_level",
     "get_compile_level",
+    "set_converted_cache_size",
+    "converted_cache_stats",
+    "fold_converted_cache_metrics",
     "eval_inputs",
 ]
 
@@ -108,21 +113,87 @@ def get_compile_level() -> int:
     return _compile_level
 
 
-@lru_cache(maxsize=16)
-def _converted_at(strategy: str, level: int) -> HLSModel:
+#: Explicit LRU over (strategy, level) → converted model.  A plain
+#: ``functools.lru_cache(maxsize=16)`` silently evicted under DSE sweeps
+#: visiting more than 16 (strategy, level) pairs, turning cached
+#: comparisons into recompiles mid-scoring; the cache size is now
+#: explicit and sweep-configurable, and hit/miss/eviction counters are
+#: observable (and foldable into a :class:`repro.obs` registry).
+_DEFAULT_CONVERTED_CACHE_SIZE = 16
+_converted_cache: "OrderedDict[Tuple[str, int], HLSModel]" = OrderedDict()
+_converted_cache_maxsize = _DEFAULT_CONVERTED_CACHE_SIZE
+_converted_cache_counts = {"hits": 0, "misses": 0, "evictions": 0}
+
+
+def set_converted_cache_size(maxsize: int) -> int:
+    """Resize the converted-model cache; returns the previous size.
+
+    Sweeps that visit many (strategy, level) pairs should raise this to
+    at least the number of pairs they touch, or every revisit pays a
+    full reconvert+recompile and skews any wall-clock comparison.
+    Shrinking evicts oldest entries immediately.
+    """
+    if maxsize < 1:
+        raise ValueError(f"cache size must be >= 1, got {maxsize}")
+    global _converted_cache_maxsize
+    previous = _converted_cache_maxsize
+    _converted_cache_maxsize = int(maxsize)
+    while len(_converted_cache) > _converted_cache_maxsize:
+        _converted_cache.popitem(last=False)
+        _converted_cache_counts["evictions"] += 1
+    return previous
+
+
+def converted_cache_stats() -> Dict[str, int]:
+    """Hit/miss/eviction counters plus current size/capacity."""
+    return {
+        **_converted_cache_counts,
+        "size": len(_converted_cache),
+        "maxsize": _converted_cache_maxsize,
+    }
+
+
+def fold_converted_cache_metrics(metrics) -> None:
+    """Mirror the cache counters into a :class:`repro.obs` registry.
+
+    Counters land under ``experiments.converted_cache.{hits,misses,
+    evictions}`` and the occupancy under ``...{size,maxsize}`` gauges.
+    """
+    stats = converted_cache_stats()
+    for name in ("hits", "misses", "evictions"):
+        metrics.set_count(f"experiments.converted_cache.{name}", stats[name])
+    for name in ("size", "maxsize"):
+        metrics.set_gauge(f"experiments.converted_cache.{name}", stats[name])
+
+
+def converted_at(strategy: str, level: int) -> HLSModel:
+    """Cached conversion of the reference U-Net at an explicit level."""
+    if level not in (0, 1, 2):
+        raise ValueError(f"compile level must be 0, 1 or 2, got {level}")
+    key = (strategy, level)
+    cached = _converted_cache.get(key)
+    if cached is not None:
+        _converted_cache.move_to_end(key)
+        _converted_cache_counts["hits"] += 1
+        return cached
+    _converted_cache_counts["misses"] += 1
     configs = reference_configs()
     if strategy not in configs:
         raise KeyError(f"unknown strategy {strategy!r}; have {sorted(configs)}")
     model = convert(bundle().unet, configs[strategy])
     if level:
         model.compile(level=level)
+    _converted_cache[key] = model
+    while len(_converted_cache) > _converted_cache_maxsize:
+        _converted_cache.popitem(last=False)
+        _converted_cache_counts["evictions"] += 1
     return model
 
 
 def converted(strategy: str) -> HLSModel:
     """Cached conversion of the reference U-Net under one strategy,
     compiled at the process-wide level (see :func:`set_compile_level`)."""
-    return _converted_at(strategy, _compile_level)
+    return converted_at(strategy, _compile_level)
 
 
 def eval_inputs(fast: bool = False) -> np.ndarray:

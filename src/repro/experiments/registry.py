@@ -4,10 +4,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.experiments import (ablations, daemonbench, fig3, fig5, obsreport,
-                               plantbench, remotebench, replaybench,
-                               robustness, servebench, table1, table2,
-                               table3)
+from repro.experiments import (ablations, daemonbench, dse, fig3, fig5,
+                               obsreport, plantbench, remotebench,
+                               replaybench, robustness, servebench, table1,
+                               table2, table3)
 from repro.experiments.common import ExperimentResult
 
 __all__ = ["REGISTRY", "get_experiment"]
@@ -36,6 +36,7 @@ REGISTRY: Dict[str, Harness] = {
     "daemon-bench": daemonbench.run,
     "remote-bench": remotebench.run,
     "replay-bench": replaybench.run,
+    "dse": dse.run,
 }
 
 

@@ -64,7 +64,7 @@ from repro.hls.kernels.shape import (ConcatKernel, FlattenKernel,
                                      UpSampleKernel)
 
 __all__ = ["CompileReport", "CompiledPlan", "compile_model",
-           "MAX_LUT_BITS"]
+           "CONV_FORMULATIONS", "MAX_LUT_BITS"]
 
 #: Largest input-stream width an exhaustive lookup table is built for
 #: (2**16 = 65,536 float64 entries = 512 KiB per table).
@@ -1073,13 +1073,31 @@ def _build_mac_step(model, mac, *, out_name: str, weight, bias,
     return step
 
 
-def compile_model(model, level: int) -> CompiledPlan:
+#: Conv formulations a caller may force (``None``/"auto" = wall-clock
+#: auto-tune; any forced choice is bit-identical, only speed differs).
+CONV_FORMULATIONS = ("im2col", "tapflat", "tap3d")
+
+
+def compile_model(model, level: int,
+                  conv_formulation: Optional[str] = None) -> CompiledPlan:
     """Build the compiled plan for *model* at the given level.
 
     * level 1 — local rewrites: activation LUTs, fused MAC+requantize,
       per-operand concat casts, lowered routing steps.
     * level 2 — additionally batch-norm folding and the static arena.
+
+    ``conv_formulation`` forces every conv MAC step onto one formulation
+    (``"im2col"``/``"tapflat"``/``"tap3d"``) and skips the wall-clock
+    auto-tuner — the deterministic choice DSE sweeps need.  ``None`` or
+    ``"auto"`` keeps the auto-tuned default.
     """
+    if conv_formulation in ("auto",):
+        conv_formulation = None
+    if conv_formulation is not None and conv_formulation not in CONV_FORMULATIONS:
+        raise ValueError(
+            f"conv_formulation must be one of {CONV_FORMULATIONS} or 'auto', "
+            f"got {conv_formulation!r}"
+        )
     report = CompileReport(level=level)
     consumers: Dict[str, List[HLSKernel]] = {}
     for kernel in model.kernels:
@@ -1205,5 +1223,9 @@ def compile_model(model, level: int) -> CompiledPlan:
     # reached (topological order), so `steps` is consistent.
     for step in steps:
         if isinstance(step, _MACStep):
-            step.tune()
+            if conv_formulation is not None:
+                if step.conv is not None:
+                    step.conv["formulation"] = conv_formulation
+            else:
+                step.tune()
     return CompiledPlan(steps, report, use_arena=level >= 2)

@@ -75,10 +75,18 @@ DEFAULT_CALIBRATION = CalibrationConstants()
 
 
 def kernel_mult_units(kernel: HLSKernel) -> int:
-    """Multiplier units a kernel instantiates (``ceil(m / RF)``)."""
+    """Multiplier units a kernel instantiates (``ceil(m / RF)``).
+
+    Dense layers always fold their *total* multiplication count through
+    the reuse factor, matching hls4ml's Dense resource strategy — the
+    folding is a property of the layer kind, not of the output rank.  A
+    pointwise dense applied per sequence position (2-D output) shares the
+    same unit pool across positions, so routing it through the
+    per-position rule undercounts units by a factor of ``positions``.
+    """
     if kernel.n_mult_per_position == 0:
         return 0
-    if len(kernel.output_shape) == 1 and kernel.kind == "dense":
+    if kernel.kind == "dense":
         total = kernel.n_mult_total
         return int(math.ceil(total / kernel.config.reuse_factor))
     return int(math.ceil(kernel.n_mult_per_position / kernel.config.reuse_factor))
@@ -126,13 +134,24 @@ class ResourceReport:
         return self.device.utilization(self.m20k_blocks, self.device.m20k_blocks)
 
     @property
+    def register_fraction(self) -> float:
+        return self.device.utilization(self.registers, self.device.registers)
+
+    @property
     def fits(self) -> bool:
-        """Whether the design fits the device at all."""
+        """Whether the design fits the device at all.
+
+        Every budgeted resource class must fit — including registers and
+        raw block-memory bits, which bound register-heavy (deep-pipeline)
+        and ROM-heavy designs even when their ALUT/DSP shares are small.
+        """
         return (
             self.alut_fraction <= 1.0
             and self.alm_fraction <= 1.0
             and self.dsp_fraction <= 1.0
             and self.m20k_fraction <= 1.0
+            and self.register_fraction <= 1.0
+            and self.memory_bits_fraction <= 1.0
         )
 
 

@@ -17,7 +17,7 @@ class TestRegistry:
                     "ablation-interface-style", "ablation-qat",
                     "ablation-pipelining", "robustness", "obs-report",
                     "serve-bench", "daemon-bench", "remote-bench",
-                    "replay-bench", "plant-bench"}
+                    "replay-bench", "plant-bench", "dse"}
         assert expected == set(REGISTRY)
 
     def test_unknown_name(self):

@@ -155,6 +155,54 @@ class TestResourceModel:
             stream_buffer_bits_multiplier=3.0))
         assert hi.block_memory_bits > 2 * lo.block_memory_bits
 
+    def test_pointwise_dense_folds_total_mults(self):
+        """A dense layer applied per position (2-D output) must fold its
+        *total* mult count through RF, like the flat dense rule — keying
+        the branch on output rank undercounted it by ``positions``."""
+        inp = Input((10, 8), name="in")
+        out = Dense(4, seed=0, name="pd")(inp)
+        hm = convert(Model(inp, out, name="pm"),
+                     HLSConfig().with_reuse_factor(16))
+        k = hm.get_kernel("pd")
+        assert k.output_shape == (10, 4)
+        # total mults = 10 positions × 8×4 = 320; ceil(320/16) = 20 —
+        # not ceil(32/16) = 2 as the per-position rule would claim.
+        assert kernel_mult_units(k) == 20
+
+    def test_register_heavy_design_must_not_fit(self):
+        """``fits`` has to check the register budget: a deep-pipeline
+        calibration that overflows registers while ALUTs stay small must
+        be flagged infeasible."""
+        m = dense_model()
+        hm = convert(m, uniform_config(16, 7, model=m))
+        res = estimate_resources(hm, calibration=CalibrationConstants(
+            registers_per_unit=1.2e5))
+        assert res.alut_fraction <= 1.0
+        assert res.alm_fraction <= 1.0
+        assert res.register_fraction > 1.0
+        assert not res.fits
+
+    def test_memory_bits_overflow_must_not_fit(self):
+        """``fits`` has to check raw block-memory bits, which can
+        overflow while the M20K *block* count still fits (bits scale
+        with the FIFO padding multiplier; block counts do not)."""
+        m = conv_model()
+        hm = convert(m, uniform_config(16, 7, model=m))
+        res = estimate_resources(hm, calibration=CalibrationConstants(
+            stream_buffer_bits_multiplier=2e5))
+        assert res.m20k_fraction <= 1.0
+        assert res.memory_bits_fraction > 1.0
+        assert not res.fits
+
+    def test_unet_reference_still_fits_with_register_check(self):
+        """The deployed layer-based design keeps fitting under the
+        stricter ``fits`` (Table III anchor: ≈41 % registers)."""
+        m = build_unet()
+        res = estimate_resources(convert(m, uniform_config(16, 7, model=m)))
+        assert res.register_fraction < 1.0
+        assert res.memory_bits_fraction < 1.0
+        assert res.fits
+
 
 class TestReport:
     def test_build_report_fields(self):

@@ -62,6 +62,11 @@ results to ``BENCH_inference.json``:
   reproduce the sequential per-stream reference bit-exactly, and the
   worst per-stream p99 *simulated* node latency is gated against the
   same ``DAEMON_SLO_P99_MS`` budget.  Shed counts land in the meta.
+* ``dse_pareto`` — the deterministic design-space-exploration
+  autotuner (:mod:`repro.dse`) over the U-Net problem.  Three hard
+  gates: non-empty Pareto front, recommended config fits the Arria-10
+  resource model, and a seeded rerun reproduces the front byte for
+  byte.  Search wall time and candidate counts land in the report.
 
 All fast paths (batched, compiled, farm pool) are asserted bit-identical
 to their reference before any timing, so the report can never quote a
@@ -590,6 +595,51 @@ def build_report(quick: bool = False) -> Dict[str, object]:
     }
     replay_bm.update(_percentiles_ms(node_lats))
     benchmarks["replay_burst"] = replay_bm
+    # Deterministic DSE over the quantization/reuse/serving knob space.
+    # Three hard gates, no baseline file: the Pareto front must be
+    # non-empty, the recommended design must fit the Arria-10 resource
+    # model, and a seeded rerun must reproduce the front byte for byte.
+    from repro.dse import DSESettings, run_dse, unet_problem
+
+    dse_settings = DSESettings(mode="adaptive",
+                               budget=8 if quick else 12, seed=0)
+    dse_problem = unet_problem(fast=quick, seed=0)
+    t0 = time.perf_counter()
+    dse_result = run_dse(dse_problem, settings=dse_settings)
+    dse_wall = time.perf_counter() - t0
+    dse_rerun = run_dse(dse_problem, settings=dse_settings)
+    if not dse_result.front:
+        raise AssertionError("DSE produced an empty Pareto front")
+    if dse_result.front_json() != dse_rerun.front_json():
+        raise AssertionError(
+            "DSE seeded rerun diverged from the first front — "
+            "determinism contract broken")
+    dse_rec = dse_result.recommended
+    if dse_rec is None or not dse_rec.fits:
+        raise AssertionError(
+            "DSE recommended config does not fit the Arria-10 "
+            "resource model")
+    benchmarks["dse_pareto"] = {
+        "candidates_per_s": dse_result.n_simulated / dse_wall,
+        "wall_s": dse_wall,
+        "simulated": dse_result.n_simulated,
+        "prefiltered": dse_result.n_prefiltered,
+        "rounds": 1,
+        "peak_rss_kib": _rss_kib(),
+    }
+    dse_meta = {
+        "mode": dse_settings.mode,
+        "budget": dse_settings.budget,
+        "seed": dse_settings.seed,
+        "front_size": len(dse_result.front),
+        "rerun_identical": True,
+        "recommended_strategy": dse_rec.candidate.strategy,
+        "recommended_fits": dse_rec.fits,
+        "recommended_accuracy": dse_rec.accuracy,
+        "recommended_node_p99_ms": dse_rec.node_p99_ms,
+        "recommended_fps_model": dse_rec.fps,
+    }
+
     replay_meta = {
         "streams": REPLAY_STREAMS,
         "frames_per_stream": replay_per_stream,
@@ -664,6 +714,7 @@ def build_report(quick: bool = False) -> Dict[str, object]:
                 "rms_state_error": cartpole_fast.control.rms_state_error,
             },
             "replay": replay_meta,
+            "dse": dse_meta,
         },
         "peak_rss_kib": _rss_kib(),
         "benchmarks": benchmarks,
@@ -781,6 +832,15 @@ def main(argv=None) -> int:
           f"({replay['shed']} shed, deterministic), worst per-stream "
           f"p99 node latency {replay['worst_node_p99_ms']:.3f} ms "
           f"(SLO {replay['slo_p99_ms']:.1f} ms)")
+    dse = report["meta"]["dse"]
+    dse_bm = bm["dse_pareto"]
+    print(f"  dse: {dse['mode']} search (budget {dse['budget']}, seed "
+          f"{dse['seed']}) simulated {dse_bm['simulated']} / pre-filtered "
+          f"{dse_bm['prefiltered']} candidates in {dse_bm['wall_s']:.1f} s; "
+          f"front size {dse['front_size']}, rerun byte-identical; "
+          f"recommended {dse['recommended_strategy']} "
+          f"(acc {dse['recommended_accuracy']:.1%}, fits, node p99 "
+          f"{dse['recommended_node_p99_ms']:.3f} ms)")
 
     if sp["obs_overhead"] < OBS_OVERHEAD_FLOOR:
         print("observability overhead beyond the floor", file=sys.stderr)
